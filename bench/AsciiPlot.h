@@ -1,0 +1,138 @@
+//===-- bench/AsciiPlot.h - Terminal scatter plots --------------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small auto-scaling ASCII scatter-plot renderer used by bench_fig7
+/// to draw the paper's Figure 7 subplots (speedup vs execution-time
+/// ratio, one marker kind per fusion variant, horizontal lines for the
+/// per-variant averages) in the terminal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_BENCH_ASCIIPLOT_H
+#define HFUSE_BENCH_ASCIIPLOT_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hfuse::bench {
+
+/// Collects (x, y, marker) points and horizontal marker lines, then
+/// renders them into a fixed-size character grid with auto-scaled axes.
+class AsciiPlot {
+public:
+  AsciiPlot(int Width = 56, int Height = 16) : W(Width), H(Height) {}
+
+  void addPoint(double X, double Y, char Marker) {
+    Points.push_back({X, Y, Marker});
+  }
+
+  /// A full-width horizontal line (the paper's per-variant averages).
+  void addHLine(double Y, char Marker) { HLines.push_back({Y, Marker}); }
+
+  /// Renders with the given axis labels. The y range always includes 0
+  /// (the "no speedup" line, drawn with '-').
+  std::string render(const std::string &Title,
+                     const std::string &XLabel) const {
+    double MinX = 0, MaxX = 0, MinY = 0, MaxY = 0;
+    bool Any = false;
+    auto Extend = [&](double X, double Y) {
+      if (!Any) {
+        MinX = MaxX = X;
+        MinY = MaxY = Y;
+        Any = true;
+        return;
+      }
+      MinX = std::min(MinX, X);
+      MaxX = std::max(MaxX, X);
+      MinY = std::min(MinY, Y);
+      MaxY = std::max(MaxY, Y);
+    };
+    for (const Point &P : Points)
+      Extend(P.X, P.Y);
+    for (const HLine &L : HLines)
+      Extend(Any ? MinX : 0, L.Y);
+    if (!Any)
+      return Title + ": (no data)\n";
+    MinY = std::min(MinY, 0.0);
+    MaxY = std::max(MaxY, 0.0);
+    if (MaxX - MinX < 1e-9)
+      MaxX = MinX + 1;
+    if (MaxY - MinY < 1e-9)
+      MaxY = MinY + 1;
+
+    std::vector<std::string> Grid(H, std::string(W, ' '));
+    auto Col = [&](double X) {
+      int C = static_cast<int>(std::lround((X - MinX) / (MaxX - MinX) *
+                                           (W - 1)));
+      return std::clamp(C, 0, W - 1);
+    };
+    auto Row = [&](double Y) {
+      int R = static_cast<int>(std::lround((MaxY - Y) / (MaxY - MinY) *
+                                           (H - 1)));
+      return std::clamp(R, 0, H - 1);
+    };
+
+    // Zero line first, then (sparse) averages, then points on top.
+    for (int C = 0; C < W; ++C)
+      Grid[Row(0.0)][C] = '-';
+    for (const HLine &L : HLines) {
+      int R = Row(L.Y);
+      for (int C = 0; C < W; C += 4)
+        if (Grid[R][C] == ' ' || Grid[R][C] == '-')
+          Grid[R][C] = L.Marker;
+    }
+    for (const Point &P : Points)
+      Grid[Row(P.Y)][Col(P.X)] = P.Marker;
+
+    std::string Out;
+    Out += Title + "\n";
+    char Buf[160];
+    for (int R = 0; R < H; ++R) {
+      // Y tick labels on the first, zero, and last rows.
+      if (R == 0)
+        std::snprintf(Buf, sizeof(Buf), "%+7.1f |", MaxY);
+      else if (R == Row(0.0))
+        std::snprintf(Buf, sizeof(Buf), "%+7.1f |", 0.0);
+      else if (R == H - 1)
+        std::snprintf(Buf, sizeof(Buf), "%+7.1f |", MinY);
+      else
+        std::snprintf(Buf, sizeof(Buf), "%7s |", "");
+      Out += Buf;
+      Out += Grid[R];
+      Out += '\n';
+    }
+    Out += "        +" + std::string(W, '-') + "\n";
+    std::snprintf(Buf, sizeof(Buf), "%-9s%-8.2f", "", MinX);
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf), "%.2f", MaxX);
+    std::string MaxTick = Buf;
+    int Pad = W - 8 - static_cast<int>(MaxTick.size());
+    Out += std::string(std::max(Pad, 1), ' ') + MaxTick;
+    Out += "  (" + XLabel + ")\n";
+    return Out;
+  }
+
+private:
+  struct Point {
+    double X, Y;
+    char Marker;
+  };
+  struct HLine {
+    double Y;
+    char Marker;
+  };
+  int W, H;
+  std::vector<Point> Points;
+  std::vector<HLine> HLines;
+};
+
+} // namespace hfuse::bench
+
+#endif // HFUSE_BENCH_ASCIIPLOT_H

@@ -1,0 +1,90 @@
+//===-- bench/BenchCommon.h - Shared bench harness pieces -------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the paper-reproduction benches: the 16 benchmark
+/// pairs in the paper's order, environment-driven quick mode, and small
+/// formatting helpers. Every bench prints a self-describing table whose
+/// rows correspond to the paper's figure/table rows (see EXPERIMENTS.md).
+///
+/// Set HFUSE_QUICK=1 to shrink workloads for smoke runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_BENCH_BENCHCOMMON_H
+#define HFUSE_BENCH_BENCHCOMMON_H
+
+#include "kernels/Kernels.h"
+#include "profile/PairRunner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace hfuse::bench {
+
+struct BenchPair {
+  kernels::BenchKernelId A;
+  kernels::BenchKernelId B;
+};
+
+/// The 16 pairs of the paper (10 deep-learning + 6 crypto), in Figure 9
+/// order.
+inline std::vector<BenchPair> paperPairs() {
+  using kernels::BenchKernelId;
+  return {
+      {BenchKernelId::Batchnorm, BenchKernelId::Upsample},
+      {BenchKernelId::Batchnorm, BenchKernelId::Hist},
+      {BenchKernelId::Batchnorm, BenchKernelId::Im2Col},
+      {BenchKernelId::Batchnorm, BenchKernelId::Maxpool},
+      {BenchKernelId::Hist, BenchKernelId::Im2Col},
+      {BenchKernelId::Hist, BenchKernelId::Maxpool},
+      {BenchKernelId::Hist, BenchKernelId::Upsample},
+      {BenchKernelId::Im2Col, BenchKernelId::Maxpool},
+      {BenchKernelId::Im2Col, BenchKernelId::Upsample},
+      {BenchKernelId::Maxpool, BenchKernelId::Upsample},
+      {BenchKernelId::Blake2B, BenchKernelId::Ethash},
+      {BenchKernelId::Blake256, BenchKernelId::Ethash},
+      {BenchKernelId::Ethash, BenchKernelId::SHA256},
+      {BenchKernelId::Blake256, BenchKernelId::Blake2B},
+      {BenchKernelId::Blake256, BenchKernelId::SHA256},
+      {BenchKernelId::Blake2B, BenchKernelId::SHA256},
+  };
+}
+
+inline std::string pairName(const BenchPair &P) {
+  return std::string(kernels::kernelDisplayName(P.A)) + "+" +
+         kernels::kernelDisplayName(P.B);
+}
+
+inline bool quickMode() {
+  const char *Env = std::getenv("HFUSE_QUICK");
+  return Env && Env[0] == '1';
+}
+
+/// Default runner options for bench runs (both-GPU loops pass Volta).
+inline profile::PairRunner::Options benchOptions(bool Volta) {
+  profile::PairRunner::Options Opts;
+  Opts.Arch = Volta ? gpusim::makeV100() : gpusim::makeGTX1080Ti();
+  Opts.SimSMs = quickMode() ? 2 : 3;
+  double S = quickMode() ? 0.25 : 1.0;
+  Opts.Scale1 = S;
+  Opts.Scale2 = S;
+  Opts.Verify = false; // benches measure; the test suite verifies
+  return Opts;
+}
+
+/// "+12.3" helper.
+inline double speedupPct(uint64_t NativeCycles, uint64_t Cycles) {
+  if (Cycles == 0)
+    return 0.0;
+  return 100.0 * (static_cast<double>(NativeCycles) / Cycles - 1.0);
+}
+
+} // namespace hfuse::bench
+
+#endif // HFUSE_BENCH_BENCHCOMMON_H

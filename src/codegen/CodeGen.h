@@ -1,0 +1,44 @@
+//===-- codegen/CodeGen.h - CuLite to SASS-lite lowering --------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a preprocessed, Sema-resolved CuLite kernel to the SASS-lite
+/// IR executed by the GPU simulator. Replaces nvcc/ptxas in the paper's
+/// toolchain. Highlights:
+///
+///  - shared-memory layout: statically sized __shared__ arrays get
+///    sequential offsets; `extern __shared__` starts after them, exactly
+///    like the CUDA driver's dynamic shared region;
+///  - pointer address-space inference (global / shared / local), needed
+///    because CuLite pointers (like CUDA generic pointers) do not name
+///    their space, but Ld/St opcodes must;
+///  - `asm("bar.sync id, count;")` lowers to the Bar instruction with
+///    the same id/count semantics, which is how HFuse's partial barriers
+///    reach the simulator;
+///  - short-circuit &&/||, ?:, and goto lower to explicit control flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_CODEGEN_CODEGEN_H
+#define HFUSE_CODEGEN_CODEGEN_H
+
+#include "cudalang/AST.h"
+#include "ir/IR.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+
+namespace hfuse::codegen {
+
+/// Compiles kernel \p F (preprocessed: no user calls). Returns null and
+/// reports diagnostics on failure. Register allocation is NOT run; call
+/// ir::allocateRegisters on the result before simulating it.
+std::unique_ptr<ir::IRKernel> compileKernel(const cuda::FunctionDecl *F,
+                                            DiagnosticEngine &Diags);
+
+} // namespace hfuse::codegen
+
+#endif // HFUSE_CODEGEN_CODEGEN_H

@@ -1,0 +1,200 @@
+//===-- cudalang/AST.cpp - CuLite abstract syntax tree --------------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cudalang/AST.h"
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+
+bool hfuse::cuda::isAssignmentOp(BinaryOpKind Op) {
+  switch (Op) {
+  case BinaryOpKind::Assign:
+  case BinaryOpKind::AddAssign:
+  case BinaryOpKind::SubAssign:
+  case BinaryOpKind::MulAssign:
+  case BinaryOpKind::DivAssign:
+  case BinaryOpKind::RemAssign:
+  case BinaryOpKind::ShlAssign:
+  case BinaryOpKind::ShrAssign:
+  case BinaryOpKind::AndAssign:
+  case BinaryOpKind::XorAssign:
+  case BinaryOpKind::OrAssign:
+    return true;
+  default:
+    return false;
+  }
+}
+
+BinaryOpKind hfuse::cuda::compoundToBinaryOp(BinaryOpKind Op) {
+  switch (Op) {
+  case BinaryOpKind::AddAssign:
+    return BinaryOpKind::Add;
+  case BinaryOpKind::SubAssign:
+    return BinaryOpKind::Sub;
+  case BinaryOpKind::MulAssign:
+    return BinaryOpKind::Mul;
+  case BinaryOpKind::DivAssign:
+    return BinaryOpKind::Div;
+  case BinaryOpKind::RemAssign:
+    return BinaryOpKind::Rem;
+  case BinaryOpKind::ShlAssign:
+    return BinaryOpKind::Shl;
+  case BinaryOpKind::ShrAssign:
+    return BinaryOpKind::Shr;
+  case BinaryOpKind::AndAssign:
+    return BinaryOpKind::BitAnd;
+  case BinaryOpKind::XorAssign:
+    return BinaryOpKind::BitXor;
+  case BinaryOpKind::OrAssign:
+    return BinaryOpKind::BitOr;
+  default:
+    assert(false && "not a compound assignment operator");
+    return Op;
+  }
+}
+
+const char *hfuse::cuda::binaryOpSpelling(BinaryOpKind Op) {
+  switch (Op) {
+  case BinaryOpKind::Add:
+    return "+";
+  case BinaryOpKind::Sub:
+    return "-";
+  case BinaryOpKind::Mul:
+    return "*";
+  case BinaryOpKind::Div:
+    return "/";
+  case BinaryOpKind::Rem:
+    return "%";
+  case BinaryOpKind::Shl:
+    return "<<";
+  case BinaryOpKind::Shr:
+    return ">>";
+  case BinaryOpKind::Lt:
+    return "<";
+  case BinaryOpKind::Gt:
+    return ">";
+  case BinaryOpKind::Le:
+    return "<=";
+  case BinaryOpKind::Ge:
+    return ">=";
+  case BinaryOpKind::Eq:
+    return "==";
+  case BinaryOpKind::Ne:
+    return "!=";
+  case BinaryOpKind::BitAnd:
+    return "&";
+  case BinaryOpKind::BitXor:
+    return "^";
+  case BinaryOpKind::BitOr:
+    return "|";
+  case BinaryOpKind::LogicalAnd:
+    return "&&";
+  case BinaryOpKind::LogicalOr:
+    return "||";
+  case BinaryOpKind::Assign:
+    return "=";
+  case BinaryOpKind::AddAssign:
+    return "+=";
+  case BinaryOpKind::SubAssign:
+    return "-=";
+  case BinaryOpKind::MulAssign:
+    return "*=";
+  case BinaryOpKind::DivAssign:
+    return "/=";
+  case BinaryOpKind::RemAssign:
+    return "%=";
+  case BinaryOpKind::ShlAssign:
+    return "<<=";
+  case BinaryOpKind::ShrAssign:
+    return ">>=";
+  case BinaryOpKind::AndAssign:
+    return "&=";
+  case BinaryOpKind::XorAssign:
+    return "^=";
+  case BinaryOpKind::OrAssign:
+    return "|=";
+  case BinaryOpKind::Comma:
+    return ",";
+  }
+  return "?";
+}
+
+const char *hfuse::cuda::unaryOpSpelling(UnaryOpKind Op) {
+  switch (Op) {
+  case UnaryOpKind::Plus:
+    return "+";
+  case UnaryOpKind::Minus:
+    return "-";
+  case UnaryOpKind::LogicalNot:
+    return "!";
+  case UnaryOpKind::BitNot:
+    return "~";
+  case UnaryOpKind::PreInc:
+  case UnaryOpKind::PostInc:
+    return "++";
+  case UnaryOpKind::PreDec:
+  case UnaryOpKind::PostDec:
+    return "--";
+  case UnaryOpKind::AddrOf:
+    return "&";
+  case UnaryOpKind::Deref:
+    return "*";
+  }
+  return "?";
+}
+
+Expr *hfuse::cuda::ignoreParensAndImplicitCasts(Expr *E) {
+  while (true) {
+    if (auto *P = dyn_cast<ParenExpr>(E)) {
+      E = P->sub();
+      continue;
+    }
+    if (auto *C = dyn_cast<CastExpr>(E)) {
+      if (C->isImplicit()) {
+        E = C->sub();
+        continue;
+      }
+    }
+    return E;
+  }
+}
+
+const Expr *hfuse::cuda::ignoreParensAndImplicitCasts(const Expr *E) {
+  return ignoreParensAndImplicitCasts(const_cast<Expr *>(E));
+}
+
+FunctionDecl *TranslationUnit::findFunction(const std::string &Name) const {
+  for (FunctionDecl *F : Functions)
+    if (F->name() == Name)
+      return F;
+  return nullptr;
+}
+
+IntLiteralExpr *ASTContext::intLit(int64_t Value) {
+  assert(Value >= 0 && "negative literals are built with unary minus");
+  auto *E = create<IntLiteralExpr>(SourceLocation(),
+                                   static_cast<uint64_t>(Value),
+                                   /*IsUnsigned=*/false, /*Is64=*/false);
+  E->setType(types().intTy());
+  return E;
+}
+
+DeclRefExpr *ASTContext::ref(VarDecl *D) {
+  auto *E = create<DeclRefExpr>(SourceLocation(), D->name());
+  E->setDecl(D);
+  E->setType(D->type());
+  E->setIsLValue(true);
+  return E;
+}
+
+BinaryExpr *ASTContext::binOp(BinaryOpKind Op, Expr *LHS, Expr *RHS) {
+  return create<BinaryExpr>(SourceLocation(), Op, LHS, RHS);
+}
+
+ExprStmt *ASTContext::assignStmt(Expr *LHS, Expr *RHS) {
+  Expr *Assign = binOp(BinaryOpKind::Assign, LHS, RHS);
+  return create<ExprStmt>(SourceLocation(), Assign);
+}

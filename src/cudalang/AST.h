@@ -1,0 +1,750 @@
+//===-- cudalang/AST.h - CuLite abstract syntax tree ------------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CuLite AST. Mirrors Clang's design in miniature: Expr derives from
+/// Stmt, nodes are arena-allocated in an ASTContext and never freed
+/// individually, and LLVM-style isa<>/cast<>/dyn_cast<> dispatch on a
+/// StmtKind/DeclKind tag. All HFuse transformations (renaming, decl
+/// lifting, inlining, barrier replacement, fusion) operate on this tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_CUDALANG_AST_H
+#define HFUSE_CUDALANG_AST_H
+
+#include "cudalang/Type.h"
+#include "support/Casting.h"
+#include "support/SourceLocation.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hfuse::cuda {
+
+class ASTContext;
+class VarDecl;
+class FunctionDecl;
+class LabelStmt;
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  // Statements.
+  Compound,
+  Decl,
+  ExprStmtKind,
+  If,
+  For,
+  While,
+  Return,
+  Break,
+  Continue,
+  Goto,
+  Label,
+  Asm,
+  // Expressions. firstExpr/lastExpr bound the range for Expr::classof.
+  IntLiteral,
+  FloatLiteral,
+  BoolLiteral,
+  DeclRef,
+  BuiltinIdx,
+  Unary,
+  Binary,
+  Conditional,
+  Call,
+  Cast,
+  Index,
+  Paren,
+};
+
+/// Base of all statements (and, transitively, expressions).
+class Stmt {
+public:
+  StmtKind kind() const { return Kind; }
+  SourceLocation loc() const { return Loc; }
+  void setLoc(SourceLocation L) { Loc = L; }
+
+protected:
+  Stmt(StmtKind Kind, SourceLocation Loc) : Kind(Kind), Loc(Loc) {}
+  ~Stmt() = default;
+
+private:
+  StmtKind Kind;
+  SourceLocation Loc;
+};
+
+/// A `{ ... }` block.
+class CompoundStmt : public Stmt {
+public:
+  CompoundStmt(SourceLocation Loc, std::vector<Stmt *> Body)
+      : Stmt(StmtKind::Compound, Loc), Body(std::move(Body)) {}
+
+  std::vector<Stmt *> &body() { return Body; }
+  const std::vector<Stmt *> &body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Compound; }
+
+private:
+  std::vector<Stmt *> Body;
+};
+
+/// A local declaration statement; may declare several variables
+/// (`int a = 1, b;`).
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(SourceLocation Loc, std::vector<VarDecl *> Vars)
+      : Stmt(StmtKind::Decl, Loc), Vars(std::move(Vars)) {}
+
+  std::vector<VarDecl *> &decls() { return Vars; }
+  const std::vector<VarDecl *> &decls() const { return Vars; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Decl; }
+
+private:
+  std::vector<VarDecl *> Vars;
+};
+
+class Expr;
+
+/// An expression evaluated for its side effects.
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(SourceLocation Loc, Expr *E)
+      : Stmt(StmtKind::ExprStmtKind, Loc), E(E) {}
+
+  Expr *expr() const { return E; }
+  void setExpr(Expr *NewE) { E = NewE; }
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::ExprStmtKind;
+  }
+
+private:
+  Expr *E;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(SourceLocation Loc, Expr *Cond, Stmt *Then, Stmt *Else)
+      : Stmt(StmtKind::If, Loc), Cond(Cond), Then(Then), Else(Else) {}
+
+  Expr *cond() const { return Cond; }
+  Stmt *thenStmt() const { return Then; }
+  Stmt *elseStmt() const { return Else; }
+  void setCond(Expr *E) { Cond = E; }
+  void setThen(Stmt *S) { Then = S; }
+  void setElse(Stmt *S) { Else = S; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::If; }
+
+private:
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else; // may be null
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(SourceLocation Loc, Stmt *Init, Expr *Cond, Expr *Inc, Stmt *Body)
+      : Stmt(StmtKind::For, Loc), Init(Init), Cond(Cond), Inc(Inc),
+        Body(Body) {}
+
+  Stmt *init() const { return Init; } // DeclStmt, ExprStmt, or null
+  Expr *cond() const { return Cond; } // may be null
+  Expr *inc() const { return Inc; }   // may be null
+  Stmt *body() const { return Body; }
+  void setInit(Stmt *S) { Init = S; }
+  void setCond(Expr *E) { Cond = E; }
+  void setInc(Expr *E) { Inc = E; }
+  void setBody(Stmt *S) { Body = S; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::For; }
+
+private:
+  Stmt *Init;
+  Expr *Cond;
+  Expr *Inc;
+  Stmt *Body;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(SourceLocation Loc, Expr *Cond, Stmt *Body)
+      : Stmt(StmtKind::While, Loc), Cond(Cond), Body(Body) {}
+
+  Expr *cond() const { return Cond; }
+  Stmt *body() const { return Body; }
+  void setCond(Expr *E) { Cond = E; }
+  void setBody(Stmt *S) { Body = S; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::While; }
+
+private:
+  Expr *Cond;
+  Stmt *Body;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(SourceLocation Loc, Expr *Value)
+      : Stmt(StmtKind::Return, Loc), Value(Value) {}
+
+  Expr *value() const { return Value; } // may be null
+  void setValue(Expr *E) { Value = E; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Return; }
+
+private:
+  Expr *Value;
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLocation Loc) : Stmt(StmtKind::Break, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Break; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLocation Loc) : Stmt(StmtKind::Continue, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Continue; }
+};
+
+class GotoStmt : public Stmt {
+public:
+  GotoStmt(SourceLocation Loc, std::string Label)
+      : Stmt(StmtKind::Goto, Loc), Label(std::move(Label)) {}
+
+  const std::string &label() const { return Label; }
+  void setLabel(std::string NewLabel) { Label = std::move(NewLabel); }
+
+  /// Resolved by Sema.
+  LabelStmt *target() const { return Target; }
+  void setTarget(LabelStmt *T) { Target = T; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Goto; }
+
+private:
+  std::string Label;
+  LabelStmt *Target = nullptr;
+};
+
+/// `name: sub-stmt`. A trailing label uses an empty ExprStmt as sub.
+class LabelStmt : public Stmt {
+public:
+  LabelStmt(SourceLocation Loc, std::string Name, Stmt *Sub)
+      : Stmt(StmtKind::Label, Loc), Name(std::move(Name)), Sub(Sub) {}
+
+  const std::string &name() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+  Stmt *sub() const { return Sub; } // may be null (label at block end)
+  void setSub(Stmt *S) { Sub = S; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Label; }
+
+private:
+  std::string Name;
+  Stmt *Sub;
+};
+
+/// Inline PTX assembly, e.g. `asm("bar.sync 1, 896;");`. HFuse emits these
+/// for partial barriers; the code generator pattern-matches the text.
+class AsmStmt : public Stmt {
+public:
+  AsmStmt(SourceLocation Loc, std::string Text, bool IsVolatile)
+      : Stmt(StmtKind::Asm, Loc), Text(std::move(Text)),
+        IsVolatile(IsVolatile) {}
+
+  const std::string &text() const { return Text; }
+  bool isVolatile() const { return IsVolatile; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Asm; }
+
+private:
+  std::string Text;
+  bool IsVolatile;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base of all expressions. The type and lvalue-ness are filled in by Sema.
+class Expr : public Stmt {
+public:
+  const Type *type() const { return Ty; }
+  void setType(const Type *T) { Ty = T; }
+  bool isLValue() const { return LValue; }
+  void setIsLValue(bool V) { LValue = V; }
+
+  static bool classof(const Stmt *S) {
+    return S->kind() >= StmtKind::IntLiteral;
+  }
+
+protected:
+  Expr(StmtKind Kind, SourceLocation Loc) : Stmt(Kind, Loc) {}
+
+private:
+  const Type *Ty = nullptr;
+  bool LValue = false;
+};
+
+class IntLiteralExpr : public Expr {
+public:
+  IntLiteralExpr(SourceLocation Loc, uint64_t Value, bool IsUnsigned,
+                 bool Is64)
+      : Expr(StmtKind::IntLiteral, Loc), Value(Value), IsUnsigned(IsUnsigned),
+        Is64(Is64) {}
+
+  uint64_t value() const { return Value; }
+  bool isUnsigned() const { return IsUnsigned; }
+  bool is64() const { return Is64; }
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::IntLiteral;
+  }
+
+private:
+  uint64_t Value;
+  bool IsUnsigned;
+  bool Is64;
+};
+
+class FloatLiteralExpr : public Expr {
+public:
+  FloatLiteralExpr(SourceLocation Loc, double Value, bool IsDouble)
+      : Expr(StmtKind::FloatLiteral, Loc), Value(Value), IsDouble(IsDouble) {}
+
+  double value() const { return Value; }
+  bool isDouble() const { return IsDouble; }
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::FloatLiteral;
+  }
+
+private:
+  double Value;
+  bool IsDouble;
+};
+
+class BoolLiteralExpr : public Expr {
+public:
+  BoolLiteralExpr(SourceLocation Loc, bool Value)
+      : Expr(StmtKind::BoolLiteral, Loc), Value(Value) {}
+
+  bool value() const { return Value; }
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::BoolLiteral;
+  }
+
+private:
+  bool Value;
+};
+
+/// A reference to a variable or parameter; resolved to a VarDecl by Sema.
+class DeclRefExpr : public Expr {
+public:
+  DeclRefExpr(SourceLocation Loc, std::string Name)
+      : Expr(StmtKind::DeclRef, Loc), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+
+  VarDecl *decl() const { return Decl; }
+  void setDecl(VarDecl *D) { Decl = D; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::DeclRef; }
+
+private:
+  std::string Name;
+  VarDecl *Decl = nullptr;
+};
+
+/// Which CUDA builtin index vector is referenced.
+enum class BuiltinIdxKind : uint8_t { ThreadIdx, BlockIdx, BlockDim, GridDim };
+
+/// `threadIdx.x`, `blockDim.y`, ... Dim is 0 for .x, 1 for .y, 2 for .z.
+class BuiltinIdxExpr : public Expr {
+public:
+  BuiltinIdxExpr(SourceLocation Loc, BuiltinIdxKind Builtin, unsigned Dim)
+      : Expr(StmtKind::BuiltinIdx, Loc), Builtin(Builtin), Dim(Dim) {
+    assert(Dim < 3 && "builtin index dimension out of range");
+  }
+
+  BuiltinIdxKind builtin() const { return Builtin; }
+  unsigned dim() const { return Dim; }
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::BuiltinIdx;
+  }
+
+private:
+  BuiltinIdxKind Builtin;
+  unsigned Dim;
+};
+
+enum class UnaryOpKind : uint8_t {
+  Plus,
+  Minus,
+  LogicalNot,
+  BitNot,
+  PreInc,
+  PreDec,
+  PostInc,
+  PostDec,
+  AddrOf,
+  Deref,
+};
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(SourceLocation Loc, UnaryOpKind Op, Expr *Sub)
+      : Expr(StmtKind::Unary, Loc), Op(Op), Sub(Sub) {}
+
+  UnaryOpKind op() const { return Op; }
+  Expr *sub() const { return Sub; }
+  void setSub(Expr *E) { Sub = E; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Unary; }
+
+private:
+  UnaryOpKind Op;
+  Expr *Sub;
+};
+
+enum class BinaryOpKind : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Eq,
+  Ne,
+  BitAnd,
+  BitXor,
+  BitOr,
+  LogicalAnd,
+  LogicalOr,
+  Assign,
+  AddAssign,
+  SubAssign,
+  MulAssign,
+  DivAssign,
+  RemAssign,
+  ShlAssign,
+  ShrAssign,
+  AndAssign,
+  XorAssign,
+  OrAssign,
+  Comma,
+};
+
+/// Returns true for the `=`-family operators.
+bool isAssignmentOp(BinaryOpKind Op);
+/// For `+=` returns `+` etc.; invalid for plain `=`.
+BinaryOpKind compoundToBinaryOp(BinaryOpKind Op);
+/// C spelling of the operator ("<<=").
+const char *binaryOpSpelling(BinaryOpKind Op);
+const char *unaryOpSpelling(UnaryOpKind Op);
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(SourceLocation Loc, BinaryOpKind Op, Expr *LHS, Expr *RHS)
+      : Expr(StmtKind::Binary, Loc), Op(Op), LHS(LHS), RHS(RHS) {}
+
+  BinaryOpKind op() const { return Op; }
+  Expr *lhs() const { return LHS; }
+  Expr *rhs() const { return RHS; }
+  void setLHS(Expr *E) { LHS = E; }
+  void setRHS(Expr *E) { RHS = E; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Binary; }
+
+private:
+  BinaryOpKind Op;
+  Expr *LHS;
+  Expr *RHS;
+};
+
+class ConditionalExpr : public Expr {
+public:
+  ConditionalExpr(SourceLocation Loc, Expr *Cond, Expr *TrueE, Expr *FalseE)
+      : Expr(StmtKind::Conditional, Loc), Cond(Cond), TrueE(TrueE),
+        FalseE(FalseE) {}
+
+  Expr *cond() const { return Cond; }
+  Expr *trueExpr() const { return TrueE; }
+  Expr *falseExpr() const { return FalseE; }
+  void setCond(Expr *E) { Cond = E; }
+  void setTrueExpr(Expr *E) { TrueE = E; }
+  void setFalseExpr(Expr *E) { FalseE = E; }
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Conditional;
+  }
+
+private:
+  Expr *Cond;
+  Expr *TrueE;
+  Expr *FalseE;
+};
+
+/// A call to either a user `__device__` function (CalleeDecl set by Sema)
+/// or an intrinsic such as `__syncthreads`, `atomicAdd`, `min`.
+class CallExpr : public Expr {
+public:
+  CallExpr(SourceLocation Loc, std::string Callee, std::vector<Expr *> Args)
+      : Expr(StmtKind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  const std::string &callee() const { return Callee; }
+  std::vector<Expr *> &args() { return Args; }
+  const std::vector<Expr *> &args() const { return Args; }
+
+  FunctionDecl *calleeDecl() const { return CalleeDecl; }
+  void setCalleeDecl(FunctionDecl *D) { CalleeDecl = D; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Call; }
+
+private:
+  std::string Callee;
+  std::vector<Expr *> Args;
+  FunctionDecl *CalleeDecl = nullptr;
+};
+
+/// C-style cast `(float)x`; also used for Sema-inserted implicit
+/// conversions (which the printer does not render).
+class CastExpr : public Expr {
+public:
+  CastExpr(SourceLocation Loc, const Type *DestTy, Expr *Sub, bool IsImplicit)
+      : Expr(StmtKind::Cast, Loc), DestTy(DestTy), Sub(Sub),
+        Implicit(IsImplicit) {}
+
+  const Type *destType() const { return DestTy; }
+  Expr *sub() const { return Sub; }
+  void setSub(Expr *E) { Sub = E; }
+  bool isImplicit() const { return Implicit; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Cast; }
+
+private:
+  const Type *DestTy;
+  Expr *Sub;
+  bool Implicit;
+};
+
+/// `base[idx]` where base is a pointer or array.
+class IndexExpr : public Expr {
+public:
+  IndexExpr(SourceLocation Loc, Expr *Base, Expr *Idx)
+      : Expr(StmtKind::Index, Loc), Base(Base), Idx(Idx) {}
+
+  Expr *base() const { return Base; }
+  Expr *index() const { return Idx; }
+  void setBase(Expr *E) { Base = E; }
+  void setIndex(Expr *E) { Idx = E; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Index; }
+
+private:
+  Expr *Base;
+  Expr *Idx;
+};
+
+class ParenExpr : public Expr {
+public:
+  ParenExpr(SourceLocation Loc, Expr *Sub)
+      : Expr(StmtKind::Paren, Loc), Sub(Sub) {}
+
+  Expr *sub() const { return Sub; }
+  void setSub(Expr *E) { Sub = E; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Paren; }
+
+private:
+  Expr *Sub;
+};
+
+/// Strips ParenExpr and implicit CastExpr wrappers.
+Expr *ignoreParensAndImplicitCasts(Expr *E);
+const Expr *ignoreParensAndImplicitCasts(const Expr *E);
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+enum class DeclKind : uint8_t { Var, Function };
+
+class Decl {
+public:
+  DeclKind kind() const { return Kind; }
+  SourceLocation loc() const { return Loc; }
+
+protected:
+  Decl(DeclKind Kind, SourceLocation Loc) : Kind(Kind), Loc(Loc) {}
+  ~Decl() = default;
+
+private:
+  DeclKind Kind;
+  SourceLocation Loc;
+};
+
+/// A variable: kernel parameter, local, or shared-memory array.
+class VarDecl : public Decl {
+public:
+  VarDecl(SourceLocation Loc, std::string Name, const Type *Ty)
+      : Decl(DeclKind::Var, Loc), Name(std::move(Name)), Ty(Ty) {}
+
+  const std::string &name() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+
+  const Type *type() const { return Ty; }
+  void setType(const Type *T) { Ty = T; }
+
+  Expr *init() const { return Init; }
+  void setInit(Expr *E) { Init = E; }
+
+  bool isShared() const { return Shared; }
+  void setShared(bool V) { Shared = V; }
+  bool isExternShared() const { return ExternShared; }
+  void setExternShared(bool V) { ExternShared = V; }
+  bool isConst() const { return Const; }
+  void setConst(bool V) { Const = V; }
+  bool isParam() const { return Param; }
+  void setParam(bool V) { Param = V; }
+
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Var; }
+
+private:
+  std::string Name;
+  const Type *Ty;
+  Expr *Init = nullptr;
+  bool Shared = false;
+  bool ExternShared = false;
+  bool Const = false;
+  bool Param = false;
+};
+
+/// A `__global__` kernel or `__device__` helper function.
+class FunctionDecl : public Decl {
+public:
+  enum class FnKind : uint8_t { Global, Device };
+
+  FunctionDecl(SourceLocation Loc, std::string Name, FnKind Kind,
+               const Type *RetTy, std::vector<VarDecl *> Params,
+               CompoundStmt *Body)
+      : Decl(DeclKind::Function, Loc), Name(std::move(Name)), Kind(Kind),
+        RetTy(RetTy), Params(std::move(Params)), Body(Body) {}
+
+  const std::string &name() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+  FnKind fnKind() const { return Kind; }
+  bool isKernel() const { return Kind == FnKind::Global; }
+  const Type *returnType() const { return RetTy; }
+
+  std::vector<VarDecl *> &params() { return Params; }
+  const std::vector<VarDecl *> &params() const { return Params; }
+
+  CompoundStmt *body() const { return Body; }
+  void setBody(CompoundStmt *B) { Body = B; }
+
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Function; }
+
+private:
+  std::string Name;
+  FnKind Kind;
+  const Type *RetTy;
+  std::vector<VarDecl *> Params;
+  CompoundStmt *Body;
+};
+
+/// A parsed source file: an ordered list of functions.
+class TranslationUnit {
+public:
+  std::vector<FunctionDecl *> &functions() { return Functions; }
+  const std::vector<FunctionDecl *> &functions() const { return Functions; }
+
+  /// Returns the function named \p Name, or null.
+  FunctionDecl *findFunction(const std::string &Name) const;
+
+private:
+  std::vector<FunctionDecl *> Functions;
+};
+
+//===----------------------------------------------------------------------===//
+// ASTContext
+//===----------------------------------------------------------------------===//
+
+/// Arena owning every AST node of one tree, plus its TypeContext. Nodes
+/// hold raw non-owning pointers to each other; nothing is freed until the
+/// context dies.
+class ASTContext {
+public:
+  ASTContext() = default;
+  ASTContext(const ASTContext &) = delete;
+  ASTContext &operator=(const ASTContext &) = delete;
+
+  TypeContext &types() { return Types; }
+  const TypeContext &types() const { return Types; }
+
+  /// Allocates a node of type \p T in this arena.
+  template <typename T, typename... ArgTs> T *create(ArgTs &&...Args) {
+    auto Node = std::make_unique<T>(std::forward<ArgTs>(Args)...);
+    T *Raw = Node.get();
+    if constexpr (std::is_base_of_v<Stmt, T>)
+      Stmts.push_back(
+          std::unique_ptr<Stmt, void (*)(Stmt *)>(Node.release(), deleter<T>));
+    else
+      Decls.push_back(
+          std::unique_ptr<Decl, void (*)(Decl *)>(Node.release(), deleter<T>));
+    return Raw;
+  }
+
+  TranslationUnit &translationUnit() { return TU; }
+  const TranslationUnit &translationUnit() const { return TU; }
+
+  //===--------------------------------------------------------------------===//
+  // Convenience factories used heavily by the fusion passes.
+  //===--------------------------------------------------------------------===//
+
+  IntLiteralExpr *intLit(int64_t Value);
+  DeclRefExpr *ref(VarDecl *D);
+  BinaryExpr *binOp(BinaryOpKind Op, Expr *LHS, Expr *RHS);
+  ExprStmt *assignStmt(Expr *LHS, Expr *RHS);
+
+private:
+  // Stmt and Decl have protected non-virtual destructors; delete through
+  // the concrete type captured at creation time.
+  template <typename T, typename Base> static void deleterImpl(Base *P) {
+    delete static_cast<T *>(P);
+  }
+  template <typename T> static void deleter(Stmt *P) {
+    deleterImpl<T, Stmt>(P);
+  }
+  template <typename T> static void deleter(Decl *P) {
+    deleterImpl<T, Decl>(P);
+  }
+
+  TypeContext Types;
+  TranslationUnit TU;
+  std::vector<std::unique_ptr<Stmt, void (*)(Stmt *)>> Stmts;
+  std::vector<std::unique_ptr<Decl, void (*)(Decl *)>> Decls;
+};
+
+} // namespace hfuse::cuda
+
+#endif // HFUSE_CUDALANG_AST_H

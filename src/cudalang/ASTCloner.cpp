@@ -1,0 +1,208 @@
+//===-- cudalang/ASTCloner.cpp - Deep AST cloning -------------------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cudalang/ASTCloner.h"
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+
+const Type *ASTCloner::translateType(const Type *Ty) {
+  TypeContext &Types = Target.types();
+  switch (Ty->kind()) {
+  case TypeKind::Pointer:
+    return Types.pointerTo(translateType(Ty->element()));
+  case TypeKind::Array:
+    return Types.arrayOf(translateType(Ty->element()), Ty->arraySize());
+  default:
+    return Types.scalar(Ty->kind());
+  }
+}
+
+VarDecl *ASTCloner::cloneVar(const VarDecl *V) {
+  auto *Clone =
+      Target.create<VarDecl>(V->loc(), V->name(), translateType(V->type()));
+  Clone->setShared(V->isShared());
+  Clone->setExternShared(V->isExternShared());
+  Clone->setConst(V->isConst());
+  Clone->setParam(V->isParam());
+  // The init expression must be cloned after the mapping is registered,
+  // so self-references inside initializers (illegal anyway) do not crash.
+  mapDecl(V, Clone);
+  if (V->init())
+    Clone->setInit(cloneExpr(V->init()));
+  return Clone;
+}
+
+FunctionDecl *ASTCloner::cloneFunction(const FunctionDecl *F,
+                                       const std::string &NewName) {
+  std::vector<VarDecl *> Params;
+  Params.reserve(F->params().size());
+  for (const VarDecl *P : F->params())
+    Params.push_back(cloneVar(P));
+  auto *Body = cast<CompoundStmt>(cloneStmt(F->body()));
+  return Target.create<FunctionDecl>(
+      F->loc(), NewName.empty() ? F->name() : NewName, F->fnKind(),
+      translateType(F->returnType()), std::move(Params), Body);
+}
+
+Stmt *ASTCloner::cloneStmt(const Stmt *S) {
+  if (!S)
+    return nullptr;
+  switch (S->kind()) {
+  case StmtKind::Compound: {
+    const auto *C = cast<CompoundStmt>(S);
+    std::vector<Stmt *> Body;
+    Body.reserve(C->body().size());
+    for (const Stmt *Sub : C->body())
+      Body.push_back(cloneStmt(Sub));
+    return Target.create<CompoundStmt>(S->loc(), std::move(Body));
+  }
+  case StmtKind::Decl: {
+    const auto *D = cast<DeclStmt>(S);
+    std::vector<VarDecl *> Vars;
+    Vars.reserve(D->decls().size());
+    for (const VarDecl *V : D->decls())
+      Vars.push_back(cloneVar(V));
+    return Target.create<DeclStmt>(S->loc(), std::move(Vars));
+  }
+  case StmtKind::ExprStmtKind: {
+    const auto *ES = cast<ExprStmt>(S);
+    return Target.create<ExprStmt>(
+        S->loc(), ES->expr() ? cloneExpr(ES->expr()) : nullptr);
+  }
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    return Target.create<IfStmt>(S->loc(), cloneExpr(I->cond()),
+                                 cloneStmt(I->thenStmt()),
+                                 cloneStmt(I->elseStmt()));
+  }
+  case StmtKind::For: {
+    const auto *F = cast<ForStmt>(S);
+    return Target.create<ForStmt>(
+        S->loc(), cloneStmt(F->init()),
+        F->cond() ? cloneExpr(F->cond()) : nullptr,
+        F->inc() ? cloneExpr(F->inc()) : nullptr, cloneStmt(F->body()));
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    return Target.create<WhileStmt>(S->loc(), cloneExpr(W->cond()),
+                                    cloneStmt(W->body()));
+  }
+  case StmtKind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    return Target.create<ReturnStmt>(
+        S->loc(), R->value() ? cloneExpr(R->value()) : nullptr);
+  }
+  case StmtKind::Break:
+    return Target.create<BreakStmt>(S->loc());
+  case StmtKind::Continue:
+    return Target.create<ContinueStmt>(S->loc());
+  case StmtKind::Goto:
+    // The target pointer is dropped; Sema re-resolves by name.
+    return Target.create<GotoStmt>(S->loc(), cast<GotoStmt>(S)->label());
+  case StmtKind::Label: {
+    const auto *L = cast<LabelStmt>(S);
+    return Target.create<LabelStmt>(S->loc(), L->name(),
+                                    cloneStmt(L->sub()));
+  }
+  case StmtKind::Asm: {
+    const auto *A = cast<AsmStmt>(S);
+    return Target.create<AsmStmt>(S->loc(), A->text(), A->isVolatile());
+  }
+  default:
+    assert(isa<Expr>(S) && "unknown statement kind in cloner");
+    return cloneExpr(cast<Expr>(S));
+  }
+}
+
+Expr *ASTCloner::cloneExpr(const Expr *E) {
+  switch (E->kind()) {
+  case StmtKind::IntLiteral: {
+    const auto *I = cast<IntLiteralExpr>(E);
+    return Target.create<IntLiteralExpr>(E->loc(), I->value(),
+                                         I->isUnsigned(), I->is64());
+  }
+  case StmtKind::FloatLiteral: {
+    const auto *F = cast<FloatLiteralExpr>(E);
+    return Target.create<FloatLiteralExpr>(E->loc(), F->value(),
+                                           F->isDouble());
+  }
+  case StmtKind::BoolLiteral:
+    return Target.create<BoolLiteralExpr>(E->loc(),
+                                          cast<BoolLiteralExpr>(E)->value());
+  case StmtKind::DeclRef: {
+    const auto *Ref = cast<DeclRefExpr>(E);
+    // Parameter-to-argument substitution (inliner).
+    if (Ref->decl()) {
+      auto ExprIt = ExprMap.find(Ref->decl());
+      if (ExprIt != ExprMap.end())
+        return cloneExpr(ExprIt->second);
+    }
+    auto DeclIt = Ref->decl() ? DeclMap.find(Ref->decl()) : DeclMap.end();
+    if (DeclIt != DeclMap.end()) {
+      auto *Clone = Target.create<DeclRefExpr>(E->loc(),
+                                               DeclIt->second->name());
+      Clone->setDecl(DeclIt->second);
+      return Clone;
+    }
+    // Unmapped refs keep the name; Sema re-resolves in the new function.
+    return Target.create<DeclRefExpr>(E->loc(), Ref->name());
+  }
+  case StmtKind::BuiltinIdx: {
+    const auto *B = cast<BuiltinIdxExpr>(E);
+    return Target.create<BuiltinIdxExpr>(E->loc(), B->builtin(), B->dim());
+  }
+  case StmtKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    return Target.create<UnaryExpr>(E->loc(), U->op(), cloneExpr(U->sub()));
+  }
+  case StmtKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return Target.create<BinaryExpr>(E->loc(), B->op(), cloneExpr(B->lhs()),
+                                     cloneExpr(B->rhs()));
+  }
+  case StmtKind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    return Target.create<ConditionalExpr>(E->loc(), cloneExpr(C->cond()),
+                                          cloneExpr(C->trueExpr()),
+                                          cloneExpr(C->falseExpr()));
+  }
+  case StmtKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    std::vector<Expr *> Args;
+    Args.reserve(C->args().size());
+    for (const Expr *Arg : C->args())
+      Args.push_back(cloneExpr(Arg));
+    auto *Clone =
+        Target.create<CallExpr>(E->loc(), C->callee(), std::move(Args));
+    // Keep the callee resolution: the inliner clones bodies within one
+    // context and must still recognize user calls. Cross-context clones
+    // re-resolve (or reject) the callee when Sema is re-run.
+    Clone->setCalleeDecl(C->calleeDecl());
+    return Clone;
+  }
+  case StmtKind::Cast: {
+    const auto *C = cast<CastExpr>(E);
+    // Implicit casts are Sema artifacts; clone through them so Sema can
+    // be re-run on the result.
+    if (C->isImplicit())
+      return cloneExpr(C->sub());
+    return Target.create<CastExpr>(E->loc(), translateType(C->destType()),
+                                   cloneExpr(C->sub()), /*IsImplicit=*/false);
+  }
+  case StmtKind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    return Target.create<IndexExpr>(E->loc(), cloneExpr(I->base()),
+                                    cloneExpr(I->index()));
+  }
+  case StmtKind::Paren:
+    return Target.create<ParenExpr>(E->loc(),
+                                    cloneExpr(cast<ParenExpr>(E)->sub()));
+  default:
+    assert(false && "unknown expression kind in cloner");
+    return nullptr;
+  }
+}

@@ -1,0 +1,65 @@
+//===-- cudalang/ASTCloner.h - Deep AST cloning -----------------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-clones CuLite subtrees, possibly across ASTContexts. The fusion
+/// passes use it to move both input kernels into one fresh context; the
+/// inliner uses it to splice device-function bodies with parameters
+/// substituted by argument expressions.
+///
+/// Cloning deliberately drops Sema results: implicit casts are stripped
+/// (cloned through), expression types are left null, and goto targets are
+/// unresolved. Run Sema on the resulting function before using it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_CUDALANG_ASTCLONER_H
+#define HFUSE_CUDALANG_ASTCLONER_H
+
+#include "cudalang/AST.h"
+
+#include <map>
+
+namespace hfuse::cuda {
+
+class ASTCloner {
+public:
+  /// Clones into \p Target. Source nodes may live in a different context.
+  explicit ASTCloner(ASTContext &Target) : Target(Target) {}
+
+  /// Future references to \p From become references to \p To.
+  void mapDecl(const VarDecl *From, VarDecl *To) { DeclMap[From] = To; }
+
+  /// Future references to \p From are replaced by fresh clones of
+  /// \p Replacement (which must already live in the target context).
+  /// Used by the inliner to substitute arguments for parameters.
+  void mapDeclToExpr(const VarDecl *From, const Expr *Replacement) {
+    ExprMap[From] = Replacement;
+  }
+
+  /// Clones a variable declaration and registers the From->To mapping.
+  VarDecl *cloneVar(const VarDecl *V);
+
+  /// Clones a whole function (params, body). The clone keeps the original
+  /// name unless \p NewName is non-empty.
+  FunctionDecl *cloneFunction(const FunctionDecl *F,
+                              const std::string &NewName = "");
+
+  Stmt *cloneStmt(const Stmt *S);
+  Expr *cloneExpr(const Expr *E);
+
+  /// Translates a type from any TypeContext into the target's.
+  const Type *translateType(const Type *Ty);
+
+private:
+  ASTContext &Target;
+  std::map<const VarDecl *, VarDecl *> DeclMap;
+  std::map<const VarDecl *, const Expr *> ExprMap;
+};
+
+} // namespace hfuse::cuda
+
+#endif // HFUSE_CUDALANG_ASTCLONER_H

@@ -1,0 +1,551 @@
+//===-- cudalang/ASTPrinter.cpp - CuLite source printer -------------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cudalang/ASTPrinter.h"
+
+#include "support/StringUtils.h"
+
+#include <cinttypes>
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+
+namespace {
+
+/// C operator precedence levels used to decide where parentheses are
+/// needed. Higher binds tighter.
+enum Precedence {
+  PrecComma = 1,
+  PrecAssign = 2,
+  PrecConditional = 3,
+  PrecLogicalOr = 4,
+  PrecLogicalAnd = 5,
+  PrecBitOr = 6,
+  PrecBitXor = 7,
+  PrecBitAnd = 8,
+  PrecEquality = 9,
+  PrecRelational = 10,
+  PrecShift = 11,
+  PrecAdditive = 12,
+  PrecMultiplicative = 13,
+  PrecUnary = 14,
+  PrecPostfix = 15,
+  PrecPrimary = 16,
+};
+
+int binaryOpPrecedence(BinaryOpKind Op) {
+  switch (Op) {
+  case BinaryOpKind::Comma:
+    return PrecComma;
+  case BinaryOpKind::Assign:
+  case BinaryOpKind::AddAssign:
+  case BinaryOpKind::SubAssign:
+  case BinaryOpKind::MulAssign:
+  case BinaryOpKind::DivAssign:
+  case BinaryOpKind::RemAssign:
+  case BinaryOpKind::ShlAssign:
+  case BinaryOpKind::ShrAssign:
+  case BinaryOpKind::AndAssign:
+  case BinaryOpKind::XorAssign:
+  case BinaryOpKind::OrAssign:
+    return PrecAssign;
+  case BinaryOpKind::LogicalOr:
+    return PrecLogicalOr;
+  case BinaryOpKind::LogicalAnd:
+    return PrecLogicalAnd;
+  case BinaryOpKind::BitOr:
+    return PrecBitOr;
+  case BinaryOpKind::BitXor:
+    return PrecBitXor;
+  case BinaryOpKind::BitAnd:
+    return PrecBitAnd;
+  case BinaryOpKind::Eq:
+  case BinaryOpKind::Ne:
+    return PrecEquality;
+  case BinaryOpKind::Lt:
+  case BinaryOpKind::Gt:
+  case BinaryOpKind::Le:
+  case BinaryOpKind::Ge:
+    return PrecRelational;
+  case BinaryOpKind::Shl:
+  case BinaryOpKind::Shr:
+    return PrecShift;
+  case BinaryOpKind::Add:
+  case BinaryOpKind::Sub:
+    return PrecAdditive;
+  case BinaryOpKind::Mul:
+  case BinaryOpKind::Div:
+  case BinaryOpKind::Rem:
+    return PrecMultiplicative;
+  }
+  return PrecPrimary;
+}
+
+class PrinterImpl {
+public:
+  std::string Out;
+
+  void indent(unsigned Level) { Out.append(2 * Level, ' '); }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  /// Prints \p E, parenthesizing it if its own precedence is below
+  /// \p MinPrec.
+  void printExpr(const Expr *E, int MinPrec) {
+    int Prec = exprPrecedence(E);
+    bool NeedParens = Prec < MinPrec;
+    if (NeedParens)
+      Out += '(';
+    printExprNoParens(E, MinPrec);
+    if (NeedParens)
+      Out += ')';
+  }
+
+  int exprPrecedence(const Expr *E) {
+    switch (E->kind()) {
+    case StmtKind::Binary:
+      return binaryOpPrecedence(cast<BinaryExpr>(E)->op());
+    case StmtKind::Conditional:
+      return PrecConditional;
+    case StmtKind::Unary: {
+      auto Op = cast<UnaryExpr>(E)->op();
+      if (Op == UnaryOpKind::PostInc || Op == UnaryOpKind::PostDec)
+        return PrecPostfix;
+      return PrecUnary;
+    }
+    case StmtKind::Cast:
+      return cast<CastExpr>(E)->isImplicit()
+                 ? exprPrecedence(cast<CastExpr>(E)->sub())
+                 : PrecUnary;
+    case StmtKind::Index:
+    case StmtKind::Call:
+      return PrecPostfix;
+    default:
+      return PrecPrimary;
+    }
+  }
+
+  void printExprNoParens(const Expr *E, int MinPrec) {
+    switch (E->kind()) {
+    case StmtKind::IntLiteral: {
+      const auto *I = cast<IntLiteralExpr>(E);
+      Out += formatString("%" PRIu64, I->value());
+      if (I->isUnsigned())
+        Out += 'u';
+      if (I->is64())
+        Out += "ll";
+      return;
+    }
+    case StmtKind::FloatLiteral: {
+      const auto *F = cast<FloatLiteralExpr>(E);
+      // Enough digits to round-trip the value exactly.
+      std::string Text =
+          formatString(F->isDouble() ? "%.17g" : "%.9g", F->value());
+      // Make sure the literal re-lexes as floating point.
+      if (Text.find('.') == std::string::npos &&
+          Text.find('e') == std::string::npos &&
+          Text.find("inf") == std::string::npos &&
+          Text.find("nan") == std::string::npos)
+        Text += ".0";
+      Out += Text;
+      if (!F->isDouble())
+        Out += 'f';
+      return;
+    }
+    case StmtKind::BoolLiteral:
+      Out += cast<BoolLiteralExpr>(E)->value() ? "true" : "false";
+      return;
+    case StmtKind::DeclRef:
+      Out += cast<DeclRefExpr>(E)->name();
+      return;
+    case StmtKind::BuiltinIdx: {
+      const auto *B = cast<BuiltinIdxExpr>(E);
+      switch (B->builtin()) {
+      case BuiltinIdxKind::ThreadIdx:
+        Out += "threadIdx";
+        break;
+      case BuiltinIdxKind::BlockIdx:
+        Out += "blockIdx";
+        break;
+      case BuiltinIdxKind::BlockDim:
+        Out += "blockDim";
+        break;
+      case BuiltinIdxKind::GridDim:
+        Out += "gridDim";
+        break;
+      }
+      Out += '.';
+      Out += static_cast<char>('x' + B->dim());
+      return;
+    }
+    case StmtKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      switch (U->op()) {
+      case UnaryOpKind::PostInc:
+      case UnaryOpKind::PostDec:
+        printExpr(U->sub(), PrecPostfix);
+        Out += unaryOpSpelling(U->op());
+        return;
+      default:
+        Out += unaryOpSpelling(U->op());
+        // `- -x` must not print as `--x`.
+        if ((U->op() == UnaryOpKind::Minus || U->op() == UnaryOpKind::Plus) &&
+            isa<UnaryExpr>(U->sub()))
+          Out += ' ';
+        printExpr(U->sub(), PrecUnary);
+        return;
+      }
+    }
+    case StmtKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      int Prec = binaryOpPrecedence(B->op());
+      bool RightAssoc = isAssignmentOp(B->op());
+      printExpr(B->lhs(), RightAssoc ? Prec + 1 : Prec);
+      if (B->op() == BinaryOpKind::Comma) {
+        Out += ", ";
+      } else {
+        Out += ' ';
+        Out += binaryOpSpelling(B->op());
+        Out += ' ';
+      }
+      printExpr(B->rhs(), RightAssoc ? Prec : Prec + 1);
+      return;
+    }
+    case StmtKind::Conditional: {
+      const auto *C = cast<ConditionalExpr>(E);
+      printExpr(C->cond(), PrecLogicalOr);
+      Out += " ? ";
+      printExpr(C->trueExpr(), PrecComma + 1);
+      Out += " : ";
+      printExpr(C->falseExpr(), PrecConditional);
+      return;
+    }
+    case StmtKind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      Out += C->callee();
+      Out += '(';
+      bool First = true;
+      for (const Expr *Arg : C->args()) {
+        if (!First)
+          Out += ", ";
+        First = false;
+        printExpr(Arg, PrecAssign);
+      }
+      Out += ')';
+      return;
+    }
+    case StmtKind::Cast: {
+      const auto *C = cast<CastExpr>(E);
+      if (C->isImplicit()) {
+        printExpr(C->sub(), MinPrec);
+        return;
+      }
+      Out += '(';
+      Out += C->destType()->str();
+      Out += ')';
+      printExpr(C->sub(), PrecUnary);
+      return;
+    }
+    case StmtKind::Index: {
+      const auto *I = cast<IndexExpr>(E);
+      printExpr(I->base(), PrecPostfix);
+      Out += '[';
+      printExpr(I->index(), PrecComma);
+      Out += ']';
+      return;
+    }
+    case StmtKind::Paren: {
+      const auto *P = cast<ParenExpr>(E);
+      Out += '(';
+      printExpr(P->sub(), PrecComma);
+      Out += ')';
+      return;
+    }
+    default:
+      assert(false && "statement kind in expression printer");
+      return;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Declarations
+  //===--------------------------------------------------------------------===//
+
+  void printDeclarator(const VarDecl *V) {
+    if (V->isExternShared())
+      Out += "extern __shared__ ";
+    else if (V->isShared())
+      Out += "__shared__ ";
+    if (V->isConst())
+      Out += "const ";
+
+    // Peel array dimensions, then pointers, to reach the base type.
+    const Type *Ty = V->type();
+    std::vector<uint64_t> ArrayDims;
+    while (Ty->isArray()) {
+      ArrayDims.push_back(Ty->arraySize());
+      Ty = Ty->element();
+    }
+    std::string Stars;
+    while (Ty->isPointer()) {
+      Stars += '*';
+      Ty = Ty->element();
+    }
+    Out += Ty->str();
+    Out += ' ';
+    Out += Stars;
+    Out += V->name();
+    for (uint64_t Dim : ArrayDims) {
+      Out += '[';
+      if (Dim != 0)
+        Out += std::to_string(Dim);
+      Out += ']';
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void printStmt(const Stmt *S, unsigned Level) {
+    switch (S->kind()) {
+    case StmtKind::Compound: {
+      indent(Level);
+      Out += "{\n";
+      for (const Stmt *Sub : cast<CompoundStmt>(S)->body())
+        printStmt(Sub, Level + 1);
+      indent(Level);
+      Out += "}\n";
+      return;
+    }
+    case StmtKind::Decl: {
+      indent(Level);
+      printDeclGroup(cast<DeclStmt>(S));
+      Out += ";\n";
+      return;
+    }
+    case StmtKind::ExprStmtKind: {
+      const auto *ES = cast<ExprStmt>(S);
+      indent(Level);
+      if (ES->expr())
+        printExpr(ES->expr(), PrecComma);
+      Out += ";\n";
+      return;
+    }
+    case StmtKind::If: {
+      const auto *I = cast<IfStmt>(S);
+      indent(Level);
+      Out += "if (";
+      printExpr(I->cond(), PrecComma);
+      Out += ")\n";
+      printControlledStmt(I->thenStmt(), Level);
+      if (I->elseStmt()) {
+        indent(Level);
+        Out += "else\n";
+        printControlledStmt(I->elseStmt(), Level);
+      }
+      return;
+    }
+    case StmtKind::For: {
+      const auto *F = cast<ForStmt>(S);
+      indent(Level);
+      Out += "for (";
+      if (const Stmt *Init = F->init()) {
+        if (const auto *DS = dyn_cast<DeclStmt>(Init))
+          printDeclGroup(DS);
+        else if (const Expr *E = cast<ExprStmt>(Init)->expr())
+          printExpr(E, PrecComma);
+      }
+      Out += "; ";
+      if (F->cond())
+        printExpr(F->cond(), PrecComma);
+      Out += "; ";
+      if (F->inc())
+        printExpr(F->inc(), PrecComma);
+      Out += ")\n";
+      printControlledStmt(F->body(), Level);
+      return;
+    }
+    case StmtKind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      indent(Level);
+      Out += "while (";
+      printExpr(W->cond(), PrecComma);
+      Out += ")\n";
+      printControlledStmt(W->body(), Level);
+      return;
+    }
+    case StmtKind::Return: {
+      const auto *R = cast<ReturnStmt>(S);
+      indent(Level);
+      Out += "return";
+      if (R->value()) {
+        Out += ' ';
+        printExpr(R->value(), PrecComma);
+      }
+      Out += ";\n";
+      return;
+    }
+    case StmtKind::Break:
+      indent(Level);
+      Out += "break;\n";
+      return;
+    case StmtKind::Continue:
+      indent(Level);
+      Out += "continue;\n";
+      return;
+    case StmtKind::Goto: {
+      indent(Level);
+      Out += "goto ";
+      Out += cast<GotoStmt>(S)->label();
+      Out += ";\n";
+      return;
+    }
+    case StmtKind::Label: {
+      const auto *L = cast<LabelStmt>(S);
+      // Labels outdent one level, like common C style.
+      if (Level > 0)
+        indent(Level - 1);
+      Out += L->name();
+      Out += ":\n";
+      if (L->sub())
+        printStmt(L->sub(), Level);
+      return;
+    }
+    case StmtKind::Asm: {
+      const auto *A = cast<AsmStmt>(S);
+      indent(Level);
+      Out += "asm ";
+      if (A->isVolatile())
+        Out += "volatile ";
+      Out += "(\"";
+      for (char C : A->text()) {
+        switch (C) {
+        case '"':
+          Out += "\\\"";
+          break;
+        case '\\':
+          Out += "\\\\";
+          break;
+        case '\n':
+          Out += "\\n";
+          break;
+        default:
+          Out += C;
+          break;
+        }
+      }
+      Out += "\");\n";
+      return;
+    }
+    default:
+      assert(false && "expression kind in statement printer");
+      return;
+    }
+  }
+
+  void printDeclGroup(const DeclStmt *DS) {
+    bool First = true;
+    for (const VarDecl *V : DS->decls()) {
+      if (First) {
+        printDeclarator(V);
+        First = false;
+      } else {
+        // Subsequent declarators share the base type; print only the
+        // pointer stars, name, and array suffixes.
+        Out += ", ";
+        const Type *Ty = V->type();
+        std::vector<uint64_t> ArrayDims;
+        while (Ty->isArray()) {
+          ArrayDims.push_back(Ty->arraySize());
+          Ty = Ty->element();
+        }
+        while (Ty->isPointer()) {
+          Out += '*';
+          Ty = Ty->element();
+        }
+        Out += V->name();
+        for (uint64_t Dim : ArrayDims) {
+          Out += '[';
+          if (Dim != 0)
+            Out += std::to_string(Dim);
+          Out += ']';
+        }
+      }
+      if (V->init()) {
+        Out += " = ";
+        printExpr(V->init(), PrecAssign);
+      }
+    }
+  }
+
+  /// Prints the body of an if/for/while: compounds stay on the same
+  /// level, single statements are indented one more.
+  void printControlledStmt(const Stmt *S, unsigned Level) {
+    if (isa<CompoundStmt>(S))
+      printStmt(S, Level);
+    else
+      printStmt(S, Level + 1);
+  }
+
+  void printFunction(const FunctionDecl *F) {
+    Out += F->isKernel() ? "__global__ " : "__device__ ";
+    Out += F->returnType()->str();
+    if (Out.back() != '*')
+      Out += ' ';
+    Out += F->name();
+    Out += '(';
+    bool First = true;
+    for (const VarDecl *P : F->params()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      printDeclarator(P);
+    }
+    Out += ")\n";
+    printStmt(F->body(), 0);
+  }
+};
+
+} // namespace
+
+std::string hfuse::cuda::printFunction(const FunctionDecl *F) {
+  PrinterImpl P;
+  P.printFunction(F);
+  return std::move(P.Out);
+}
+
+std::string hfuse::cuda::printTranslationUnit(const TranslationUnit &TU) {
+  PrinterImpl P;
+  bool First = true;
+  for (const FunctionDecl *F : TU.functions()) {
+    if (!First)
+      P.Out += '\n';
+    First = false;
+    P.printFunction(F);
+  }
+  return std::move(P.Out);
+}
+
+std::string hfuse::cuda::printStmt(const Stmt *S, unsigned Indent) {
+  PrinterImpl P;
+  P.printStmt(S, Indent);
+  return std::move(P.Out);
+}
+
+std::string hfuse::cuda::printExpr(const Expr *E) {
+  PrinterImpl P;
+  P.printExpr(E, PrecComma);
+  return std::move(P.Out);
+}
+
+std::string hfuse::cuda::printVarDecl(const VarDecl *V) {
+  PrinterImpl P;
+  P.printDeclarator(V);
+  return std::move(P.Out);
+}

@@ -1,0 +1,46 @@
+//===-- cudalang/ASTPrinter.h - CuLite source printer -----------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-prints CuLite ASTs back to CUDA-style source. The output is
+/// re-parseable by Parser (round-trip tested), which is what makes HFuse a
+/// genuine source-to-source compiler: the fused kernel is emitted as
+/// ordinary CUDA text. Implicit casts inserted by Sema are not printed;
+/// explicit parentheses are preserved and extra ones are added whenever
+/// operator precedence requires them for generated nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_CUDALANG_ASTPRINTER_H
+#define HFUSE_CUDALANG_ASTPRINTER_H
+
+#include "cudalang/AST.h"
+
+#include <string>
+
+namespace hfuse::cuda {
+
+/// Prints one function definition (attribute, signature, body).
+std::string printFunction(const FunctionDecl *F);
+
+/// Prints every function in the translation unit separated by blank lines.
+std::string printTranslationUnit(const TranslationUnit &TU);
+
+/// Prints a single statement subtree at the given indent level (two
+/// spaces per level). Used by tests and debugging.
+std::string printStmt(const Stmt *S, unsigned Indent = 0);
+
+/// Prints one expression.
+std::string printExpr(const Expr *E);
+
+/// Prints a declaration in declarator form, e.g. "float *out" or
+/// "__shared__ int partial[64]" (without a trailing semicolon or
+/// initializer).
+std::string printVarDecl(const VarDecl *V);
+
+} // namespace hfuse::cuda
+
+#endif // HFUSE_CUDALANG_ASTPRINTER_H

@@ -1,0 +1,111 @@
+//===-- cudalang/ConstEval.cpp - Integer constant folding -----------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cudalang/ConstEval.h"
+
+#include "cudalang/AST.h"
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+
+std::optional<int64_t> hfuse::cuda::evalConstInt(const Expr *E) {
+  switch (E->kind()) {
+  case StmtKind::IntLiteral:
+    return static_cast<int64_t>(cast<IntLiteralExpr>(E)->value());
+  case StmtKind::BoolLiteral:
+    return cast<BoolLiteralExpr>(E)->value() ? 1 : 0;
+  case StmtKind::Paren:
+    return evalConstInt(cast<ParenExpr>(E)->sub());
+  case StmtKind::Cast: {
+    const auto *C = cast<CastExpr>(E);
+    if (C->destType() && C->destType()->isFloating())
+      return std::nullopt;
+    return evalConstInt(C->sub());
+  }
+  case StmtKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    auto Sub = evalConstInt(U->sub());
+    if (!Sub)
+      return std::nullopt;
+    switch (U->op()) {
+    case UnaryOpKind::Plus:
+      return *Sub;
+    case UnaryOpKind::Minus:
+      return -*Sub;
+    case UnaryOpKind::BitNot:
+      return ~*Sub;
+    case UnaryOpKind::LogicalNot:
+      return *Sub == 0 ? 1 : 0;
+    default:
+      return std::nullopt;
+    }
+  }
+  case StmtKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    auto L = evalConstInt(B->lhs());
+    auto R = evalConstInt(B->rhs());
+    if (!L || !R)
+      return std::nullopt;
+    switch (B->op()) {
+    case BinaryOpKind::Add:
+      return *L + *R;
+    case BinaryOpKind::Sub:
+      return *L - *R;
+    case BinaryOpKind::Mul:
+      return *L * *R;
+    case BinaryOpKind::Div:
+      if (*R == 0)
+        return std::nullopt;
+      return *L / *R;
+    case BinaryOpKind::Rem:
+      if (*R == 0)
+        return std::nullopt;
+      return *L % *R;
+    case BinaryOpKind::Shl:
+      if (*R < 0 || *R >= 64)
+        return std::nullopt;
+      return static_cast<int64_t>(static_cast<uint64_t>(*L) << *R);
+    case BinaryOpKind::Shr:
+      if (*R < 0 || *R >= 64)
+        return std::nullopt;
+      return *L >> *R;
+    case BinaryOpKind::BitAnd:
+      return *L & *R;
+    case BinaryOpKind::BitOr:
+      return *L | *R;
+    case BinaryOpKind::BitXor:
+      return *L ^ *R;
+    case BinaryOpKind::Lt:
+      return *L < *R;
+    case BinaryOpKind::Gt:
+      return *L > *R;
+    case BinaryOpKind::Le:
+      return *L <= *R;
+    case BinaryOpKind::Ge:
+      return *L >= *R;
+    case BinaryOpKind::Eq:
+      return *L == *R;
+    case BinaryOpKind::Ne:
+      return *L != *R;
+    case BinaryOpKind::LogicalAnd:
+      return (*L != 0 && *R != 0) ? 1 : 0;
+    case BinaryOpKind::LogicalOr:
+      return (*L != 0 || *R != 0) ? 1 : 0;
+    default:
+      return std::nullopt;
+    }
+  }
+  case StmtKind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    auto Cond = evalConstInt(C->cond());
+    if (!Cond)
+      return std::nullopt;
+    return evalConstInt(*Cond != 0 ? C->trueExpr() : C->falseExpr());
+  }
+  default:
+    return std::nullopt;
+  }
+}

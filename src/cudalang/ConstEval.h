@@ -1,0 +1,32 @@
+//===-- cudalang/ConstEval.h - Integer constant folding ---------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Syntactic integer constant-expression evaluation, used for shared-array
+/// sizes (e.g. `__shared__ int s[2 * 2 * 32 + 32]`) and for the fusion
+/// passes when they reason about barrier operands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_CUDALANG_CONSTEVAL_H
+#define HFUSE_CUDALANG_CONSTEVAL_H
+
+#include <cstdint>
+#include <optional>
+
+namespace hfuse::cuda {
+
+class Expr;
+
+/// Evaluates \p E as an integer constant expression. Handles integer and
+/// bool literals, parentheses, casts between integer types, unary + - ~ !,
+/// binary arithmetic/shift/bit/comparison operators, and ?:. Returns
+/// std::nullopt for anything else (declrefs, calls, floats).
+std::optional<int64_t> evalConstInt(const Expr *E);
+
+} // namespace hfuse::cuda
+
+#endif // HFUSE_CUDALANG_CONSTEVAL_H

@@ -1,0 +1,548 @@
+//===-- cudalang/Lexer.cpp - CuLite lexer ---------------------------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cudalang/Lexer.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+
+const char *hfuse::cuda::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "floating literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwChar:
+    return "'char'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwUnsigned:
+    return "'unsigned'";
+  case TokenKind::KwLong:
+    return "'long'";
+  case TokenKind::KwFloat:
+    return "'float'";
+  case TokenKind::KwDouble:
+    return "'double'";
+  case TokenKind::KwConst:
+    return "'const'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwGoto:
+    return "'goto'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwExtern:
+    return "'extern'";
+  case TokenKind::KwAsm:
+    return "'asm'";
+  case TokenKind::KwVolatile:
+    return "'volatile'";
+  case TokenKind::KwGlobalAttr:
+    return "'__global__'";
+  case TokenKind::KwDeviceAttr:
+    return "'__device__'";
+  case TokenKind::KwSharedAttr:
+    return "'__shared__'";
+  case TokenKind::KwRestrict:
+    return "'__restrict__'";
+  case TokenKind::KwInt32T:
+    return "'int32_t'";
+  case TokenKind::KwUInt32T:
+    return "'uint32_t'";
+  case TokenKind::KwInt64T:
+    return "'int64_t'";
+  case TokenKind::KwUInt64T:
+    return "'uint64_t'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::Exclaim:
+    return "'!'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::LessLess:
+    return "'<<'";
+  case TokenKind::GreaterGreater:
+    return "'>>'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::ExclaimEqual:
+    return "'!='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::PlusEqual:
+    return "'+='";
+  case TokenKind::MinusEqual:
+    return "'-='";
+  case TokenKind::StarEqual:
+    return "'*='";
+  case TokenKind::SlashEqual:
+    return "'/='";
+  case TokenKind::PercentEqual:
+    return "'%='";
+  case TokenKind::LessLessEqual:
+    return "'<<='";
+  case TokenKind::GreaterGreaterEqual:
+    return "'>>='";
+  case TokenKind::AmpEqual:
+    return "'&='";
+  case TokenKind::PipeEqual:
+    return "'|='";
+  case TokenKind::CaretEqual:
+    return "'^='";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  }
+  return "unknown token";
+}
+
+static const std::unordered_map<std::string_view, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string_view, TokenKind> Table = {
+      {"void", TokenKind::KwVoid},
+      {"bool", TokenKind::KwBool},
+      {"char", TokenKind::KwChar},
+      {"int", TokenKind::KwInt},
+      {"unsigned", TokenKind::KwUnsigned},
+      {"long", TokenKind::KwLong},
+      {"float", TokenKind::KwFloat},
+      {"double", TokenKind::KwDouble},
+      {"const", TokenKind::KwConst},
+      {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},
+      {"for", TokenKind::KwFor},
+      {"while", TokenKind::KwWhile},
+      {"do", TokenKind::KwDo},
+      {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue},
+      {"goto", TokenKind::KwGoto},
+      {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+      {"extern", TokenKind::KwExtern},
+      {"asm", TokenKind::KwAsm},
+      {"volatile", TokenKind::KwVolatile},
+      {"__global__", TokenKind::KwGlobalAttr},
+      {"__device__", TokenKind::KwDeviceAttr},
+      {"__shared__", TokenKind::KwSharedAttr},
+      {"__restrict__", TokenKind::KwRestrict},
+      {"__forceinline__", TokenKind::KwRestrict}, // treated as a no-op
+      {"int32_t", TokenKind::KwInt32T},
+      {"uint32_t", TokenKind::KwUInt32T},
+      {"int64_t", TokenKind::KwInt64T},
+      {"uint64_t", TokenKind::KwUInt64T},
+  };
+  return Table;
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  if (Pos + Ahead >= Source.size())
+    return '\0';
+  return Source[Pos + Ahead];
+}
+
+char Lexer::advance() {
+  assert(Pos < Source.size() && "advancing past end of input");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLocation Start = location();
+      advance();
+      advance();
+      bool Closed = false;
+      while (Pos < Source.size()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, size_t Begin, SourceLocation Loc) {
+  Token Tok;
+  Tok.Kind = Kind;
+  Tok.Loc = Loc;
+  Tok.Text = Source.substr(Begin, Pos - Begin);
+  return Tok;
+}
+
+Token Lexer::lexIdentifierOrKeyword(SourceLocation Loc) {
+  size_t Begin = Pos;
+  while (Pos < Source.size() &&
+         (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_'))
+    advance();
+  Token Tok = makeToken(TokenKind::Identifier, Begin, Loc);
+  auto It = keywordTable().find(Tok.Text);
+  if (It != keywordTable().end())
+    Tok.Kind = It->second;
+  return Tok;
+}
+
+Token Lexer::lexNumber(SourceLocation Loc) {
+  size_t Begin = Pos;
+  bool IsHex = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    IsHex = true;
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      advance();
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+
+  bool IsFloat = false;
+  if (!IsHex) {
+    if (peek() == '.') {
+      IsFloat = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      char Next = peek(1);
+      char Next2 = peek(2);
+      bool HasExp = std::isdigit(static_cast<unsigned char>(Next)) ||
+                    ((Next == '+' || Next == '-') &&
+                     std::isdigit(static_cast<unsigned char>(Next2)));
+      if (HasExp) {
+        IsFloat = true;
+        advance();
+        if (peek() == '+' || peek() == '-')
+          advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          advance();
+      }
+    }
+  }
+
+  size_t DigitsEnd = Pos;
+
+  if (IsFloat) {
+    bool IsDouble = true;
+    if (peek() == 'f' || peek() == 'F') {
+      IsDouble = false;
+      advance();
+    }
+    Token Tok = makeToken(TokenKind::FloatLiteral, Begin, Loc);
+    std::string Digits(Source.substr(Begin, DigitsEnd - Begin));
+    Tok.FloatValue = std::strtod(Digits.c_str(), nullptr);
+    Tok.FloatIsDouble = IsDouble;
+    return Tok;
+  }
+
+  // Integer suffixes: u/U and l/L/ll/LL in either order.
+  bool IsUnsigned = false;
+  bool Is64 = false;
+  while (true) {
+    char C = peek();
+    if (C == 'u' || C == 'U') {
+      IsUnsigned = true;
+      advance();
+      continue;
+    }
+    if (C == 'l' || C == 'L') {
+      Is64 = true;
+      advance();
+      if (peek() == 'l' || peek() == 'L')
+        advance();
+      continue;
+    }
+    break;
+  }
+
+  Token Tok = makeToken(TokenKind::IntLiteral, Begin, Loc);
+  std::string Digits(Source.substr(Begin, DigitsEnd - Begin));
+  Tok.IntValue = std::strtoull(Digits.c_str(), nullptr, IsHex ? 16 : 10);
+  // Large literals that do not fit a 32-bit type are implicitly 64-bit.
+  if (Tok.IntValue > 0xFFFFFFFFull)
+    Is64 = true;
+  Tok.IntIsUnsigned = IsUnsigned;
+  Tok.IntIs64 = Is64;
+  return Tok;
+}
+
+Token Lexer::lexString(SourceLocation Loc) {
+  size_t Begin = Pos;
+  advance(); // consume the opening quote
+  std::string Value;
+  while (true) {
+    if (Pos >= Source.size()) {
+      Diags.error(Loc, "unterminated string literal");
+      break;
+    }
+    char C = advance();
+    if (C == '"')
+      break;
+    if (C == '\\' && Pos < Source.size()) {
+      char Esc = advance();
+      switch (Esc) {
+      case 'n':
+        Value.push_back('\n');
+        break;
+      case 't':
+        Value.push_back('\t');
+        break;
+      case '\\':
+        Value.push_back('\\');
+        break;
+      case '"':
+        Value.push_back('"');
+        break;
+      default:
+        Value.push_back(Esc);
+        break;
+      }
+      continue;
+    }
+    Value.push_back(C);
+  }
+  Token Tok = makeToken(TokenKind::StringLiteral, Begin, Loc);
+  Tok.StringValue = std::move(Value);
+  return Tok;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  SourceLocation Loc = location();
+  if (Pos >= Source.size()) {
+    Token Tok;
+    Tok.Kind = TokenKind::Eof;
+    Tok.Loc = Loc;
+    return Tok;
+  }
+
+  char C = peek();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword(Loc);
+  if (std::isdigit(static_cast<unsigned char>(C)) ||
+      (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))))
+    return lexNumber(Loc);
+  if (C == '"')
+    return lexString(Loc);
+
+  size_t Begin = Pos;
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Begin, Loc);
+  case ')':
+    return makeToken(TokenKind::RParen, Begin, Loc);
+  case '{':
+    return makeToken(TokenKind::LBrace, Begin, Loc);
+  case '}':
+    return makeToken(TokenKind::RBrace, Begin, Loc);
+  case '[':
+    return makeToken(TokenKind::LBracket, Begin, Loc);
+  case ']':
+    return makeToken(TokenKind::RBracket, Begin, Loc);
+  case ';':
+    return makeToken(TokenKind::Semi, Begin, Loc);
+  case ',':
+    return makeToken(TokenKind::Comma, Begin, Loc);
+  case ':':
+    return makeToken(TokenKind::Colon, Begin, Loc);
+  case '?':
+    return makeToken(TokenKind::Question, Begin, Loc);
+  case '.':
+    return makeToken(TokenKind::Dot, Begin, Loc);
+  case '~':
+    return makeToken(TokenKind::Tilde, Begin, Loc);
+  case '+':
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus, Begin, Loc);
+    if (match('='))
+      return makeToken(TokenKind::PlusEqual, Begin, Loc);
+    return makeToken(TokenKind::Plus, Begin, Loc);
+  case '-':
+    if (match('-'))
+      return makeToken(TokenKind::MinusMinus, Begin, Loc);
+    if (match('='))
+      return makeToken(TokenKind::MinusEqual, Begin, Loc);
+    return makeToken(TokenKind::Minus, Begin, Loc);
+  case '*':
+    if (match('='))
+      return makeToken(TokenKind::StarEqual, Begin, Loc);
+    return makeToken(TokenKind::Star, Begin, Loc);
+  case '/':
+    if (match('='))
+      return makeToken(TokenKind::SlashEqual, Begin, Loc);
+    return makeToken(TokenKind::Slash, Begin, Loc);
+  case '%':
+    if (match('='))
+      return makeToken(TokenKind::PercentEqual, Begin, Loc);
+    return makeToken(TokenKind::Percent, Begin, Loc);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp, Begin, Loc);
+    if (match('='))
+      return makeToken(TokenKind::AmpEqual, Begin, Loc);
+    return makeToken(TokenKind::Amp, Begin, Loc);
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Begin, Loc);
+    if (match('='))
+      return makeToken(TokenKind::PipeEqual, Begin, Loc);
+    return makeToken(TokenKind::Pipe, Begin, Loc);
+  case '^':
+    if (match('='))
+      return makeToken(TokenKind::CaretEqual, Begin, Loc);
+    return makeToken(TokenKind::Caret, Begin, Loc);
+  case '!':
+    if (match('='))
+      return makeToken(TokenKind::ExclaimEqual, Begin, Loc);
+    return makeToken(TokenKind::Exclaim, Begin, Loc);
+  case '<':
+    if (match('<')) {
+      if (match('='))
+        return makeToken(TokenKind::LessLessEqual, Begin, Loc);
+      return makeToken(TokenKind::LessLess, Begin, Loc);
+    }
+    if (match('='))
+      return makeToken(TokenKind::LessEqual, Begin, Loc);
+    return makeToken(TokenKind::Less, Begin, Loc);
+  case '>':
+    if (match('>')) {
+      if (match('='))
+        return makeToken(TokenKind::GreaterGreaterEqual, Begin, Loc);
+      return makeToken(TokenKind::GreaterGreater, Begin, Loc);
+    }
+    if (match('='))
+      return makeToken(TokenKind::GreaterEqual, Begin, Loc);
+    return makeToken(TokenKind::Greater, Begin, Loc);
+  case '=':
+    if (match('='))
+      return makeToken(TokenKind::EqualEqual, Begin, Loc);
+    return makeToken(TokenKind::Equal, Begin, Loc);
+  default:
+    break;
+  }
+  Diags.error(Loc, formatString("unexpected character '%c'", C));
+  return next();
+}

@@ -1,0 +1,55 @@
+//===-- cudalang/Lexer.h - CuLite lexer -------------------------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled lexer for the CuLite dialect. Handles C and C++ comments,
+/// integer/float literal suffixes, hex literals, string literals (used by
+/// inline asm), and the CUDA attribute keywords.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_CUDALANG_LEXER_H
+#define HFUSE_CUDALANG_LEXER_H
+
+#include "cudalang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+
+namespace hfuse::cuda {
+
+/// Produces a token stream from one in-memory source buffer. The buffer
+/// must outlive all tokens (token text is a view into it).
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token; returns an Eof token at the end of
+  /// input (and forever after).
+  Token next();
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipWhitespaceAndComments();
+  SourceLocation location() const { return SourceLocation(Line, Column); }
+
+  Token makeToken(TokenKind Kind, size_t Begin, SourceLocation Loc);
+  Token lexIdentifierOrKeyword(SourceLocation Loc);
+  Token lexNumber(SourceLocation Loc);
+  Token lexString(SourceLocation Loc);
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace hfuse::cuda
+
+#endif // HFUSE_CUDALANG_LEXER_H

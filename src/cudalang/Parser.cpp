@@ -1,0 +1,891 @@
+//===-- cudalang/Parser.cpp - CuLite parser -------------------------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cudalang/Parser.h"
+
+#include "cudalang/ConstEval.h"
+#include "support/StringUtils.h"
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+
+Parser::Parser(std::string_view Source, ASTContext &Ctx,
+               DiagnosticEngine &Diags)
+    : Ctx(Ctx), Diags(Diags), Lex(Source, Diags) {
+  Tok = Lex.next();
+  NextTok = Lex.next();
+}
+
+void Parser::consume() {
+  Tok = NextTok;
+  NextTok = Lex.next();
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (Tok.is(Kind)) {
+    consume();
+    return true;
+  }
+  Diags.error(Tok.Loc, formatString("expected %s %s, found %s",
+                                    tokenKindName(Kind), Context,
+                                    tokenKindName(Tok.Kind)));
+  return false;
+}
+
+bool Parser::consumeIf(TokenKind Kind) {
+  if (Tok.isNot(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+bool Parser::startsType(const Token &T) const {
+  switch (T.Kind) {
+  case TokenKind::KwVoid:
+  case TokenKind::KwBool:
+  case TokenKind::KwChar:
+  case TokenKind::KwInt:
+  case TokenKind::KwUnsigned:
+  case TokenKind::KwLong:
+  case TokenKind::KwFloat:
+  case TokenKind::KwDouble:
+  case TokenKind::KwInt32T:
+  case TokenKind::KwUInt32T:
+  case TokenKind::KwInt64T:
+  case TokenKind::KwUInt64T:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Parser::startsDeclaration() const {
+  switch (Tok.Kind) {
+  case TokenKind::KwConst:
+  case TokenKind::KwSharedAttr:
+  case TokenKind::KwExtern:
+    return true;
+  default:
+    return startsType(Tok);
+  }
+}
+
+const Type *Parser::parseTypeSpecifier() {
+  TypeContext &Types = Ctx.types();
+  switch (Tok.Kind) {
+  case TokenKind::KwVoid:
+    consume();
+    return Types.voidTy();
+  case TokenKind::KwBool:
+    consume();
+    return Types.boolTy();
+  case TokenKind::KwChar:
+    consume();
+    return Types.charTy();
+  case TokenKind::KwInt:
+    consume();
+    return Types.intTy();
+  case TokenKind::KwFloat:
+    consume();
+    return Types.floatTy();
+  case TokenKind::KwDouble:
+    consume();
+    return Types.doubleTy();
+  case TokenKind::KwInt32T:
+    consume();
+    return Types.intTy();
+  case TokenKind::KwUInt32T:
+    consume();
+    return Types.uintTy();
+  case TokenKind::KwInt64T:
+    consume();
+    return Types.longTy();
+  case TokenKind::KwUInt64T:
+    consume();
+    return Types.ulongTy();
+  case TokenKind::KwLong:
+    // "long" or "long long" — both are 64-bit here.
+    consume();
+    consumeIf(TokenKind::KwLong);
+    consumeIf(TokenKind::KwInt);
+    return Types.longTy();
+  case TokenKind::KwUnsigned:
+    consume();
+    if (consumeIf(TokenKind::KwChar))
+      return Types.ucharTy();
+    if (consumeIf(TokenKind::KwLong)) {
+      consumeIf(TokenKind::KwLong);
+      consumeIf(TokenKind::KwInt);
+      return Types.ulongTy();
+    }
+    consumeIf(TokenKind::KwInt);
+    return Types.uintTy();
+  default:
+    Diags.error(Tok.Loc, formatString("expected a type, found %s",
+                                      tokenKindName(Tok.Kind)));
+    return nullptr;
+  }
+}
+
+const Type *Parser::parsePointerSuffix(const Type *Base) {
+  while (Tok.is(TokenKind::Star)) {
+    consume();
+    Base = Ctx.types().pointerTo(Base);
+    // const / __restrict__ after '*' are accepted and dropped.
+    while (consumeIf(TokenKind::KwConst) || consumeIf(TokenKind::KwRestrict)) {
+    }
+  }
+  return Base;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+bool Parser::parseTranslationUnit() {
+  unsigned ErrorsBefore = Diags.errorCount();
+  while (Tok.isNot(TokenKind::Eof)) {
+    FunctionDecl *F = parseFunction();
+    if (!F) {
+      // Error recovery: skip to the next plausible function start.
+      while (Tok.isNot(TokenKind::Eof) &&
+             Tok.isNot(TokenKind::KwGlobalAttr) &&
+             Tok.isNot(TokenKind::KwDeviceAttr))
+        consume();
+      continue;
+    }
+    Ctx.translationUnit().functions().push_back(F);
+  }
+  return Diags.errorCount() == ErrorsBefore;
+}
+
+FunctionDecl *Parser::parseFunction() {
+  SourceLocation Loc = Tok.Loc;
+  FunctionDecl::FnKind Kind;
+  if (consumeIf(TokenKind::KwGlobalAttr)) {
+    Kind = FunctionDecl::FnKind::Global;
+  } else if (consumeIf(TokenKind::KwDeviceAttr)) {
+    Kind = FunctionDecl::FnKind::Device;
+  } else {
+    Diags.error(Tok.Loc, "expected '__global__' or '__device__' function");
+    return nullptr;
+  }
+  // Tolerate attribute soup like `__device__ __forceinline__`.
+  while (consumeIf(TokenKind::KwRestrict)) {
+  }
+
+  const Type *RetTy = parseTypeSpecifier();
+  if (!RetTy)
+    return nullptr;
+  RetTy = parsePointerSuffix(RetTy);
+
+  if (Tok.isNot(TokenKind::Identifier)) {
+    Diags.error(Tok.Loc, "expected function name");
+    return nullptr;
+  }
+  std::string Name(Tok.Text);
+  consume();
+
+  if (!expect(TokenKind::LParen, "after function name"))
+    return nullptr;
+
+  std::vector<VarDecl *> Params;
+  if (Tok.isNot(TokenKind::RParen)) {
+    while (true) {
+      VarDecl *P = parseParam();
+      if (!P)
+        return nullptr;
+      Params.push_back(P);
+      if (!consumeIf(TokenKind::Comma))
+        break;
+    }
+  }
+  if (!expect(TokenKind::RParen, "after parameter list"))
+    return nullptr;
+
+  if (Tok.isNot(TokenKind::LBrace)) {
+    Diags.error(Tok.Loc, "expected function body");
+    return nullptr;
+  }
+  CompoundStmt *Body = parseCompound();
+  if (!Body)
+    return nullptr;
+
+  return Ctx.create<FunctionDecl>(Loc, std::move(Name), Kind, RetTy,
+                                  std::move(Params), Body);
+}
+
+VarDecl *Parser::parseParam() {
+  bool IsConst = consumeIf(TokenKind::KwConst);
+  const Type *Ty = parseTypeSpecifier();
+  if (!Ty)
+    return nullptr;
+  IsConst |= consumeIf(TokenKind::KwConst);
+  Ty = parsePointerSuffix(Ty);
+  if (Tok.isNot(TokenKind::Identifier)) {
+    Diags.error(Tok.Loc, "expected parameter name");
+    return nullptr;
+  }
+  SourceLocation Loc = Tok.Loc;
+  std::string Name(Tok.Text);
+  consume();
+  auto *P = Ctx.create<VarDecl>(Loc, std::move(Name), Ty);
+  P->setParam(true);
+  P->setConst(IsConst);
+  return P;
+}
+
+DeclStmt *Parser::parseDeclStmt(bool Shared, bool ExternShared) {
+  SourceLocation Loc = Tok.Loc;
+  bool IsConst = consumeIf(TokenKind::KwConst);
+  const Type *BaseTy = parseTypeSpecifier();
+  if (!BaseTy)
+    return nullptr;
+  IsConst |= consumeIf(TokenKind::KwConst);
+
+  std::vector<VarDecl *> Vars;
+  while (true) {
+    const Type *Ty = parsePointerSuffix(BaseTy);
+    if (Tok.isNot(TokenKind::Identifier)) {
+      Diags.error(Tok.Loc, "expected variable name in declaration");
+      return nullptr;
+    }
+    SourceLocation NameLoc = Tok.Loc;
+    std::string Name(Tok.Text);
+    consume();
+
+    // Array suffixes.
+    while (Tok.is(TokenKind::LBracket)) {
+      consume();
+      uint64_t NumElems = 0;
+      if (Tok.isNot(TokenKind::RBracket)) {
+        Expr *SizeE = parseConditional();
+        if (!SizeE)
+          return nullptr;
+        auto Size = evalConstInt(SizeE);
+        if (!Size || *Size <= 0) {
+          Diags.error(NameLoc, "array size is not a positive integer constant");
+          return nullptr;
+        }
+        NumElems = static_cast<uint64_t>(*Size);
+      } else if (!ExternShared) {
+        Diags.error(NameLoc,
+                    "only 'extern __shared__' arrays may omit their size");
+      }
+      if (!expect(TokenKind::RBracket, "after array size"))
+        return nullptr;
+      Ty = Ctx.types().arrayOf(Ty, NumElems);
+    }
+
+    auto *V = Ctx.create<VarDecl>(NameLoc, std::move(Name), Ty);
+    V->setShared(Shared || ExternShared);
+    V->setExternShared(ExternShared);
+    V->setConst(IsConst);
+
+    if (consumeIf(TokenKind::Equal)) {
+      Expr *Init = parseAssignment();
+      if (!Init)
+        return nullptr;
+      V->setInit(Init);
+    }
+    Vars.push_back(V);
+
+    if (!consumeIf(TokenKind::Comma))
+      break;
+  }
+  if (!expect(TokenKind::Semi, "after declaration"))
+    return nullptr;
+  return Ctx.create<DeclStmt>(Loc, std::move(Vars));
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+CompoundStmt *Parser::parseCompound() {
+  SourceLocation Loc = Tok.Loc;
+  if (!expect(TokenKind::LBrace, "to open block"))
+    return nullptr;
+  std::vector<Stmt *> Body;
+  while (Tok.isNot(TokenKind::RBrace)) {
+    if (Tok.is(TokenKind::Eof)) {
+      Diags.error(Loc, "unterminated block");
+      return nullptr;
+    }
+    Stmt *S = parseStatement();
+    if (!S)
+      return nullptr;
+    Body.push_back(S);
+  }
+  consume(); // '}'
+  return Ctx.create<CompoundStmt>(Loc, std::move(Body));
+}
+
+Stmt *Parser::parseStatement() {
+  SourceLocation Loc = Tok.Loc;
+  switch (Tok.Kind) {
+  case TokenKind::LBrace:
+    return parseCompound();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwAsm:
+    return parseAsm();
+  case TokenKind::KwReturn: {
+    consume();
+    Expr *Value = nullptr;
+    if (Tok.isNot(TokenKind::Semi)) {
+      Value = parseExpression();
+      if (!Value)
+        return nullptr;
+    }
+    if (!expect(TokenKind::Semi, "after return statement"))
+      return nullptr;
+    return Ctx.create<ReturnStmt>(Loc, Value);
+  }
+  case TokenKind::KwBreak:
+    consume();
+    if (!expect(TokenKind::Semi, "after 'break'"))
+      return nullptr;
+    return Ctx.create<BreakStmt>(Loc);
+  case TokenKind::KwContinue:
+    consume();
+    if (!expect(TokenKind::Semi, "after 'continue'"))
+      return nullptr;
+    return Ctx.create<ContinueStmt>(Loc);
+  case TokenKind::KwGoto: {
+    consume();
+    if (Tok.isNot(TokenKind::Identifier)) {
+      Diags.error(Tok.Loc, "expected label after 'goto'");
+      return nullptr;
+    }
+    std::string Label(Tok.Text);
+    consume();
+    if (!expect(TokenKind::Semi, "after goto statement"))
+      return nullptr;
+    return Ctx.create<GotoStmt>(Loc, std::move(Label));
+  }
+  case TokenKind::KwSharedAttr: {
+    consume();
+    return parseDeclStmt(/*Shared=*/true, /*ExternShared=*/false);
+  }
+  case TokenKind::KwExtern: {
+    consume();
+    if (!expect(TokenKind::KwSharedAttr, "after 'extern'"))
+      return nullptr;
+    return parseDeclStmt(/*Shared=*/true, /*ExternShared=*/true);
+  }
+  case TokenKind::Semi:
+    consume();
+    return Ctx.create<ExprStmt>(Loc, nullptr);
+  case TokenKind::Identifier:
+    // A label: `name: stmt`.
+    if (ahead().is(TokenKind::Colon)) {
+      std::string Name(Tok.Text);
+      consume();
+      consume();
+      // A label directly before '}' labels an empty statement.
+      Stmt *Sub = nullptr;
+      if (Tok.isNot(TokenKind::RBrace)) {
+        Sub = parseStatement();
+        if (!Sub)
+          return nullptr;
+      }
+      return Ctx.create<LabelStmt>(Loc, std::move(Name), Sub);
+    }
+    break;
+  default:
+    break;
+  }
+
+  if (startsDeclaration())
+    return parseDeclStmt(/*Shared=*/false, /*ExternShared=*/false);
+
+  Expr *E = parseExpression();
+  if (!E)
+    return nullptr;
+  if (!expect(TokenKind::Semi, "after expression statement"))
+    return nullptr;
+  return Ctx.create<ExprStmt>(Loc, E);
+}
+
+Stmt *Parser::parseIf() {
+  SourceLocation Loc = Tok.Loc;
+  consume(); // 'if'
+  if (!expect(TokenKind::LParen, "after 'if'"))
+    return nullptr;
+  Expr *Cond = parseExpression();
+  if (!Cond)
+    return nullptr;
+  if (!expect(TokenKind::RParen, "after if condition"))
+    return nullptr;
+  Stmt *Then = parseStatement();
+  if (!Then)
+    return nullptr;
+  Stmt *Else = nullptr;
+  if (consumeIf(TokenKind::KwElse)) {
+    Else = parseStatement();
+    if (!Else)
+      return nullptr;
+  }
+  return Ctx.create<IfStmt>(Loc, Cond, Then, Else);
+}
+
+Stmt *Parser::parseFor() {
+  SourceLocation Loc = Tok.Loc;
+  consume(); // 'for'
+  if (!expect(TokenKind::LParen, "after 'for'"))
+    return nullptr;
+
+  Stmt *Init = nullptr;
+  if (Tok.is(TokenKind::Semi)) {
+    consume();
+  } else if (startsDeclaration()) {
+    Init = parseDeclStmt(/*Shared=*/false, /*ExternShared=*/false);
+    if (!Init)
+      return nullptr;
+  } else {
+    Expr *E = parseExpression();
+    if (!E)
+      return nullptr;
+    if (!expect(TokenKind::Semi, "after for-loop initializer"))
+      return nullptr;
+    Init = Ctx.create<ExprStmt>(Loc, E);
+  }
+
+  Expr *Cond = nullptr;
+  if (Tok.isNot(TokenKind::Semi)) {
+    Cond = parseExpression();
+    if (!Cond)
+      return nullptr;
+  }
+  if (!expect(TokenKind::Semi, "after for-loop condition"))
+    return nullptr;
+
+  Expr *Inc = nullptr;
+  if (Tok.isNot(TokenKind::RParen)) {
+    Inc = parseExpression();
+    if (!Inc)
+      return nullptr;
+  }
+  if (!expect(TokenKind::RParen, "after for-loop increment"))
+    return nullptr;
+
+  Stmt *Body = parseStatement();
+  if (!Body)
+    return nullptr;
+  return Ctx.create<ForStmt>(Loc, Init, Cond, Inc, Body);
+}
+
+Stmt *Parser::parseWhile() {
+  SourceLocation Loc = Tok.Loc;
+  consume(); // 'while'
+  if (!expect(TokenKind::LParen, "after 'while'"))
+    return nullptr;
+  Expr *Cond = parseExpression();
+  if (!Cond)
+    return nullptr;
+  if (!expect(TokenKind::RParen, "after while condition"))
+    return nullptr;
+  Stmt *Body = parseStatement();
+  if (!Body)
+    return nullptr;
+  return Ctx.create<WhileStmt>(Loc, Cond, Body);
+}
+
+Stmt *Parser::parseAsm() {
+  SourceLocation Loc = Tok.Loc;
+  consume(); // 'asm'
+  bool IsVolatile = consumeIf(TokenKind::KwVolatile);
+  if (!expect(TokenKind::LParen, "after 'asm'"))
+    return nullptr;
+  if (Tok.isNot(TokenKind::StringLiteral)) {
+    Diags.error(Tok.Loc, "expected string literal in asm statement");
+    return nullptr;
+  }
+  std::string Text = Tok.StringValue;
+  consume();
+  // Adjacent string literals concatenate, as in C.
+  while (Tok.is(TokenKind::StringLiteral)) {
+    Text += Tok.StringValue;
+    consume();
+  }
+  if (!expect(TokenKind::RParen, "after asm string"))
+    return nullptr;
+  if (!expect(TokenKind::Semi, "after asm statement"))
+    return nullptr;
+  return Ctx.create<AsmStmt>(Loc, std::move(Text), IsVolatile);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::parseExpression() {
+  Expr *LHS = parseAssignment();
+  if (!LHS)
+    return nullptr;
+  while (Tok.is(TokenKind::Comma)) {
+    SourceLocation Loc = Tok.Loc;
+    consume();
+    Expr *RHS = parseAssignment();
+    if (!RHS)
+      return nullptr;
+    LHS = Ctx.create<BinaryExpr>(Loc, BinaryOpKind::Comma, LHS, RHS);
+  }
+  return LHS;
+}
+
+static bool tokenToAssignOp(TokenKind Kind, BinaryOpKind &Op) {
+  switch (Kind) {
+  case TokenKind::Equal:
+    Op = BinaryOpKind::Assign;
+    return true;
+  case TokenKind::PlusEqual:
+    Op = BinaryOpKind::AddAssign;
+    return true;
+  case TokenKind::MinusEqual:
+    Op = BinaryOpKind::SubAssign;
+    return true;
+  case TokenKind::StarEqual:
+    Op = BinaryOpKind::MulAssign;
+    return true;
+  case TokenKind::SlashEqual:
+    Op = BinaryOpKind::DivAssign;
+    return true;
+  case TokenKind::PercentEqual:
+    Op = BinaryOpKind::RemAssign;
+    return true;
+  case TokenKind::LessLessEqual:
+    Op = BinaryOpKind::ShlAssign;
+    return true;
+  case TokenKind::GreaterGreaterEqual:
+    Op = BinaryOpKind::ShrAssign;
+    return true;
+  case TokenKind::AmpEqual:
+    Op = BinaryOpKind::AndAssign;
+    return true;
+  case TokenKind::PipeEqual:
+    Op = BinaryOpKind::OrAssign;
+    return true;
+  case TokenKind::CaretEqual:
+    Op = BinaryOpKind::XorAssign;
+    return true;
+  default:
+    return false;
+  }
+}
+
+Expr *Parser::parseAssignment() {
+  Expr *LHS = parseConditional();
+  if (!LHS)
+    return nullptr;
+  BinaryOpKind Op;
+  if (!tokenToAssignOp(Tok.Kind, Op))
+    return LHS;
+  SourceLocation Loc = Tok.Loc;
+  consume();
+  Expr *RHS = parseAssignment(); // right-associative
+  if (!RHS)
+    return nullptr;
+  return Ctx.create<BinaryExpr>(Loc, Op, LHS, RHS);
+}
+
+Expr *Parser::parseConditional() {
+  Expr *Cond = parseBinaryRHS(/*MinPrec=*/1, parseUnary());
+  if (!Cond)
+    return nullptr;
+  if (Tok.isNot(TokenKind::Question))
+    return Cond;
+  SourceLocation Loc = Tok.Loc;
+  consume();
+  Expr *TrueE = parseExpression();
+  if (!TrueE)
+    return nullptr;
+  if (!expect(TokenKind::Colon, "in conditional expression"))
+    return nullptr;
+  Expr *FalseE = parseAssignment();
+  if (!FalseE)
+    return nullptr;
+  return Ctx.create<ConditionalExpr>(Loc, Cond, TrueE, FalseE);
+}
+
+/// Binary operator precedence; 0 means "not a binary operator".
+static int binaryPrecedence(TokenKind Kind, BinaryOpKind &Op) {
+  switch (Kind) {
+  case TokenKind::PipePipe:
+    Op = BinaryOpKind::LogicalOr;
+    return 1;
+  case TokenKind::AmpAmp:
+    Op = BinaryOpKind::LogicalAnd;
+    return 2;
+  case TokenKind::Pipe:
+    Op = BinaryOpKind::BitOr;
+    return 3;
+  case TokenKind::Caret:
+    Op = BinaryOpKind::BitXor;
+    return 4;
+  case TokenKind::Amp:
+    Op = BinaryOpKind::BitAnd;
+    return 5;
+  case TokenKind::EqualEqual:
+    Op = BinaryOpKind::Eq;
+    return 6;
+  case TokenKind::ExclaimEqual:
+    Op = BinaryOpKind::Ne;
+    return 6;
+  case TokenKind::Less:
+    Op = BinaryOpKind::Lt;
+    return 7;
+  case TokenKind::Greater:
+    Op = BinaryOpKind::Gt;
+    return 7;
+  case TokenKind::LessEqual:
+    Op = BinaryOpKind::Le;
+    return 7;
+  case TokenKind::GreaterEqual:
+    Op = BinaryOpKind::Ge;
+    return 7;
+  case TokenKind::LessLess:
+    Op = BinaryOpKind::Shl;
+    return 8;
+  case TokenKind::GreaterGreater:
+    Op = BinaryOpKind::Shr;
+    return 8;
+  case TokenKind::Plus:
+    Op = BinaryOpKind::Add;
+    return 9;
+  case TokenKind::Minus:
+    Op = BinaryOpKind::Sub;
+    return 9;
+  case TokenKind::Star:
+    Op = BinaryOpKind::Mul;
+    return 10;
+  case TokenKind::Slash:
+    Op = BinaryOpKind::Div;
+    return 10;
+  case TokenKind::Percent:
+    Op = BinaryOpKind::Rem;
+    return 10;
+  default:
+    return 0;
+  }
+}
+
+Expr *Parser::parseBinaryRHS(int MinPrec, Expr *LHS) {
+  if (!LHS)
+    return nullptr;
+  while (true) {
+    BinaryOpKind Op;
+    int Prec = binaryPrecedence(Tok.Kind, Op);
+    if (Prec < MinPrec)
+      return LHS;
+    SourceLocation Loc = Tok.Loc;
+    consume();
+    Expr *RHS = parseUnary();
+    if (!RHS)
+      return nullptr;
+    BinaryOpKind NextOp;
+    int NextPrec = binaryPrecedence(Tok.Kind, NextOp);
+    if (NextPrec > Prec) {
+      RHS = parseBinaryRHS(Prec + 1, RHS);
+      if (!RHS)
+        return nullptr;
+    }
+    LHS = Ctx.create<BinaryExpr>(Loc, Op, LHS, RHS);
+  }
+}
+
+Expr *Parser::parseUnary() {
+  SourceLocation Loc = Tok.Loc;
+  switch (Tok.Kind) {
+  case TokenKind::Plus:
+  case TokenKind::Minus:
+  case TokenKind::Exclaim:
+  case TokenKind::Tilde:
+  case TokenKind::Amp:
+  case TokenKind::Star:
+  case TokenKind::PlusPlus:
+  case TokenKind::MinusMinus: {
+    UnaryOpKind Op;
+    switch (Tok.Kind) {
+    case TokenKind::Plus:
+      Op = UnaryOpKind::Plus;
+      break;
+    case TokenKind::Minus:
+      Op = UnaryOpKind::Minus;
+      break;
+    case TokenKind::Exclaim:
+      Op = UnaryOpKind::LogicalNot;
+      break;
+    case TokenKind::Tilde:
+      Op = UnaryOpKind::BitNot;
+      break;
+    case TokenKind::Amp:
+      Op = UnaryOpKind::AddrOf;
+      break;
+    case TokenKind::Star:
+      Op = UnaryOpKind::Deref;
+      break;
+    case TokenKind::PlusPlus:
+      Op = UnaryOpKind::PreInc;
+      break;
+    default:
+      Op = UnaryOpKind::PreDec;
+      break;
+    }
+    consume();
+    Expr *Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return Ctx.create<UnaryExpr>(Loc, Op, Sub);
+  }
+  case TokenKind::LParen:
+    // A cast iff '(' is followed by a type keyword.
+    if (startsType(ahead())) {
+      consume();
+      const Type *Ty = parseTypeSpecifier();
+      if (!Ty)
+        return nullptr;
+      Ty = parsePointerSuffix(Ty);
+      if (!expect(TokenKind::RParen, "after cast type"))
+        return nullptr;
+      Expr *Sub = parseUnary();
+      if (!Sub)
+        return nullptr;
+      return Ctx.create<CastExpr>(Loc, Ty, Sub, /*IsImplicit=*/false);
+    }
+    break;
+  default:
+    break;
+  }
+  return parsePostfix(parsePrimary());
+}
+
+Expr *Parser::parsePostfix(Expr *Base) {
+  if (!Base)
+    return nullptr;
+  while (true) {
+    SourceLocation Loc = Tok.Loc;
+    switch (Tok.Kind) {
+    case TokenKind::LBracket: {
+      consume();
+      Expr *Idx = parseExpression();
+      if (!Idx)
+        return nullptr;
+      if (!expect(TokenKind::RBracket, "after array index"))
+        return nullptr;
+      Base = Ctx.create<IndexExpr>(Loc, Base, Idx);
+      continue;
+    }
+    case TokenKind::PlusPlus:
+      consume();
+      Base = Ctx.create<UnaryExpr>(Loc, UnaryOpKind::PostInc, Base);
+      continue;
+    case TokenKind::MinusMinus:
+      consume();
+      Base = Ctx.create<UnaryExpr>(Loc, UnaryOpKind::PostDec, Base);
+      continue;
+    default:
+      return Base;
+    }
+  }
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLocation Loc = Tok.Loc;
+  switch (Tok.Kind) {
+  case TokenKind::IntLiteral: {
+    auto *E = Ctx.create<IntLiteralExpr>(Loc, Tok.IntValue, Tok.IntIsUnsigned,
+                                         Tok.IntIs64);
+    consume();
+    return E;
+  }
+  case TokenKind::FloatLiteral: {
+    auto *E = Ctx.create<FloatLiteralExpr>(Loc, Tok.FloatValue,
+                                           Tok.FloatIsDouble);
+    consume();
+    return E;
+  }
+  case TokenKind::KwTrue:
+  case TokenKind::KwFalse: {
+    auto *E = Ctx.create<BoolLiteralExpr>(Loc, Tok.is(TokenKind::KwTrue));
+    consume();
+    return E;
+  }
+  case TokenKind::LParen: {
+    consume();
+    Expr *Sub = parseExpression();
+    if (!Sub)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "to close parenthesized expression"))
+      return nullptr;
+    return Ctx.create<ParenExpr>(Loc, Sub);
+  }
+  case TokenKind::Identifier: {
+    std::string Name(Tok.Text);
+
+    // Builtin index vectors: threadIdx.x and friends.
+    BuiltinIdxKind Builtin;
+    bool IsBuiltin = true;
+    if (Name == "threadIdx")
+      Builtin = BuiltinIdxKind::ThreadIdx;
+    else if (Name == "blockIdx")
+      Builtin = BuiltinIdxKind::BlockIdx;
+    else if (Name == "blockDim")
+      Builtin = BuiltinIdxKind::BlockDim;
+    else if (Name == "gridDim")
+      Builtin = BuiltinIdxKind::GridDim;
+    else
+      IsBuiltin = false;
+
+    if (IsBuiltin && ahead().is(TokenKind::Dot)) {
+      consume(); // identifier
+      consume(); // '.'
+      if (Tok.isNot(TokenKind::Identifier) || Tok.Text.size() != 1 ||
+          (Tok.Text[0] != 'x' && Tok.Text[0] != 'y' && Tok.Text[0] != 'z')) {
+        Diags.error(Tok.Loc, "expected '.x', '.y', or '.z' on builtin index");
+        return nullptr;
+      }
+      unsigned Dim = static_cast<unsigned>(Tok.Text[0] - 'x');
+      consume();
+      return Ctx.create<BuiltinIdxExpr>(Loc, Builtin, Dim);
+    }
+
+    consume();
+    // A call.
+    if (Tok.is(TokenKind::LParen)) {
+      consume();
+      std::vector<Expr *> Args;
+      if (Tok.isNot(TokenKind::RParen)) {
+        while (true) {
+          Expr *Arg = parseAssignment();
+          if (!Arg)
+            return nullptr;
+          Args.push_back(Arg);
+          if (!consumeIf(TokenKind::Comma))
+            break;
+        }
+      }
+      if (!expect(TokenKind::RParen, "after call arguments"))
+        return nullptr;
+      return Ctx.create<CallExpr>(Loc, std::move(Name), std::move(Args));
+    }
+    return Ctx.create<DeclRefExpr>(Loc, std::move(Name));
+  }
+  default:
+    Diags.error(Loc, formatString("expected an expression, found %s",
+                                  tokenKindName(Tok.Kind)));
+    return nullptr;
+  }
+}

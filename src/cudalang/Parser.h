@@ -1,0 +1,79 @@
+//===-- cudalang/Parser.h - CuLite parser -----------------------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the CuLite dialect. Produces an AST in an
+/// ASTContext; run Sema afterwards to resolve names and compute types.
+///
+/// Because CuLite has no user-defined types, a statement is a declaration
+/// iff it starts with a type keyword or a declaration qualifier, which
+/// keeps the grammar LL(2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_CUDALANG_PARSER_H
+#define HFUSE_CUDALANG_PARSER_H
+
+#include "cudalang/AST.h"
+#include "cudalang/Lexer.h"
+#include "support/Diagnostics.h"
+
+namespace hfuse::cuda {
+
+class Parser {
+public:
+  Parser(std::string_view Source, ASTContext &Ctx, DiagnosticEngine &Diags);
+
+  /// Parses the whole buffer into the context's translation unit.
+  /// Returns false if any syntax error was reported.
+  bool parseTranslationUnit();
+
+private:
+  // Token stream management with one token of lookahead.
+  const Token &cur() const { return Tok; }
+  const Token &ahead() const { return NextTok; }
+  void consume();
+  bool expect(TokenKind Kind, const char *Context);
+  bool consumeIf(TokenKind Kind);
+
+  // Types.
+  bool startsType(const Token &T) const;
+  bool startsDeclaration() const;
+  const Type *parseTypeSpecifier();
+  const Type *parsePointerSuffix(const Type *Base);
+
+  // Declarations.
+  FunctionDecl *parseFunction();
+  VarDecl *parseParam();
+  DeclStmt *parseDeclStmt(bool Shared, bool ExternShared);
+
+  // Statements.
+  Stmt *parseStatement();
+  CompoundStmt *parseCompound();
+  Stmt *parseIf();
+  Stmt *parseFor();
+  Stmt *parseWhile();
+  Stmt *parseAsm();
+
+  // Expressions (precedence climbing).
+  Expr *parseExpression(); // includes comma
+  Expr *parseAssignment();
+  Expr *parseConditional();
+  Expr *parseBinaryRHS(int MinPrec, Expr *LHS);
+  Expr *parseUnary();
+  Expr *parsePostfix(Expr *Base);
+  Expr *parsePrimary();
+
+  ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+  Lexer Lex;
+  Token Tok;
+  Token NextTok;
+};
+
+} // namespace hfuse::cuda
+
+#endif // HFUSE_CUDALANG_PARSER_H

@@ -1,0 +1,842 @@
+//===-- cudalang/Sema.cpp - CuLite semantic analysis ----------------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cudalang/Sema.h"
+
+#include "support/StringUtils.h"
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+
+//===----------------------------------------------------------------------===//
+// Scopes
+//===----------------------------------------------------------------------===//
+
+void Sema::pushScope() { Scopes.emplace_back(); }
+
+void Sema::popScope() {
+  assert(!Scopes.empty() && "scope stack underflow");
+  Scopes.pop_back();
+}
+
+bool Sema::declare(VarDecl *D) {
+  assert(!Scopes.empty() && "declaration outside any scope");
+  auto [It, Inserted] = Scopes.back().emplace(D->name(), D);
+  (void)It;
+  if (!Inserted) {
+    Diags.error(D->loc(),
+                formatString("redefinition of '%s'", D->name().c_str()));
+    return false;
+  }
+  return true;
+}
+
+VarDecl *Sema::lookup(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+bool Sema::run() {
+  unsigned ErrorsBefore = Diags.errorCount();
+  for (FunctionDecl *F : Ctx.translationUnit().functions())
+    runOnFunction(F);
+  return Diags.errorCount() == ErrorsBefore;
+}
+
+bool Sema::runOnFunction(FunctionDecl *F) {
+  unsigned ErrorsBefore = Diags.errorCount();
+  CurFn = F;
+  LoopDepth = 0;
+  Labels.clear();
+  Scopes.clear();
+  pushScope();
+
+  if (F->isKernel() && !F->returnType()->isVoid())
+    Diags.error(F->loc(), "__global__ kernel must return void");
+
+  for (VarDecl *P : F->params())
+    declare(P);
+
+  collectLabels(F->body());
+  visitCompound(F->body());
+  resolveGotos(F->body());
+
+  popScope();
+  CurFn = nullptr;
+  return Diags.errorCount() == ErrorsBefore;
+}
+
+//===----------------------------------------------------------------------===//
+// Labels
+//===----------------------------------------------------------------------===//
+
+void Sema::collectLabels(Stmt *S) {
+  if (!S)
+    return;
+  if (auto *L = dyn_cast<LabelStmt>(S)) {
+    auto [It, Inserted] = Labels.emplace(L->name(), L);
+    (void)It;
+    if (!Inserted)
+      Diags.error(L->loc(), formatString("redefinition of label '%s'",
+                                         L->name().c_str()));
+    collectLabels(L->sub());
+    return;
+  }
+  if (auto *C = dyn_cast<CompoundStmt>(S)) {
+    for (Stmt *Sub : C->body())
+      collectLabels(Sub);
+    return;
+  }
+  if (auto *I = dyn_cast<IfStmt>(S)) {
+    collectLabels(I->thenStmt());
+    collectLabels(I->elseStmt());
+    return;
+  }
+  if (auto *Fo = dyn_cast<ForStmt>(S)) {
+    collectLabels(Fo->body());
+    return;
+  }
+  if (auto *W = dyn_cast<WhileStmt>(S)) {
+    collectLabels(W->body());
+    return;
+  }
+}
+
+void Sema::resolveGotos(Stmt *S) {
+  if (!S)
+    return;
+  if (auto *G = dyn_cast<GotoStmt>(S)) {
+    auto It = Labels.find(G->label());
+    if (It == Labels.end()) {
+      Diags.error(G->loc(),
+                  formatString("use of undeclared label '%s'",
+                               G->label().c_str()));
+      return;
+    }
+    G->setTarget(It->second);
+    return;
+  }
+  if (auto *L = dyn_cast<LabelStmt>(S)) {
+    resolveGotos(L->sub());
+    return;
+  }
+  if (auto *C = dyn_cast<CompoundStmt>(S)) {
+    for (Stmt *Sub : C->body())
+      resolveGotos(Sub);
+    return;
+  }
+  if (auto *I = dyn_cast<IfStmt>(S)) {
+    resolveGotos(I->thenStmt());
+    resolveGotos(I->elseStmt());
+    return;
+  }
+  if (auto *Fo = dyn_cast<ForStmt>(S)) {
+    resolveGotos(Fo->body());
+    return;
+  }
+  if (auto *W = dyn_cast<WhileStmt>(S)) {
+    resolveGotos(W->body());
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Sema::visitStmt(Stmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case StmtKind::Compound:
+    pushScope();
+    visitCompound(cast<CompoundStmt>(S));
+    popScope();
+    return;
+  case StmtKind::Decl:
+    visitDeclStmt(cast<DeclStmt>(S));
+    return;
+  case StmtKind::ExprStmtKind: {
+    auto *ES = cast<ExprStmt>(S);
+    if (Expr *E = ES->expr())
+      ES->setExpr(visitExpr(E));
+    return;
+  }
+  case StmtKind::If: {
+    auto *I = cast<IfStmt>(S);
+    I->setCond(visitExpr(I->cond()));
+    checkScalarCondition(I->cond(), "if condition");
+    visitStmt(I->thenStmt());
+    visitStmt(I->elseStmt());
+    return;
+  }
+  case StmtKind::For: {
+    auto *F = cast<ForStmt>(S);
+    pushScope();
+    visitStmt(F->init());
+    if (F->cond()) {
+      F->setCond(visitExpr(F->cond()));
+      checkScalarCondition(F->cond(), "for-loop condition");
+    }
+    if (F->inc())
+      F->setInc(visitExpr(F->inc()));
+    ++LoopDepth;
+    visitStmt(F->body());
+    --LoopDepth;
+    popScope();
+    return;
+  }
+  case StmtKind::While: {
+    auto *W = cast<WhileStmt>(S);
+    W->setCond(visitExpr(W->cond()));
+    checkScalarCondition(W->cond(), "while condition");
+    ++LoopDepth;
+    visitStmt(W->body());
+    --LoopDepth;
+    return;
+  }
+  case StmtKind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    const Type *RetTy = CurFn->returnType();
+    if (R->value()) {
+      if (RetTy->isVoid()) {
+        Diags.error(R->loc(), "void function cannot return a value");
+        return;
+      }
+      Expr *V = decay(visitExpr(R->value()));
+      R->setValue(implicitConvert(V, RetTy));
+    } else if (!RetTy->isVoid()) {
+      Diags.error(R->loc(), "non-void function must return a value");
+    }
+    return;
+  }
+  case StmtKind::Break:
+  case StmtKind::Continue:
+    if (LoopDepth == 0)
+      Diags.error(S->loc(), "break/continue outside of a loop");
+    return;
+  case StmtKind::Goto:
+  case StmtKind::Asm:
+    return;
+  case StmtKind::Label: {
+    auto *L = cast<LabelStmt>(S);
+    visitStmt(L->sub());
+    return;
+  }
+  default:
+    // An expression used directly as a statement node should not happen;
+    // expressions are always wrapped in ExprStmt.
+    assert(!isa<Expr>(S) && "bare expression in statement position");
+    return;
+  }
+}
+
+void Sema::visitCompound(CompoundStmt *S) {
+  for (Stmt *Sub : S->body())
+    visitStmt(Sub);
+}
+
+void Sema::visitDeclStmt(DeclStmt *S) {
+  for (VarDecl *V : S->decls()) {
+    if (V->isShared() && V->init())
+      Diags.error(V->loc(), "__shared__ variables cannot have initializers");
+    if (V->init()) {
+      Expr *Init = visitExpr(V->init());
+      Init = decay(Init);
+      Init = implicitConvert(Init, V->type());
+      V->setInit(Init);
+    }
+    declare(V);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Conversions
+//===----------------------------------------------------------------------===//
+
+/// Conversion rank for usual arithmetic conversions.
+static int typeRank(const Type *T) {
+  switch (T->kind()) {
+  case TypeKind::Bool:
+    return 0;
+  case TypeKind::Char:
+    return 1;
+  case TypeKind::UChar:
+    return 2;
+  case TypeKind::Int:
+    return 3;
+  case TypeKind::UInt:
+    return 4;
+  case TypeKind::Long:
+    return 5;
+  case TypeKind::ULong:
+    return 6;
+  case TypeKind::Float:
+    return 7;
+  case TypeKind::Double:
+    return 8;
+  default:
+    return -1;
+  }
+}
+
+const Type *Sema::promote(const Type *T) const {
+  // Integer promotion: everything below int computes as int.
+  if (typeRank(T) >= 0 && typeRank(T) < typeRank(Ctx.types().intTy()))
+    return Ctx.types().intTy();
+  return T;
+}
+
+const Type *Sema::usualArithmeticType(const Type *L, const Type *R) const {
+  L = promote(L);
+  R = promote(R);
+  return typeRank(L) >= typeRank(R) ? L : R;
+}
+
+Expr *Sema::decay(Expr *E) {
+  if (!E->type() || !E->type()->isArray())
+    return E;
+  const Type *PtrTy = Ctx.types().pointerTo(E->type()->element());
+  auto *C = Ctx.create<CastExpr>(E->loc(), PtrTy, E, /*IsImplicit=*/true);
+  C->setType(PtrTy);
+  return C;
+}
+
+Expr *Sema::implicitConvert(Expr *E, const Type *To) {
+  const Type *From = E->type();
+  if (!From || From == To)
+    return E;
+  bool OkScalar = From->isArithmetic() && To->isArithmetic();
+  bool OkPointer = From->isPointer() && To->isPointer();
+  if (!OkScalar && !OkPointer) {
+    Diags.error(E->loc(),
+                formatString("cannot convert '%s' to '%s'",
+                             From->str().c_str(), To->str().c_str()));
+    return E;
+  }
+  auto *C = Ctx.create<CastExpr>(E->loc(), To, E, /*IsImplicit=*/true);
+  C->setType(To);
+  return C;
+}
+
+bool Sema::checkScalarCondition(Expr *E, const char *What) {
+  if (!E->type())
+    return false;
+  if (E->type()->isScalar())
+    return true;
+  Diags.error(E->loc(), formatString("%s is not a scalar value", What));
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Sema::visitExpr(Expr *E) {
+  assert(E && "visiting null expression");
+  switch (E->kind()) {
+  case StmtKind::IntLiteral: {
+    auto *I = cast<IntLiteralExpr>(E);
+    const Type *Ty;
+    if (I->is64())
+      Ty = I->isUnsigned() ? Ctx.types().ulongTy() : Ctx.types().longTy();
+    else
+      Ty = I->isUnsigned() ? Ctx.types().uintTy() : Ctx.types().intTy();
+    I->setType(Ty);
+    return I;
+  }
+  case StmtKind::FloatLiteral: {
+    auto *F = cast<FloatLiteralExpr>(E);
+    F->setType(F->isDouble() ? Ctx.types().doubleTy()
+                             : Ctx.types().floatTy());
+    return F;
+  }
+  case StmtKind::BoolLiteral:
+    E->setType(Ctx.types().boolTy());
+    return E;
+  case StmtKind::DeclRef:
+    return visitDeclRef(cast<DeclRefExpr>(E));
+  case StmtKind::BuiltinIdx:
+    E->setType(Ctx.types().uintTy());
+    return E;
+  case StmtKind::Unary:
+    return visitUnary(cast<UnaryExpr>(E));
+  case StmtKind::Binary:
+    return visitBinary(cast<BinaryExpr>(E));
+  case StmtKind::Conditional:
+    return visitConditional(cast<ConditionalExpr>(E));
+  case StmtKind::Call:
+    return visitCall(cast<CallExpr>(E));
+  case StmtKind::Cast:
+    return visitCast(cast<CastExpr>(E));
+  case StmtKind::Index:
+    return visitIndex(cast<IndexExpr>(E));
+  case StmtKind::Paren: {
+    auto *P = cast<ParenExpr>(E);
+    P->setSub(visitExpr(P->sub()));
+    P->setType(P->sub()->type());
+    P->setIsLValue(P->sub()->isLValue());
+    return P;
+  }
+  default:
+    assert(false && "unknown expression kind in Sema");
+    return E;
+  }
+}
+
+Expr *Sema::visitDeclRef(DeclRefExpr *E) {
+  VarDecl *D = lookup(E->name());
+  if (!D) {
+    Diags.error(E->loc(), formatString("use of undeclared identifier '%s'",
+                                       E->name().c_str()));
+    E->setType(Ctx.types().intTy()); // error recovery
+    return E;
+  }
+  E->setDecl(D);
+  E->setType(D->type());
+  E->setIsLValue(!D->type()->isArray());
+  return E;
+}
+
+Expr *Sema::visitUnary(UnaryExpr *E) {
+  Expr *Sub = visitExpr(E->sub());
+  E->setSub(Sub);
+  const Type *SubTy = Sub->type();
+  switch (E->op()) {
+  case UnaryOpKind::Plus:
+  case UnaryOpKind::Minus: {
+    Sub = decay(Sub);
+    if (!Sub->type()->isArithmetic()) {
+      Diags.error(E->loc(), "unary +/- requires an arithmetic operand");
+      E->setType(SubTy);
+      return E;
+    }
+    const Type *Ty = promote(Sub->type());
+    Sub = implicitConvert(Sub, Ty);
+    E->setSub(Sub);
+    E->setType(Ty);
+    return E;
+  }
+  case UnaryOpKind::LogicalNot:
+    E->setType(Ctx.types().boolTy());
+    return E;
+  case UnaryOpKind::BitNot: {
+    if (!SubTy->isInteger() && !SubTy->isBool()) {
+      Diags.error(E->loc(), "'~' requires an integer operand");
+      E->setType(SubTy);
+      return E;
+    }
+    const Type *Ty = promote(SubTy);
+    E->setSub(implicitConvert(Sub, Ty));
+    E->setType(Ty);
+    return E;
+  }
+  case UnaryOpKind::PreInc:
+  case UnaryOpKind::PreDec:
+  case UnaryOpKind::PostInc:
+  case UnaryOpKind::PostDec:
+    if (!Sub->isLValue())
+      Diags.error(E->loc(), "increment/decrement requires an lvalue");
+    if (!SubTy->isArithmetic() && !SubTy->isPointer())
+      Diags.error(E->loc(),
+                  "increment/decrement requires arithmetic or pointer type");
+    E->setType(SubTy);
+    return E;
+  case UnaryOpKind::AddrOf:
+    if (!Sub->isLValue())
+      Diags.error(E->loc(), "cannot take the address of an rvalue");
+    E->setType(Ctx.types().pointerTo(SubTy));
+    return E;
+  case UnaryOpKind::Deref: {
+    Sub = decay(Sub);
+    E->setSub(Sub);
+    if (!Sub->type()->isPointer()) {
+      Diags.error(E->loc(), "cannot dereference a non-pointer");
+      E->setType(SubTy);
+      return E;
+    }
+    E->setType(Sub->type()->element());
+    E->setIsLValue(true);
+    return E;
+  }
+  }
+  return E;
+}
+
+Expr *Sema::visitBinary(BinaryExpr *E) {
+  Expr *L = visitExpr(E->lhs());
+  Expr *R = visitExpr(E->rhs());
+
+  if (isAssignmentOp(E->op())) {
+    if (!L->isLValue())
+      Diags.error(E->loc(), "left side of assignment is not an lvalue");
+    if (auto *Ref = dyn_cast<DeclRefExpr>(ignoreParensAndImplicitCasts(L)))
+      if (Ref->decl() && Ref->decl()->isConst() && !Ref->decl()->isParam())
+        Diags.error(E->loc(), formatString("cannot assign to const '%s'",
+                                           Ref->decl()->name().c_str()));
+    R = decay(R);
+    if (E->op() == BinaryOpKind::Assign) {
+      R = implicitConvert(R, L->type());
+    } else if (E->op() == BinaryOpKind::ShlAssign ||
+               E->op() == BinaryOpKind::ShrAssign) {
+      // Shift amount keeps its own (integer) type.
+      if (!R->type()->isInteger() && !R->type()->isBool())
+        Diags.error(E->loc(), "shift amount must be an integer");
+    } else if (L->type()->isPointer()) {
+      // ptr += int
+      if (!R->type()->isInteger())
+        Diags.error(E->loc(), "pointer compound assignment requires integer");
+    } else {
+      // Compute in the common type; codegen converts back on store.
+      const Type *Common = usualArithmeticType(L->type(), R->type());
+      R = implicitConvert(R, Common);
+    }
+    E->setLHS(L);
+    E->setRHS(R);
+    E->setType(L->type());
+    return E;
+  }
+
+  switch (E->op()) {
+  case BinaryOpKind::LogicalAnd:
+  case BinaryOpKind::LogicalOr:
+    checkScalarCondition(L, "logical operand");
+    checkScalarCondition(R, "logical operand");
+    E->setLHS(L);
+    E->setRHS(R);
+    E->setType(Ctx.types().boolTy());
+    return E;
+  case BinaryOpKind::Comma:
+    E->setLHS(L);
+    E->setRHS(R);
+    E->setType(R->type());
+    return E;
+  default:
+    break;
+  }
+
+  L = decay(L);
+  R = decay(R);
+
+  // Pointer arithmetic.
+  bool LPtr = L->type()->isPointer();
+  bool RPtr = R->type()->isPointer();
+  if (LPtr || RPtr) {
+    switch (E->op()) {
+    case BinaryOpKind::Add:
+    case BinaryOpKind::Sub: {
+      if (LPtr && RPtr) {
+        Diags.error(E->loc(), "pointer-pointer arithmetic is not supported");
+        E->setType(L->type());
+      } else if (LPtr) {
+        if (!R->type()->isInteger())
+          Diags.error(E->loc(), "pointer offset must be an integer");
+        E->setType(L->type());
+      } else {
+        if (E->op() == BinaryOpKind::Sub || !L->type()->isInteger())
+          Diags.error(E->loc(), "invalid pointer arithmetic");
+        E->setType(R->type());
+      }
+      E->setLHS(L);
+      E->setRHS(R);
+      return E;
+    }
+    case BinaryOpKind::Eq:
+    case BinaryOpKind::Ne:
+    case BinaryOpKind::Lt:
+    case BinaryOpKind::Gt:
+    case BinaryOpKind::Le:
+    case BinaryOpKind::Ge:
+      E->setLHS(L);
+      E->setRHS(R);
+      E->setType(Ctx.types().boolTy());
+      return E;
+    default:
+      Diags.error(E->loc(), "invalid operands to binary expression");
+      E->setLHS(L);
+      E->setRHS(R);
+      E->setType(L->type());
+      return E;
+    }
+  }
+
+  switch (E->op()) {
+  case BinaryOpKind::Shl:
+  case BinaryOpKind::Shr: {
+    if (!L->type()->isInteger() && !L->type()->isBool())
+      Diags.error(E->loc(), "shifted value must be an integer");
+    if (!R->type()->isInteger() && !R->type()->isBool())
+      Diags.error(E->loc(), "shift amount must be an integer");
+    const Type *Ty = promote(L->type());
+    L = implicitConvert(L, Ty);
+    E->setLHS(L);
+    E->setRHS(R);
+    E->setType(Ty);
+    return E;
+  }
+  case BinaryOpKind::Rem:
+  case BinaryOpKind::BitAnd:
+  case BinaryOpKind::BitOr:
+  case BinaryOpKind::BitXor: {
+    if (!L->type()->isInteger() && !L->type()->isBool())
+      Diags.error(E->loc(), "integer operation on non-integer operand");
+    if (!R->type()->isInteger() && !R->type()->isBool())
+      Diags.error(E->loc(), "integer operation on non-integer operand");
+    const Type *Ty = usualArithmeticType(L->type(), R->type());
+    E->setLHS(implicitConvert(L, Ty));
+    E->setRHS(implicitConvert(R, Ty));
+    E->setType(Ty);
+    return E;
+  }
+  case BinaryOpKind::Add:
+  case BinaryOpKind::Sub:
+  case BinaryOpKind::Mul:
+  case BinaryOpKind::Div: {
+    if (!L->type()->isArithmetic() || !R->type()->isArithmetic()) {
+      Diags.error(E->loc(), "arithmetic on non-arithmetic operand");
+      E->setLHS(L);
+      E->setRHS(R);
+      E->setType(L->type());
+      return E;
+    }
+    const Type *Ty = usualArithmeticType(L->type(), R->type());
+    E->setLHS(implicitConvert(L, Ty));
+    E->setRHS(implicitConvert(R, Ty));
+    E->setType(Ty);
+    return E;
+  }
+  case BinaryOpKind::Lt:
+  case BinaryOpKind::Gt:
+  case BinaryOpKind::Le:
+  case BinaryOpKind::Ge:
+  case BinaryOpKind::Eq:
+  case BinaryOpKind::Ne: {
+    if (!L->type()->isArithmetic() || !R->type()->isArithmetic()) {
+      Diags.error(E->loc(), "comparison of non-arithmetic operands");
+    } else {
+      const Type *Ty = usualArithmeticType(L->type(), R->type());
+      L = implicitConvert(L, Ty);
+      R = implicitConvert(R, Ty);
+    }
+    E->setLHS(L);
+    E->setRHS(R);
+    E->setType(Ctx.types().boolTy());
+    return E;
+  }
+  default:
+    assert(false && "unhandled binary operator in Sema");
+    return E;
+  }
+}
+
+Expr *Sema::visitConditional(ConditionalExpr *E) {
+  Expr *Cond = visitExpr(E->cond());
+  checkScalarCondition(Cond, "conditional operand");
+  Expr *T = decay(visitExpr(E->trueExpr()));
+  Expr *F = decay(visitExpr(E->falseExpr()));
+
+  const Type *Ty;
+  if (T->type()->isPointer() && F->type()->isPointer()) {
+    Ty = T->type();
+  } else if (T->type()->isArithmetic() && F->type()->isArithmetic()) {
+    Ty = usualArithmeticType(T->type(), F->type());
+    T = implicitConvert(T, Ty);
+    F = implicitConvert(F, Ty);
+  } else {
+    Diags.error(E->loc(), "incompatible operands in conditional expression");
+    Ty = T->type();
+  }
+  // Store back; cond has no setter on purpose (never rewritten).
+  E->setTrueExpr(T);
+  E->setFalseExpr(F);
+  E->setType(Ty);
+  return E;
+}
+
+namespace {
+
+/// Classification of a known intrinsic.
+enum class IntrinsicKind {
+  Syncthreads,
+  ShflXor,
+  ShflDown,
+  AtomicAdd,
+  MinMax,
+  FMinMax,
+  UnaryMathF, // sqrtf, fabsf, floorf, rsqrtf, __expf, __logf
+};
+
+struct IntrinsicInfo {
+  IntrinsicKind Kind;
+  unsigned NumArgs;
+};
+
+const IntrinsicInfo *lookupIntrinsic(const std::string &Name) {
+  static const std::map<std::string, IntrinsicInfo> Table = {
+      {"__syncthreads", {IntrinsicKind::Syncthreads, 0}},
+      {"__shfl_xor_sync", {IntrinsicKind::ShflXor, 3}},
+      {"__shfl_down_sync", {IntrinsicKind::ShflDown, 3}},
+      {"atomicAdd", {IntrinsicKind::AtomicAdd, 2}},
+      {"min", {IntrinsicKind::MinMax, 2}},
+      {"max", {IntrinsicKind::MinMax, 2}},
+      {"fminf", {IntrinsicKind::FMinMax, 2}},
+      {"fmaxf", {IntrinsicKind::FMinMax, 2}},
+      {"sqrtf", {IntrinsicKind::UnaryMathF, 1}},
+      {"fabsf", {IntrinsicKind::UnaryMathF, 1}},
+      {"floorf", {IntrinsicKind::UnaryMathF, 1}},
+      {"rsqrtf", {IntrinsicKind::UnaryMathF, 1}},
+      {"__expf", {IntrinsicKind::UnaryMathF, 1}},
+      {"__logf", {IntrinsicKind::UnaryMathF, 1}},
+  };
+  auto It = Table.find(Name);
+  return It == Table.end() ? nullptr : &It->second;
+}
+
+} // namespace
+
+Expr *Sema::visitCall(CallExpr *E) {
+  for (Expr *&Arg : E->args())
+    Arg = decay(visitExpr(Arg));
+
+  if (const IntrinsicInfo *Info = lookupIntrinsic(E->callee())) {
+    if (E->args().size() != Info->NumArgs) {
+      Diags.error(E->loc(),
+                  formatString("intrinsic '%s' expects %u arguments, got %zu",
+                               E->callee().c_str(), Info->NumArgs,
+                               E->args().size()));
+      E->setType(Ctx.types().intTy());
+      return E;
+    }
+    switch (Info->Kind) {
+    case IntrinsicKind::Syncthreads:
+      E->setType(Ctx.types().voidTy());
+      return E;
+    case IntrinsicKind::ShflXor:
+    case IntrinsicKind::ShflDown: {
+      Expr *&Val = E->args()[1];
+      if (!Val->type()->isArithmetic())
+        Diags.error(E->loc(), "shuffle value must be arithmetic");
+      E->setType(Val->type());
+      return E;
+    }
+    case IntrinsicKind::AtomicAdd: {
+      Expr *&Ptr = E->args()[0];
+      Expr *&Val = E->args()[1];
+      if (!Ptr->type()->isPointer()) {
+        Diags.error(E->loc(), "atomicAdd address must be a pointer");
+        E->setType(Ctx.types().intTy());
+        return E;
+      }
+      const Type *Elem = Ptr->type()->element();
+      Val = implicitConvert(Val, Elem);
+      E->setType(Elem);
+      return E;
+    }
+    case IntrinsicKind::MinMax: {
+      Expr *&A = E->args()[0];
+      Expr *&B = E->args()[1];
+      if (!A->type()->isInteger() || !B->type()->isInteger())
+        Diags.error(E->loc(), "min/max requires integer operands");
+      const Type *Ty = usualArithmeticType(A->type(), B->type());
+      A = implicitConvert(A, Ty);
+      B = implicitConvert(B, Ty);
+      E->setType(Ty);
+      return E;
+    }
+    case IntrinsicKind::FMinMax: {
+      Expr *&A = E->args()[0];
+      Expr *&B = E->args()[1];
+      A = implicitConvert(A, Ctx.types().floatTy());
+      B = implicitConvert(B, Ctx.types().floatTy());
+      E->setType(Ctx.types().floatTy());
+      return E;
+    }
+    case IntrinsicKind::UnaryMathF: {
+      Expr *&A = E->args()[0];
+      A = implicitConvert(A, Ctx.types().floatTy());
+      E->setType(Ctx.types().floatTy());
+      return E;
+    }
+    }
+  }
+
+  // A user-defined __device__ function.
+  FunctionDecl *Callee = Ctx.translationUnit().findFunction(E->callee());
+  if (!Callee) {
+    Diags.error(E->loc(), formatString("call to unknown function '%s'",
+                                       E->callee().c_str()));
+    E->setType(Ctx.types().intTy());
+    return E;
+  }
+  if (Callee->isKernel())
+    Diags.error(E->loc(), "cannot call a __global__ kernel from device code");
+  if (Callee == CurFn)
+    Diags.error(E->loc(), "recursive calls are not supported (HFuse inlines "
+                          "all device functions)");
+  if (E->args().size() != Callee->params().size()) {
+    Diags.error(E->loc(),
+                formatString("function '%s' expects %zu arguments, got %zu",
+                             E->callee().c_str(), Callee->params().size(),
+                             E->args().size()));
+  } else {
+    for (size_t I = 0; I < E->args().size(); ++I)
+      E->args()[I] = implicitConvert(E->args()[I],
+                                     Callee->params()[I]->type());
+  }
+  E->setCalleeDecl(Callee);
+  E->setType(Callee->returnType());
+  return E;
+}
+
+Expr *Sema::visitCast(CastExpr *E) {
+  assert(!E->isImplicit() && "Sema must not revisit implicit casts");
+  Expr *Sub = decay(visitExpr(E->sub()));
+  E->setSub(Sub);
+  const Type *From = Sub->type();
+  const Type *To = E->destType();
+  bool Ok = (From->isScalar() && To->isArithmetic()) ||
+            (From->isPointer() && To->isPointer()) ||
+            (From->isInteger() && To->isPointer());
+  if (!Ok)
+    Diags.error(E->loc(), formatString("invalid cast from '%s' to '%s'",
+                                       From->str().c_str(),
+                                       To->str().c_str()));
+  E->setType(To);
+  return E;
+}
+
+Expr *Sema::visitIndex(IndexExpr *E) {
+  Expr *Base = visitExpr(E->base());
+  Expr *Idx = visitExpr(E->index());
+  const Type *BaseTy = Base->type();
+  const Type *Elem = nullptr;
+  if (BaseTy->isArray()) {
+    Elem = BaseTy->element();
+  } else {
+    Base = decay(Base);
+    if (Base->type()->isPointer()) {
+      Elem = Base->type()->element();
+    } else {
+      Diags.error(E->loc(), "subscripted value is not a pointer or array");
+      Elem = Ctx.types().intTy();
+    }
+  }
+  if (!Idx->type()->isInteger() && !Idx->type()->isBool())
+    Diags.error(E->loc(), "array index must be an integer");
+  E->setBase(Base);
+  E->setIndex(Idx);
+  E->setType(Elem);
+  E->setIsLValue(!Elem->isArray());
+  return E;
+}

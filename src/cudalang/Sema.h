@@ -1,0 +1,86 @@
+//===-- cudalang/Sema.h - CuLite semantic analysis --------------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for CuLite: scoped name resolution, goto-label
+/// resolution, type checking with C-like usual arithmetic conversions
+/// (materialized as implicit CastExpr nodes), array-to-pointer decay, and
+/// intrinsic signature checking.
+///
+/// Sema may be re-run on trees produced by the fusion passes; it rebinds
+/// DeclRefs by name. It must only run on trees without pre-existing
+/// implicit casts (ASTCloner strips them for exactly this reason).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_CUDALANG_SEMA_H
+#define HFUSE_CUDALANG_SEMA_H
+
+#include "cudalang/AST.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hfuse::cuda {
+
+class Sema {
+public:
+  Sema(ASTContext &Ctx, DiagnosticEngine &Diags) : Ctx(Ctx), Diags(Diags) {}
+
+  /// Analyzes every function in the translation unit. Returns false if
+  /// errors were reported.
+  bool run();
+
+  /// Analyzes a single function (used after fusion).
+  bool runOnFunction(FunctionDecl *F);
+
+private:
+  // Scope handling.
+  void pushScope();
+  void popScope();
+  bool declare(VarDecl *D);
+  VarDecl *lookup(const std::string &Name) const;
+
+  // Statements.
+  void visitStmt(Stmt *S);
+  void visitCompound(CompoundStmt *S);
+  void visitDeclStmt(DeclStmt *S);
+
+  // Expressions. Each visit returns the possibly rewritten node (implicit
+  // casts wrap operands); callers must store the result back.
+  Expr *visitExpr(Expr *E);
+  Expr *visitDeclRef(DeclRefExpr *E);
+  Expr *visitUnary(UnaryExpr *E);
+  Expr *visitBinary(BinaryExpr *E);
+  Expr *visitConditional(ConditionalExpr *E);
+  Expr *visitCall(CallExpr *E);
+  Expr *visitCast(CastExpr *E);
+  Expr *visitIndex(IndexExpr *E);
+
+  // Conversion helpers.
+  Expr *decay(Expr *E);
+  Expr *implicitConvert(Expr *E, const Type *To);
+  const Type *usualArithmeticType(const Type *L, const Type *R) const;
+  const Type *promote(const Type *T) const;
+  bool checkScalarCondition(Expr *E, const char *What);
+
+  // Label resolution.
+  void collectLabels(Stmt *S);
+  void resolveGotos(Stmt *S);
+
+  ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+  FunctionDecl *CurFn = nullptr;
+  std::vector<std::map<std::string, VarDecl *>> Scopes;
+  std::map<std::string, LabelStmt *> Labels;
+  int LoopDepth = 0;
+};
+
+} // namespace hfuse::cuda
+
+#endif // HFUSE_CUDALANG_SEMA_H

@@ -1,0 +1,137 @@
+//===-- cudalang/Token.h - CuLite tokens ------------------------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token value type produced by the CuLite lexer.
+/// CuLite is the C-like CUDA dialect accepted by this reproduction of the
+/// HFuse source-to-source compiler (see DESIGN.md §2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_CUDALANG_TOKEN_H
+#define HFUSE_CUDALANG_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hfuse::cuda {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwVoid,
+  KwBool,
+  KwChar,
+  KwInt,
+  KwUnsigned,
+  KwLong,
+  KwFloat,
+  KwDouble,
+  KwConst,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwWhile,
+  KwDo,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwGoto,
+  KwTrue,
+  KwFalse,
+  KwExtern,
+  KwAsm,
+  KwVolatile,
+  KwGlobalAttr,  // __global__
+  KwDeviceAttr,  // __device__
+  KwSharedAttr,  // __shared__
+  KwRestrict,    // __restrict__
+  // Fixed-width typedef keywords (treated as builtin types).
+  KwInt32T,
+  KwUInt32T,
+  KwInt64T,
+  KwUInt64T,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Colon,
+  Question,
+  Dot,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Exclaim,
+  Less,
+  Greater,
+  LessLess,
+  GreaterGreater,
+  LessEqual,
+  GreaterEqual,
+  EqualEqual,
+  ExclaimEqual,
+  AmpAmp,
+  PipePipe,
+  Equal,
+  PlusEqual,
+  MinusEqual,
+  StarEqual,
+  SlashEqual,
+  PercentEqual,
+  LessLessEqual,
+  GreaterGreaterEqual,
+  AmpEqual,
+  PipeEqual,
+  CaretEqual,
+  PlusPlus,
+  MinusMinus,
+};
+
+/// Returns a human-readable spelling for diagnostics ("'<<='", "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. \c Text views into the lexer's source buffer and stays
+/// valid as long as that buffer does.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLocation Loc;
+  std::string_view Text;
+
+  // Literal payloads.
+  uint64_t IntValue = 0;
+  bool IntIsUnsigned = false;
+  bool IntIs64 = false;
+  double FloatValue = 0.0;
+  bool FloatIsDouble = false;
+  std::string StringValue; // decoded contents of a string literal
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+};
+
+} // namespace hfuse::cuda
+
+#endif // HFUSE_CUDALANG_TOKEN_H

@@ -1,0 +1,98 @@
+//===-- cudalang/Type.cpp - CuLite type system ----------------------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cudalang/Type.h"
+
+using namespace hfuse::cuda;
+
+unsigned Type::bitWidth() const {
+  switch (Kind) {
+  case TypeKind::Bool:
+  case TypeKind::Char:
+  case TypeKind::UChar:
+    return 8;
+  case TypeKind::Int:
+  case TypeKind::UInt:
+  case TypeKind::Float:
+    return 32;
+  case TypeKind::Long:
+  case TypeKind::ULong:
+  case TypeKind::Double:
+  case TypeKind::Pointer:
+    return 64;
+  case TypeKind::Void:
+  case TypeKind::Array:
+    break;
+  }
+  assert(false && "type has no bit width");
+  return 0;
+}
+
+uint64_t Type::storeSize() const {
+  if (isArray())
+    return element()->storeSize() * NumElems;
+  return bitWidth() / 8;
+}
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::Char:
+    return "char";
+  case TypeKind::UChar:
+    return "unsigned char";
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::UInt:
+    return "unsigned int";
+  case TypeKind::Long:
+    return "long long";
+  case TypeKind::ULong:
+    return "unsigned long long";
+  case TypeKind::Float:
+    return "float";
+  case TypeKind::Double:
+    return "double";
+  case TypeKind::Pointer:
+    return Elem->str() + " *";
+  case TypeKind::Array:
+    if (NumElems == 0)
+      return Elem->str() + " []";
+    return Elem->str() + " [" + std::to_string(NumElems) + "]";
+  }
+  return "<invalid>";
+}
+
+TypeContext::TypeContext() {
+  Scalars.reserve(size_t(TypeKind::Double) + 1);
+  for (size_t K = 0; K <= size_t(TypeKind::Double); ++K)
+    Scalars.push_back(Type(TypeKind(K), nullptr, 0));
+}
+
+const Type *TypeContext::pointerTo(const Type *Elem) {
+  auto It = Pointers.find(Elem);
+  if (It != Pointers.end())
+    return It->second.get();
+  auto Ty =
+      std::unique_ptr<Type>(new Type(TypeKind::Pointer, Elem, /*NumElems=*/0));
+  const Type *Raw = Ty.get();
+  Pointers.emplace(Elem, std::move(Ty));
+  return Raw;
+}
+
+const Type *TypeContext::arrayOf(const Type *Elem, uint64_t NumElems) {
+  auto Key = std::make_pair(Elem, NumElems);
+  auto It = Arrays.find(Key);
+  if (It != Arrays.end())
+    return It->second.get();
+  auto Ty = std::unique_ptr<Type>(new Type(TypeKind::Array, Elem, NumElems));
+  const Type *Raw = Ty.get();
+  Arrays.emplace(Key, std::move(Ty));
+  return Raw;
+}

@@ -1,0 +1,137 @@
+//===-- cudalang/Type.h - CuLite type system --------------------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CuLite type system: scalar types (bool, 8/32/64-bit integers,
+/// float, double), pointers, and arrays. Types are immutable and interned
+/// in a TypeContext, so pointer equality is type equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_CUDALANG_TYPE_H
+#define HFUSE_CUDALANG_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hfuse::cuda {
+
+enum class TypeKind : uint8_t {
+  Void,
+  Bool,
+  Char,  // 8-bit signed; used for byte buffers (e.g. extern shared)
+  UChar, // 8-bit unsigned
+  Int,   // 32-bit signed
+  UInt,  // 32-bit unsigned
+  Long,  // 64-bit signed (long long)
+  ULong, // 64-bit unsigned (unsigned long long)
+  Float,
+  Double,
+  Pointer,
+  Array,
+};
+
+/// An interned CuLite type. Instances are created through TypeContext only.
+class Type {
+public:
+  TypeKind kind() const { return Kind; }
+
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isBool() const { return Kind == TypeKind::Bool; }
+  bool isInteger() const {
+    return Kind == TypeKind::Char || Kind == TypeKind::UChar ||
+           Kind == TypeKind::Int || Kind == TypeKind::UInt ||
+           Kind == TypeKind::Long || Kind == TypeKind::ULong;
+  }
+  bool isSignedInteger() const {
+    return Kind == TypeKind::Char || Kind == TypeKind::Int ||
+           Kind == TypeKind::Long;
+  }
+  bool isUnsignedInteger() const {
+    return Kind == TypeKind::UChar || Kind == TypeKind::UInt ||
+           Kind == TypeKind::ULong;
+  }
+  bool isFloating() const {
+    return Kind == TypeKind::Float || Kind == TypeKind::Double;
+  }
+  bool isArithmetic() const { return isInteger() || isFloating() || isBool(); }
+  bool isScalar() const { return isArithmetic() || isPointer(); }
+  bool isPointer() const { return Kind == TypeKind::Pointer; }
+  bool isArray() const { return Kind == TypeKind::Array; }
+
+  /// Element type of a pointer or array.
+  const Type *element() const {
+    assert((isPointer() || isArray()) && "type has no element");
+    return Elem;
+  }
+
+  /// Number of elements of a sized array; unsized (extern shared) arrays
+  /// report 0.
+  uint64_t arraySize() const {
+    assert(isArray() && "not an array type");
+    return NumElems;
+  }
+  bool isUnsizedArray() const { return isArray() && NumElems == 0; }
+
+  /// Size in bits of a scalar value of this type (bool counts as 8).
+  unsigned bitWidth() const;
+
+  /// Size in bytes when stored in memory (pointers are 8 bytes).
+  uint64_t storeSize() const;
+
+  /// C-like rendering, e.g. "unsigned int", "float *", "int [64]".
+  std::string str() const;
+
+private:
+  friend class TypeContext;
+  Type(TypeKind Kind, const Type *Elem, uint64_t NumElems)
+      : Kind(Kind), Elem(Elem), NumElems(NumElems) {}
+
+  TypeKind Kind;
+  const Type *Elem = nullptr;
+  uint64_t NumElems = 0;
+};
+
+/// Owns and interns all Type instances for one AST.
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  const Type *voidTy() const { return &Scalars[size_t(TypeKind::Void)]; }
+  const Type *boolTy() const { return &Scalars[size_t(TypeKind::Bool)]; }
+  const Type *charTy() const { return &Scalars[size_t(TypeKind::Char)]; }
+  const Type *ucharTy() const { return &Scalars[size_t(TypeKind::UChar)]; }
+  const Type *intTy() const { return &Scalars[size_t(TypeKind::Int)]; }
+  const Type *uintTy() const { return &Scalars[size_t(TypeKind::UInt)]; }
+  const Type *longTy() const { return &Scalars[size_t(TypeKind::Long)]; }
+  const Type *ulongTy() const { return &Scalars[size_t(TypeKind::ULong)]; }
+  const Type *floatTy() const { return &Scalars[size_t(TypeKind::Float)]; }
+  const Type *doubleTy() const { return &Scalars[size_t(TypeKind::Double)]; }
+
+  const Type *scalar(TypeKind Kind) const {
+    assert(Kind <= TypeKind::Double && "not a scalar kind");
+    return &Scalars[size_t(Kind)];
+  }
+
+  const Type *pointerTo(const Type *Elem);
+  /// \p NumElems of 0 makes an unsized array (extern __shared__ x[]).
+  const Type *arrayOf(const Type *Elem, uint64_t NumElems);
+
+private:
+  std::vector<Type> Scalars;
+  std::map<const Type *, std::unique_ptr<Type>> Pointers;
+  std::map<std::pair<const Type *, uint64_t>, std::unique_ptr<Type>> Arrays;
+};
+
+} // namespace hfuse::cuda
+
+#endif // HFUSE_CUDALANG_TYPE_H

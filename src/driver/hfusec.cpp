@@ -1,0 +1,256 @@
+//===-- driver/hfusec.cpp - HFuse command-line compiler -------------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// hfusec: the source-to-source HFuse compiler as a command-line tool.
+///
+///   hfusec --k1 a.cu --k2 b.cu --d1 896 --d2 128 [options]
+///
+/// Reads two CUDA (CuLite) files, horizontally fuses the named kernels
+/// with the requested thread-space partition, and writes the fused CUDA
+/// source to stdout or --out. With --vertical it emits the vertical
+/// fusion baseline instead. --print-ir additionally dumps the SASS-lite
+/// lowering, and --report prints resource/occupancy facts for both
+/// simulated GPUs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cudalang/ASTPrinter.h"
+#include "gpusim/Occupancy.h"
+#include "profile/Compile.h"
+#include "transform/Fusion.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace hfuse;
+
+namespace {
+
+struct CliOptions {
+  std::string File1, File2;
+  std::string Kernel1, Kernel2;
+  int D1 = 512, D2 = 512;
+  int Y1 = 1, Z1 = 1, Y2 = 1, Z2 = 1;
+  unsigned RegBound = 0;
+  std::string OutFile;
+  bool Vertical = false;
+  bool PrintIR = false;
+  bool Report = false;
+  bool FullBarriers = false;
+};
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: hfusec --k1 FILE --k2 FILE [options]\n"
+      "\n"
+      "Horizontally fuses two CUDA kernels (HFuse, CGO 2022).\n"
+      "\n"
+      "options:\n"
+      "  --k1 FILE        first input kernel file\n"
+      "  --k2 FILE        second input kernel file\n"
+      "  --kernel1 NAME   kernel name in file 1 (default: the only one)\n"
+      "  --kernel2 NAME   kernel name in file 2\n"
+      "  --d1 N           threads for kernel 1 (default 512)\n"
+      "  --d2 N           threads for kernel 2 (default 512)\n"
+      "  --y1 N --z1 N    block .y/.z extents of kernel 1 (default 1;\n"
+      "                   --d1 must be divisible by y1*z1, paper Fig. 4)\n"
+      "  --y2 N --z2 N    block .y/.z extents of kernel 2\n"
+      "  --maxrregcount N register bound for the lowering report\n"
+      "  --vertical       emit the vertical fusion baseline instead\n"
+      "  --full-barriers  keep __syncthreads() (unsound ablation)\n"
+      "  --print-ir       also dump the SASS-lite lowering\n"
+      "  --report         print registers/shared/occupancy for both GPUs\n"
+      "  --out FILE       write the fused source here (default stdout)\n");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s expects a value\n", Arg.c_str());
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--k1") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.File1 = V;
+    } else if (Arg == "--k2") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.File2 = V;
+    } else if (Arg == "--kernel1") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Kernel1 = V;
+    } else if (Arg == "--kernel2") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Kernel2 = V;
+    } else if (Arg == "--d1") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.D1 = std::atoi(V);
+    } else if (Arg == "--d2") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.D2 = std::atoi(V);
+    } else if (Arg == "--y1" || Arg == "--z1" || Arg == "--y2" ||
+               Arg == "--z2") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      int N = std::atoi(V);
+      if (Arg == "--y1")
+        Opts.Y1 = N;
+      else if (Arg == "--z1")
+        Opts.Z1 = N;
+      else if (Arg == "--y2")
+        Opts.Y2 = N;
+      else
+        Opts.Z2 = N;
+    } else if (Arg == "--maxrregcount") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.RegBound = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--out") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.OutFile = V;
+    } else if (Arg == "--vertical") {
+      Opts.Vertical = true;
+    } else if (Arg == "--full-barriers") {
+      Opts.FullBarriers = true;
+    } else if (Arg == "--print-ir") {
+      Opts.PrintIR = true;
+    } else if (Arg == "--report") {
+      Opts.Report = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  if (Opts.File1.empty() || Opts.File2.empty()) {
+    printUsage();
+    return false;
+  }
+  return true;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+void printReport(const ir::IRKernel &IR, int BlockDim) {
+  std::printf("// fused kernel resources:\n");
+  std::printf("//   registers/thread : %u\n", IR.ArchRegsPerThread);
+  std::printf("//   static shared    : %u bytes\n", IR.StaticSharedBytes);
+  std::printf("//   local (spills)   : %u bytes/thread\n", IR.LocalBytes);
+  std::printf("//   instructions     : %zu\n", IR.numInstructions());
+  for (const gpusim::GpuArch &Arch :
+       {gpusim::makeGTX1080Ti(), gpusim::makeV100()}) {
+    gpusim::OccupancyResult Occ = gpusim::computeOccupancy(
+        Arch, BlockDim, static_cast<int>(IR.ArchRegsPerThread),
+        IR.StaticSharedBytes);
+    std::printf("//   %-10s: %d blocks/SM, %.1f%% theoretical occupancy\n",
+                Arch.Name.c_str(), Occ.BlocksPerSM,
+                100.0 * Occ.TheoreticalOccupancy);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 1;
+
+  std::string Src1, Src2;
+  if (!readFile(Opts.File1, Src1) || !readFile(Opts.File2, Src2))
+    return 1;
+
+  DiagnosticEngine Diags;
+  auto Pre1 = transform::parseAndPreprocess(Src1, Opts.Kernel1, Diags);
+  auto Pre2 = transform::parseAndPreprocess(Src2, Opts.Kernel2, Diags);
+  if (!Pre1 || !Pre2) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  cuda::ASTContext Target;
+  transform::FusionResult FR;
+  if (Opts.Vertical) {
+    FR = transform::fuseVertical(Target, Pre1->Kernel, Pre2->Kernel, "",
+                                 Diags);
+  } else {
+    transform::HorizontalFusionOptions HO;
+    HO.D1 = Opts.D1;
+    HO.D2 = Opts.D2;
+    HO.Y1 = Opts.Y1;
+    HO.Z1 = Opts.Z1;
+    HO.Y2 = Opts.Y2;
+    HO.Z2 = Opts.Z2;
+    HO.UsePartialBarriers = !Opts.FullBarriers;
+    FR = transform::fuseHorizontal(Target, Pre1->Kernel, Pre2->Kernel, HO,
+                                   Diags);
+  }
+  if (!FR.Ok) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  auto IR = profile::lowerFunction(Target, FR.Fused, Opts.RegBound, Diags);
+  if (!IR) {
+    std::fprintf(stderr, "fused kernel failed to lower:\n%s",
+                 Diags.str().c_str());
+    return 1;
+  }
+
+  std::string Source = cuda::printFunction(FR.Fused);
+  if (!Opts.OutFile.empty()) {
+    std::ofstream Out(Opts.OutFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.OutFile.c_str());
+      return 1;
+    }
+    Out << Source;
+  } else {
+    std::fputs(Source.c_str(), stdout);
+  }
+
+  if (Opts.Report)
+    printReport(*IR, Opts.D1 + Opts.D2);
+  if (Opts.PrintIR)
+    std::fputs(IR->str().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,77 @@
+//===-- gpusim/GpuArch.cpp - GPU architecture parameters ------------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/GpuArch.h"
+
+using namespace hfuse::gpusim;
+
+GpuArch hfuse::gpusim::makeGTX1080Ti() {
+  GpuArch A;
+  A.Name = "GTX1080Ti";
+  A.NumSMs = 28;
+  A.SchedulersPerSM = 4;
+  A.ClockGHz = 1.48;
+  // 128 FP32 lanes/SM -> 32 per scheduler: full-rate FP32/INT32 on a
+  // shared pipe.
+  A.SplitIntFpPipes = false;
+  A.IIAlu32 = 1;
+  A.IIFAlu32 = 1;
+  A.IIAlu64 = 2;  // 64-bit integer ops expand to 32-bit pairs
+  A.IIFAlu64 = 32; // 1/32-rate FP64 on GP102
+  A.IISfu = 4;    // 32 SFU/SM
+  A.IIMem = 2;
+  A.LatAlu32 = 6; // Pascal dependent-issue latency
+  A.LatAlu64 = 12;
+  A.LatFAlu32 = 6;
+  A.LatSfu = 16;
+  A.LatShared = 24;
+  A.LatLocal = 38;
+  A.LatShuffle = 25;
+  A.LatGlobal = 430;
+  A.LatAtomShared = 32;
+  A.LatAtomGlobal = 470;
+  // 484 GB/s at 1.48 GHz.
+  A.BytesPerCycleDevice = 484.0 / 1.48;
+  A.MaxInflightSectorsPerSM = 256;
+  // 2816 KB L2 on GP102; ~200-cycle hit latency per microbenchmarks.
+  A.L2Bytes = 2816l * 1024;
+  A.LatL2Hit = 200;
+  return A;
+}
+
+GpuArch hfuse::gpusim::makeV100() {
+  GpuArch A;
+  A.Name = "V100";
+  A.NumSMs = 80;
+  A.SchedulersPerSM = 4;
+  A.ClockGHz = 1.38;
+  // 64 FP32 + 64 INT32 lanes/SM -> 16 per scheduler each: half-rate but
+  // in separate pipes, so INT and FP instructions dual-flow.
+  A.SplitIntFpPipes = true;
+  A.IIAlu32 = 2;
+  A.IIFAlu32 = 2;
+  A.IIAlu64 = 4;
+  A.IIFAlu64 = 4; // 1/2-rate FP64 on GV100
+  A.IISfu = 4;
+  A.IIMem = 2;
+  A.LatAlu32 = 4; // Volta cut ALU latency to 4 cycles
+  A.LatAlu64 = 8;
+  A.LatFAlu32 = 4;
+  A.LatSfu = 12;
+  A.LatShared = 19;
+  A.LatLocal = 30;
+  A.LatShuffle = 22;
+  A.LatGlobal = 400;
+  A.LatAtomShared = 28;
+  A.LatAtomGlobal = 440;
+  // 900 GB/s HBM2 at 1.38 GHz.
+  A.BytesPerCycleDevice = 900.0 / 1.38;
+  A.MaxInflightSectorsPerSM = 384;
+  // 6144 KB L2 on GV100; ~190-cycle hit latency per microbenchmarks.
+  A.L2Bytes = 6144l * 1024;
+  A.LatL2Hit = 190;
+  return A;
+}

@@ -1,0 +1,151 @@
+//===-- gpusim/MemorySystem.h - Device memory timing model ------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Timing model for the global-memory system: a device-wide bandwidth
+/// token bucket over 32-byte sectors plus a fixed base latency, a
+/// per-SM cap on in-flight sectors (MSHR-style), and an optional
+/// device-wide L2 sector cache (SimConfig::ModelL2).
+///
+/// In the default (no-L2) configuration every sector is priced at DRAM;
+/// the benchmark kernels are streaming (one-touch) or deliberately
+/// cache-hostile (Ethash), and on-chip reuse is explicit through shared
+/// memory. The L2 model prices hit sectors at a fixed hit latency
+/// without consuming DRAM bandwidth, which is what matters for the
+/// reuse-heavy kernels (Upsample, Maxpool). See DESIGN.md §6 and the
+/// `bench_ablation_cache` fidelity study.
+///
+/// Coalescing is handled by the caller (the simulator splits each warp
+/// access into the distinct sectors it touches); this class only prices
+/// the sectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_GPUSIM_MEMORYSYSTEM_H
+#define HFUSE_GPUSIM_MEMORYSYSTEM_H
+
+#include "gpusim/SectorCache.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace hfuse::gpusim {
+
+/// Device-wide DRAM bandwidth model with an optional L2 cache in front.
+class MemorySystem {
+public:
+  /// \p BytesPerCycle is the bandwidth available to the *simulated* SMs
+  /// (the caller scales device bandwidth by SimSMs/NumSMs).
+  /// \p BaseLatency is added on top of queuing delay.
+  MemorySystem(double BytesPerCycle, int BaseLatency, int SectorBytes)
+      : CyclesPerSector(SectorBytes / BytesPerCycle),
+        BaseLatency(BaseLatency) {}
+
+  /// Attaches an L2 cache model (not owned; null detaches). \p
+  /// HitLatency prices sectors that hit.
+  void setL2(SectorCache *Cache, int HitLatency) {
+    L2 = Cache;
+    LatL2Hit = HitLatency;
+  }
+
+  /// Prices a warp access of \p NumSectors sectors issued at \p Now,
+  /// all at DRAM (the no-L2 path and unit tests). Returns the cycle at
+  /// which the last sector's data is available.
+  uint64_t schedule(uint64_t Now, unsigned NumSectors) {
+    double Begin = std::max(static_cast<double>(Now), Head);
+    Head = Begin + NumSectors * CyclesPerSector;
+    return static_cast<uint64_t>(Head) + BaseLatency;
+  }
+
+  /// Prices a warp access touching the \p N distinct sector addresses
+  /// in \p Sectors. With an L2 attached, hit sectors complete at
+  /// Now + hit latency and bypass the DRAM queue; miss sectors pay the
+  /// bandwidth bucket + base latency. \p MissesOut receives the number
+  /// of sectors that went to DRAM (= MSHR-relevant traffic). Returns
+  /// the completion cycle of the slowest sector.
+  uint64_t schedule(uint64_t Now, const uint64_t *Sectors, unsigned N,
+                    unsigned &MissesOut) {
+    if (!L2 || !L2->enabled()) {
+      MissesOut = N;
+      return schedule(Now, N);
+    }
+    unsigned NumMisses = 0;
+    for (unsigned I = 0; I < N; ++I)
+      if (!L2->access(Sectors[I]))
+        ++NumMisses;
+    MissesOut = NumMisses;
+    uint64_t Completion = 0;
+    if (NumMisses > 0)
+      Completion = schedule(Now, NumMisses);
+    if (NumMisses < N)
+      Completion = std::max(Completion, Now + LatL2Hit);
+    return Completion;
+  }
+
+  /// Earliest cycle at which the DRAM queue drains below \p Now's
+  /// backlog; used by the simulator's idle fast-forward.
+  uint64_t headCycle() const { return static_cast<uint64_t>(Head); }
+
+private:
+  double CyclesPerSector;
+  int BaseLatency;
+  double Head = 0.0;
+  SectorCache *L2 = nullptr;
+  uint64_t LatL2Hit = 0;
+};
+
+/// Per-SM in-flight sector tracking (MSHR-style back-pressure).
+class InflightTracker {
+public:
+  explicit InflightTracker(int MaxSectors) : MaxSectors(MaxSectors) {}
+
+  /// True if an access of \p Sectors more sectors may issue at \p Now.
+  /// An otherwise-idle SM may always issue one access, so a fully
+  /// divergent warp (32 sectors) can never deadlock.
+  bool canIssue(uint64_t Now, unsigned Sectors) {
+    drain(Now);
+    if (Outstanding == 0)
+      return true;
+    return Outstanding + static_cast<int>(Sectors) <= MaxSectors;
+  }
+
+  void issue(uint64_t CompletionCycle, unsigned Sectors) {
+    Outstanding += static_cast<int>(Sectors);
+    Pending.emplace(CompletionCycle, Sectors);
+  }
+
+  /// Retires accesses that completed by \p Now.
+  void drain(uint64_t Now) {
+    while (!Pending.empty() && Pending.top().first <= Now) {
+      Outstanding -= static_cast<int>(Pending.top().second);
+      Pending.pop();
+    }
+  }
+
+  /// Next completion cycle, or UINT64_MAX when nothing is in flight.
+  uint64_t nextCompletion() const {
+    return Pending.empty() ? UINT64_MAX : Pending.top().first;
+  }
+
+  int outstanding() const { return Outstanding; }
+
+private:
+  using Event = std::pair<uint64_t, unsigned>;
+  struct Later {
+    bool operator()(const Event &A, const Event &B) const {
+      return A.first > B.first;
+    }
+  };
+  int MaxSectors;
+  int Outstanding = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> Pending;
+};
+
+} // namespace hfuse::gpusim
+
+#endif // HFUSE_GPUSIM_MEMORYSYSTEM_H

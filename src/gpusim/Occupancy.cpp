@@ -1,0 +1,63 @@
+//===-- gpusim/Occupancy.cpp - CUDA occupancy calculator ------------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Occupancy.h"
+
+#include <algorithm>
+
+using namespace hfuse::gpusim;
+
+int hfuse::gpusim::regsPerWarpAllocated(const GpuArch &Arch,
+                                        int RegsPerThread) {
+  int Raw = RegsPerThread * Arch.WarpSize;
+  int Unit = Arch.RegAllocUnit;
+  return (Raw + Unit - 1) / Unit * Unit;
+}
+
+OccupancyResult hfuse::gpusim::computeOccupancy(
+    const GpuArch &Arch, int ThreadsPerBlock, int RegsPerThread,
+    uint32_t SharedBytesPerBlock) {
+  OccupancyResult Res;
+  if (ThreadsPerBlock <= 0 || ThreadsPerBlock > Arch.MaxThreadsPerBlock ||
+      RegsPerThread > Arch.MaxRegsPerThread ||
+      SharedBytesPerBlock > static_cast<uint32_t>(Arch.SharedMemPerSM))
+    return Res;
+
+  int WarpsPerBlock =
+      (ThreadsPerBlock + Arch.WarpSize - 1) / Arch.WarpSize;
+
+  int ByThreads = Arch.MaxThreadsPerSM / ThreadsPerBlock;
+
+  int ByRegs = Arch.MaxBlocksPerSM;
+  if (RegsPerThread > 0) {
+    int PerWarp = regsPerWarpAllocated(Arch, RegsPerThread);
+    int WarpsByRegs = Arch.RegsPerSM / PerWarp;
+    ByRegs = WarpsByRegs / WarpsPerBlock;
+  }
+
+  int BySmem = Arch.MaxBlocksPerSM;
+  if (SharedBytesPerBlock > 0) {
+    uint32_t Unit = Arch.SharedAllocUnit;
+    uint32_t Rounded = (SharedBytesPerBlock + Unit - 1) / Unit * Unit;
+    BySmem = static_cast<int>(Arch.SharedMemPerSM / Rounded);
+  }
+
+  int Blocks = std::min({ByThreads, ByRegs, BySmem, Arch.MaxBlocksPerSM});
+  Res.BlocksPerSM = Blocks;
+  if (Blocks == ByThreads)
+    Res.Limiter = OccupancyLimiter::Threads;
+  if (Blocks == Arch.MaxBlocksPerSM)
+    Res.Limiter = OccupancyLimiter::BlockCap;
+  if (Blocks == BySmem && BySmem < ByThreads)
+    Res.Limiter = OccupancyLimiter::SharedMem;
+  if (Blocks == ByRegs && ByRegs < std::min(ByThreads, BySmem))
+    Res.Limiter = OccupancyLimiter::Registers;
+
+  Res.ActiveWarps = Blocks * WarpsPerBlock;
+  Res.TheoreticalOccupancy =
+      static_cast<double>(Res.ActiveWarps) / Arch.maxWarpsPerSM();
+  return Res;
+}

@@ -1,0 +1,51 @@
+//===-- gpusim/Occupancy.h - CUDA occupancy calculator ----------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The occupancy calculator: how many blocks of a kernel can be resident
+/// on one SM, limited by threads, registers, shared memory, and the
+/// per-SM block cap — same formula family as NVIDIA's occupancy
+/// calculator. The HFuse configuration search (paper Figure 6) builds
+/// its register bound r0 from these quantities: b1/b2 are the register-
+/// limited blocks-per-SM of the input kernels, b0 folds in shared memory
+/// and the thread cap, and r0 = RegsPerSM / (b0 * d0).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_GPUSIM_OCCUPANCY_H
+#define HFUSE_GPUSIM_OCCUPANCY_H
+
+#include "gpusim/GpuArch.h"
+
+#include <cstdint>
+
+namespace hfuse::gpusim {
+
+enum class OccupancyLimiter { Threads, Registers, SharedMem, BlockCap };
+
+struct OccupancyResult {
+  /// Concurrent blocks per SM; 0 means the block cannot launch at all.
+  int BlocksPerSM = 0;
+  /// Resident warps implied by BlocksPerSM.
+  int ActiveWarps = 0;
+  /// ActiveWarps / maxWarpsPerSM.
+  double TheoreticalOccupancy = 0.0;
+  OccupancyLimiter Limiter = OccupancyLimiter::Threads;
+};
+
+/// Computes the occupancy of a kernel launch on \p Arch.
+/// \p SharedBytesPerBlock includes both static and dynamic shared memory.
+OccupancyResult computeOccupancy(const GpuArch &Arch, int ThreadsPerBlock,
+                                 int RegsPerThread,
+                                 uint32_t SharedBytesPerBlock);
+
+/// Registers allocated per warp after granularity rounding; exposed for
+/// tests and for the Figure 6 bound computation.
+int regsPerWarpAllocated(const GpuArch &Arch, int RegsPerThread);
+
+} // namespace hfuse::gpusim
+
+#endif // HFUSE_GPUSIM_OCCUPANCY_H

@@ -1,0 +1,82 @@
+//===-- gpusim/SectorCache.cpp - Set-associative sector cache -------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/SectorCache.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace hfuse::gpusim;
+
+namespace {
+
+/// Largest power of two <= N (0 for N == 0).
+unsigned floorPow2(long N) {
+  unsigned P = 0;
+  while ((2l << P) <= N)
+    ++P;
+  return N >= 1 ? (1u << P) : 0;
+}
+
+} // namespace
+
+SectorCache::SectorCache(long CapacityBytes, int Assoc, int SectorBytes) {
+  assert(Assoc > 0 && SectorBytes > 0);
+  long WantSets = CapacityBytes / (static_cast<long>(Assoc) * SectorBytes);
+  // Power-of-two sets keep the index a mask; capacity rounds down by at
+  // most 2x, which is irrelevant next to the kernels' footprints.
+  NumSets = floorPow2(WantSets);
+  if (NumSets == 0)
+    return;
+  this->Assoc = static_cast<unsigned>(Assoc);
+  Tags.assign(static_cast<size_t>(NumSets) * Assoc, kInvalid);
+}
+
+unsigned SectorCache::setIndex(uint64_t SectorAddr) const {
+  // Simple XOR-folded index decorrelates the power-of-two strides the
+  // benchmark kernels walk from the set index.
+  uint64_t H = SectorAddr ^ (SectorAddr >> 13) ^ (SectorAddr >> 27);
+  return static_cast<unsigned>(H & (NumSets - 1));
+}
+
+bool SectorCache::access(uint64_t SectorAddr) {
+  if (NumSets == 0) {
+    ++Misses;
+    return false;
+  }
+  uint64_t *Set = &Tags[size_t(setIndex(SectorAddr)) * Assoc];
+  for (unsigned Way = 0; Way < Assoc; ++Way) {
+    if (Set[Way] != SectorAddr)
+      continue;
+    // Hit: move to front (most recently used).
+    for (unsigned I = Way; I > 0; --I)
+      Set[I] = Set[I - 1];
+    Set[0] = SectorAddr;
+    ++Hits;
+    return true;
+  }
+  // Miss: evict the LRU way (the back), insert at front.
+  for (unsigned I = Assoc - 1; I > 0; --I)
+    Set[I] = Set[I - 1];
+  Set[0] = SectorAddr;
+  ++Misses;
+  return false;
+}
+
+bool SectorCache::contains(uint64_t SectorAddr) const {
+  if (NumSets == 0)
+    return false;
+  const uint64_t *Set = &Tags[size_t(setIndex(SectorAddr)) * Assoc];
+  for (unsigned Way = 0; Way < Assoc; ++Way)
+    if (Set[Way] == SectorAddr)
+      return true;
+  return false;
+}
+
+void SectorCache::reset() {
+  Tags.assign(Tags.size(), kInvalid);
+  Hits = Misses = 0;
+}

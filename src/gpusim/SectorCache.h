@@ -1,0 +1,70 @@
+//===-- gpusim/SectorCache.h - Set-associative sector cache -----*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set-associative, LRU, sector-granular cache used as the device-wide
+/// L2 data cache model (SimConfig::ModelL2). NVIDIA L2s are physically
+/// organized in 128B lines of 32B sectors but fill at sector
+/// granularity; modelling tags per 32B sector captures the fill/replace
+/// behaviour that matters for reuse-heavy kernels (Upsample's bilinear
+/// taps, Maxpool's overlapping windows) without tracking line state.
+///
+/// The cache tracks *which* sectors hit; pricing (hit latency vs DRAM
+/// bandwidth/latency) is MemorySystem's job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_GPUSIM_SECTORCACHE_H
+#define HFUSE_GPUSIM_SECTORCACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace hfuse::gpusim {
+
+/// LRU set-associative cache over 32B-sector addresses (byte address >>
+/// 5). Capacity 0 disables the cache (every access misses).
+class SectorCache {
+public:
+  /// \p CapacityBytes total data capacity; \p Assoc ways per set;
+  /// \p SectorBytes bytes per sector (tag granularity).
+  SectorCache(long CapacityBytes, int Assoc, int SectorBytes);
+
+  /// Looks up \p SectorAddr (a sector index, not a byte address);
+  /// allocates it on miss, evicting the set's LRU way. Returns true on
+  /// hit. Stats are updated.
+  bool access(uint64_t SectorAddr);
+
+  /// True if \p SectorAddr is resident (no allocation, no LRU update,
+  /// no stats). For tests and occupancy-style introspection.
+  bool contains(uint64_t SectorAddr) const;
+
+  /// Drops all contents and statistics.
+  void reset();
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  unsigned numSets() const { return NumSets; }
+  unsigned assoc() const { return Assoc; }
+  bool enabled() const { return NumSets != 0; }
+
+private:
+  unsigned setIndex(uint64_t SectorAddr) const;
+
+  unsigned NumSets = 0;
+  unsigned Assoc = 0;
+  /// Way tags per set, most recently used first. kInvalid marks an
+  /// empty way.
+  std::vector<uint64_t> Tags;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+
+  static constexpr uint64_t kInvalid = ~uint64_t(0);
+};
+
+} // namespace hfuse::gpusim
+
+#endif // HFUSE_GPUSIM_SECTORCACHE_H

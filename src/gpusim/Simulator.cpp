@@ -1,0 +1,1402 @@
+//===-- gpusim/Simulator.cpp - Execution-driven GPU simulator -------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Simulator.h"
+
+#include "gpusim/MemorySystem.h"
+#include "gpusim/Occupancy.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+using namespace hfuse;
+using namespace hfuse::ir;
+using namespace hfuse::gpusim;
+
+namespace {
+
+constexpr unsigned WarpSize = 32;
+constexpr uint32_t FullMask = 0xFFFFFFFFu;
+
+/// Threads per block across all three block sub-dimensions.
+int totalBlockThreads(const KernelLaunch &L) {
+  return L.BlockDim * L.BlockDimY * L.BlockDimZ;
+}
+
+/// Issue pipes per scheduler.
+enum Pipe : uint8_t { PipeFP, PipeInt, PipeSfu, PipeMem, PipeDP, NumPipes };
+
+enum class Stall : uint8_t {
+  None,        // eligible (issued or selectable)
+  ExecDep,     // waiting on an ALU/SFU-produced register
+  MemDep,      // waiting on a global/local-memory-produced register
+  Barrier,     // all runnable lanes wait at bar.sync
+  PipeBusy,    // issue pipe occupied
+  MemThrottle, // MSHR / bandwidth back-pressure
+  NotSelected, // eligible but another warp was issued
+  NumStallKinds
+};
+constexpr size_t NumStalls = size_t(Stall::NumStallKinds);
+
+struct WarpState {
+  uint16_t KernelIdx = 0;
+  uint32_t BlockSlot = 0;
+  bool Done = false;
+  uint32_t LiveMask = 0; // not exited
+  uint32_t WaitMask = 0; // waiting at a named barrier
+  int8_t PendingBarId = -1;
+  int PendingBarCount = 0; // explicit arrival count of that barrier
+  std::array<uint32_t, WarpSize> PC{};
+  std::vector<uint64_t> Regs;     // slot-major: Regs[slot*32+lane]
+  std::vector<uint64_t> RegReady; // per slot
+  std::vector<uint8_t> RegMemSrc; // per slot: producer was DRAM
+  std::vector<uint8_t> Local;     // 32 * LocalBytes
+
+  // Scheduler fast path: the warp's current instruction (valid while
+  // CacheValid) and the earliest cycle at which a blocked warp should be
+  // re-examined, with the stall reason to report until then.
+  bool CacheValid = false;
+  uint32_t CachedPC = 0;
+  uint32_t CachedMask = 0;
+  uint64_t WakeAt = 0;
+  Stall CachedReason = Stall::ExecDep;
+
+  void invalidateSchedCache() {
+    CacheValid = false;
+    WakeAt = 0;
+  }
+
+  uint64_t &reg(Reg Slot, unsigned Lane) {
+    return Regs[size_t(Slot) * WarpSize + Lane];
+  }
+};
+
+struct BlockState {
+  bool Active = false;
+  uint16_t KernelIdx = 0;
+  uint32_t BlockId = 0;
+  int LiveThreads = 0;
+  int WarpsDone = 0;
+  int NumWarps = 0;
+  std::array<int, 16> BarArrived{};
+  std::vector<uint8_t> Shared;
+  std::vector<uint32_t> WarpIds; // indices into SM warp vector
+  // Resources to release on completion.
+  int Threads = 0;
+  int RegUnits = 0;
+  uint32_t SharedBytes = 0;
+};
+
+struct SchedState {
+  std::array<uint64_t, NumPipes> PipeFree{};
+  uint32_t RRNext = 0;
+  std::vector<uint32_t> WarpIds;
+};
+
+struct SMState {
+  std::vector<WarpState> Warps;
+  std::vector<BlockState> Blocks;
+  std::vector<SchedState> Scheds;
+  std::unique_ptr<InflightTracker> Inflight;
+  /// The SM's shared-memory atomic unit: conflicting atomics replay
+  /// inside it without occupying scheduler issue slots, but the next
+  /// shared atomic (from any warp) waits until it drains.
+  uint64_t AtomUnitFree = 0;
+  int UsedThreads = 0;
+  int UsedRegs = 0;
+  uint32_t UsedShared = 0;
+  int NumBlocks = 0;
+  int ActiveWarps = 0;
+};
+
+struct LaunchState {
+  const KernelLaunch *L = nullptr;
+  int NextBlock = 0;
+  int BlocksDone = 0;
+  uint64_t CompletionCycle = 0;
+  uint64_t Issued = 0;
+  int RegUnitsPerBlock = 0;
+  uint32_t SharedPerBlock = 0;
+  // Global-memory sector traffic (L2 stats are zero without ModelL2).
+  uint64_t GlobalSectors = 0;
+  uint64_t L2HitSectors = 0;
+};
+
+uint32_t popcount(uint32_t V) { return static_cast<uint32_t>(std::popcount(V)); }
+
+} // namespace
+
+struct Simulator::Impl {
+  SimConfig Config;
+  std::vector<uint8_t> Global;
+  size_t GlobalTop = 0;
+
+  // Per-run state.
+  std::vector<SMState> SMs;
+  std::vector<LaunchState> Launches;
+  std::unique_ptr<MemorySystem> Mem;
+  std::unique_ptr<SectorCache> L2;
+  uint64_t Cycle = 0;
+  std::string Error;
+  // Stats.
+  uint64_t IssuedSlots = 0;
+  uint64_t StallSamples[NumStalls] = {};
+  uint64_t ActiveWarpIntegral = 0;
+  uint64_t ActiveCycleSlots = 0; // scheduler-cycles with resident warps
+  /// Same-address replay factor of the last executed atomic; atomics
+  /// occupy the LSU pipe once per replay, modelling the serialization
+  /// of conflicting atomic operations.
+  unsigned LastAtomicReplay = 1;
+
+  explicit Impl(SimConfig C) : Config(std::move(C)) {}
+
+  //===--------------------------------------------------------------------===//
+  // Timing helpers
+  //===--------------------------------------------------------------------===//
+
+  Pipe pipeOf(InstrClass C) const {
+    switch (C) {
+    case InstrClass::IAlu32:
+    case InstrClass::IAlu64:
+      return Config.Arch.SplitIntFpPipes ? PipeInt : PipeFP;
+    case InstrClass::FAlu32:
+      return PipeFP;
+    case InstrClass::FAlu64:
+      return PipeDP;
+    case InstrClass::Sfu:
+      return PipeSfu;
+    case InstrClass::GlobalMem:
+    case InstrClass::SharedMem:
+    case InstrClass::LocalMem:
+    case InstrClass::GlobalAtomic:
+    case InstrClass::SharedAtomic:
+    case InstrClass::Shuffle:
+      return PipeMem;
+    case InstrClass::Barrier:
+    case InstrClass::Control:
+      return PipeFP; // control issues on the main pipe, II=1
+    }
+    return PipeFP;
+  }
+
+  int issueInterval(InstrClass C) const {
+    const GpuArch &A = Config.Arch;
+    switch (C) {
+    case InstrClass::IAlu32:
+      return A.IIAlu32;
+    case InstrClass::IAlu64:
+      return A.IIAlu64;
+    case InstrClass::FAlu32:
+      return A.IIFAlu32;
+    case InstrClass::FAlu64:
+      return A.IIFAlu64;
+    case InstrClass::Sfu:
+      return A.IISfu;
+    case InstrClass::GlobalMem:
+    case InstrClass::SharedMem:
+    case InstrClass::LocalMem:
+    case InstrClass::GlobalAtomic:
+    case InstrClass::SharedAtomic:
+    case InstrClass::Shuffle:
+      return A.IIMem;
+    case InstrClass::Barrier:
+    case InstrClass::Control:
+      return 1;
+    }
+    return 1;
+  }
+
+  int latencyOf(InstrClass C) const {
+    const GpuArch &A = Config.Arch;
+    switch (C) {
+    case InstrClass::IAlu32:
+      return A.LatAlu32;
+    case InstrClass::IAlu64:
+      return A.LatAlu64;
+    case InstrClass::FAlu32:
+      return A.LatFAlu32;
+    case InstrClass::FAlu64:
+      return A.LatSfu;
+    case InstrClass::Sfu:
+      return A.LatSfu;
+    case InstrClass::SharedMem:
+      return A.LatShared;
+    case InstrClass::LocalMem:
+      return A.LatLocal;
+    case InstrClass::Shuffle:
+      return A.LatShuffle;
+    case InstrClass::SharedAtomic:
+      return A.LatAtomShared;
+    default:
+      return A.LatAlu32;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Memory access helpers (functional)
+  //===--------------------------------------------------------------------===//
+
+  bool loadBytes(const uint8_t *Base, size_t Size, uint64_t Addr,
+                 uint8_t AccessSize, bool Signed, uint64_t &Out) {
+    if (Addr + AccessSize > Size)
+      return false;
+    uint64_t V = 0;
+    std::memcpy(&V, Base + Addr, AccessSize);
+    if (Signed && AccessSize < 8) {
+      unsigned Shift = 64 - AccessSize * 8;
+      V = static_cast<uint64_t>(static_cast<int64_t>(V << Shift) >> Shift);
+    }
+    Out = V;
+    return true;
+  }
+
+  bool storeBytes(uint8_t *Base, size_t Size, uint64_t Addr,
+                  uint8_t AccessSize, uint64_t V) {
+    if (Addr + AccessSize > Size)
+      return false;
+    std::memcpy(Base + Addr, &V, AccessSize);
+    return true;
+  }
+
+  /// Collects the distinct 32B sector addresses touched by the masked
+  /// lanes into \p Out (capacity WarpSize * 2) and returns their count
+  /// (at least 1, so an access is never free).
+  unsigned collectSectors(const WarpState &W, Reg AddrReg, int64_t Imm,
+                          uint8_t AccessSize, uint32_t Mask,
+                          uint64_t *Out) {
+    unsigned N = 0;
+    unsigned SectorShift = 5; // 32B sectors
+    for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
+      if (!(Mask & (1u << Lane)))
+        continue;
+      uint64_t Addr =
+          const_cast<WarpState &>(W).reg(AddrReg, Lane) + Imm;
+      for (uint64_t S = Addr >> SectorShift,
+                    E = (Addr + AccessSize - 1) >> SectorShift;
+           S <= E; ++S) {
+        bool Seen = false;
+        for (unsigned I = 0; I < N; ++I) {
+          if (Out[I] == S) {
+            Seen = true;
+            break;
+          }
+        }
+        if (!Seen && N < WarpSize * 2)
+          Out[N++] = S;
+      }
+    }
+    if (N == 0)
+      Out[N++] = 0;
+    return N;
+  }
+
+  /// Number of distinct 32B sectors touched by the masked lanes.
+  unsigned countSectors(const WarpState &W, Reg AddrReg, int64_t Imm,
+                        uint8_t AccessSize, uint32_t Mask) {
+    uint64_t Sectors[WarpSize * 2];
+    return collectSectors(W, AddrReg, Imm, AccessSize, Mask, Sectors);
+  }
+
+  /// Prices a global access through the memory system (L2 + DRAM),
+  /// charges the in-flight tracker with the DRAM-bound sectors, and
+  /// accounts per-launch traffic. Returns the completion cycle.
+  uint64_t priceGlobalAccess(SMState &SM, WarpState &W, uint64_t Cycle,
+                             const uint64_t *Sectors, unsigned N) {
+    unsigned NumMisses = 0;
+    uint64_t Completion = Mem->schedule(Cycle, Sectors, N, NumMisses);
+    // L2 hits occupy an MSHR too, but only for the (short) hit latency;
+    // modelling only miss traffic keeps the tracker a DRAM-pressure
+    // valve, which is its role.
+    SM.Inflight->issue(Completion, NumMisses > 0 ? NumMisses : 1);
+    LaunchState &LS = Launches[W.KernelIdx];
+    LS.GlobalSectors += N;
+    LS.L2HitSectors += N - NumMisses;
+    return Completion;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Barriers
+  //===--------------------------------------------------------------------===//
+
+  void checkBarrierRelease(SMState &SM, BlockState &B, int Id) {
+    int Target = 0;
+    // A pending barrier stores its explicit count in the first waiting
+    // warp we find; count 0 means "all live threads".
+    for (uint32_t WId : B.WarpIds) {
+      WarpState &W = SM.Warps[WId];
+      if (W.WaitMask && W.PendingBarId == Id && W.PendingBarCount > 0) {
+        Target = W.PendingBarCount;
+        break;
+      }
+    }
+    if (Target == 0)
+      Target = B.LiveThreads;
+    if (Target <= 0 || B.BarArrived[Id] < Target)
+      return;
+    B.BarArrived[Id] = 0;
+    for (uint32_t WId : B.WarpIds) {
+      WarpState &W = SM.Warps[WId];
+      if (W.WaitMask && W.PendingBarId == Id) {
+        W.WaitMask = 0;
+        W.PendingBarId = -1;
+        W.invalidateSchedCache();
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Block dispatch
+  //===--------------------------------------------------------------------===//
+
+  bool blockFits(const SMState &SM, const LaunchState &LS) const {
+    const GpuArch &A = Config.Arch;
+    const KernelLaunch &L = *LS.L;
+    if (SM.NumBlocks >= A.MaxBlocksPerSM)
+      return false;
+    if (SM.UsedThreads + totalBlockThreads(L) > A.MaxThreadsPerSM)
+      return false;
+    if (SM.UsedRegs + LS.RegUnitsPerBlock > A.RegsPerSM)
+      return false;
+    if (SM.UsedShared + LS.SharedPerBlock >
+        static_cast<uint32_t>(A.SharedMemPerSM))
+      return false;
+    return true;
+  }
+
+  void placeBlock(SMState &SM, unsigned SMIdx, uint16_t KernelIdx) {
+    LaunchState &LS = Launches[KernelIdx];
+    const KernelLaunch &L = *LS.L;
+    const IRKernel *K = L.Kernel;
+
+    // Find or create a block slot.
+    uint32_t Slot = UINT32_MAX;
+    for (uint32_t I = 0; I < SM.Blocks.size(); ++I) {
+      if (!SM.Blocks[I].Active) {
+        Slot = I;
+        break;
+      }
+    }
+    if (Slot == UINT32_MAX) {
+      Slot = static_cast<uint32_t>(SM.Blocks.size());
+      SM.Blocks.emplace_back();
+    }
+    BlockState &B = SM.Blocks[Slot];
+    B = BlockState();
+    B.Active = true;
+    B.KernelIdx = KernelIdx;
+    B.BlockId = static_cast<uint32_t>(LS.NextBlock++);
+    B.LiveThreads = totalBlockThreads(L);
+    B.NumWarps = totalBlockThreads(L) / int(WarpSize);
+    B.Threads = totalBlockThreads(L);
+    B.RegUnits = LS.RegUnitsPerBlock;
+    B.SharedBytes = LS.SharedPerBlock;
+    B.Shared.assign(K->StaticSharedBytes + L.DynSharedBytes, 0);
+
+    SM.UsedThreads += B.Threads;
+    SM.UsedRegs += B.RegUnits;
+    SM.UsedShared += B.SharedBytes;
+    ++SM.NumBlocks;
+
+    // Create warps.
+    for (int WIdx = 0; WIdx < B.NumWarps; ++WIdx) {
+      uint32_t WId = static_cast<uint32_t>(SM.Warps.size());
+      SM.Warps.emplace_back();
+      WarpState &W = SM.Warps.back();
+      W.KernelIdx = KernelIdx;
+      W.BlockSlot = Slot;
+      W.LiveMask = FullMask;
+      W.Regs.assign(size_t(K->NumRegs) * WarpSize, 0);
+      W.RegReady.assign(K->NumRegs, 0);
+      W.RegMemSrc.assign(K->NumRegs, 0);
+      if (K->LocalBytes > 0)
+        W.Local.assign(size_t(K->LocalBytes) * WarpSize, 0);
+      W.PC.fill(K->BlockStart.empty() ? 0 : K->BlockStart[0]);
+      // Parameters: registers, plus local memory for spilled ones.
+      for (size_t P = 0; P < K->ParamRegs.size(); ++P) {
+        if (K->ParamRegs[P] == NoReg)
+          continue;
+        for (unsigned Lane = 0; Lane < WarpSize; ++Lane)
+          W.reg(K->ParamRegs[P], Lane) = L.Params[P];
+      }
+      for (const IRKernel::ParamSpill &PS : K->SpilledParams)
+        for (unsigned Lane = 0; Lane < WarpSize; ++Lane)
+          std::memcpy(W.Local.data() +
+                          size_t(K->LocalBytes) * Lane + PS.LocalOffset,
+                      &L.Params[PS.ParamIndex], 8);
+      B.WarpIds.push_back(WId);
+      SM.Scheds[WId % SM.Scheds.size()].WarpIds.push_back(WId);
+      ++SM.ActiveWarps;
+    }
+    (void)SMIdx;
+  }
+
+  void dispatchBlocks(SMState &SM, unsigned SMIdx) {
+    // Grid-management-unit policy: grids dispatch in launch order — a
+    // later launch's blocks become eligible only once every earlier
+    // launch has no blocks left to dispatch. Equal-priority CUDA
+    // streams behave this way in practice: overlap happens only in the
+    // tail, while the earlier kernel's resident blocks drain. (This is
+    // what makes the paper's "native" baseline nearly serial.)
+    bool Placed = true;
+    while (Placed) {
+      Placed = false;
+      for (uint16_t K = 0; K < Launches.size(); ++K) {
+        LaunchState &LS = Launches[K];
+        if (LS.NextBlock >= LS.L->GridDim)
+          continue; // fully dispatched; the next launch may proceed
+        if (blockFits(SM, LS)) {
+          placeBlock(SM, SMIdx, K);
+          Placed = true;
+        }
+        break; // earlier launch still has queued blocks: stop here
+      }
+    }
+  }
+
+  void retireBlock(SMState &SM, unsigned SMIdx, BlockState &B) {
+    SM.UsedThreads -= B.Threads;
+    SM.UsedRegs -= B.RegUnits;
+    SM.UsedShared -= B.SharedBytes;
+    --SM.NumBlocks;
+    B.Active = false;
+    B.Shared.clear();
+    B.Shared.shrink_to_fit();
+
+    LaunchState &LS = Launches[B.KernelIdx];
+    ++LS.BlocksDone;
+    if (LS.BlocksDone == LS.L->GridDim)
+      LS.CompletionCycle = Cycle + 1;
+    dispatchBlocks(SM, SMIdx);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Instruction execution (functional + timing)
+  //===--------------------------------------------------------------------===//
+
+  /// Executes \p I for \p Mask lanes of \p W. Returns false on a fatal
+  /// error (Error is set). Advances lane PCs.
+  bool execute(SMState &SM, unsigned SMIdx, uint32_t WId, WarpState &W,
+               const Instruction &I, uint32_t Mask);
+
+  /// Attempts to issue one instruction on scheduler \p Sched. Classifies
+  /// every resident warp's state into \p ReasonSamples (nvprof-style
+  /// per-warp stall sampling) and updates \p WakeHint. Returns true if an
+  /// instruction was issued.
+  bool tryIssue(SMState &SM, unsigned SMIdx, SchedState &Sched,
+                uint64_t &WakeHint, uint64_t *ReasonSamples);
+
+  SimResult run(const std::vector<KernelLaunch> &Launches);
+};
+
+//===----------------------------------------------------------------------===//
+// Functional execution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+inline uint32_t lo32(uint64_t V) { return static_cast<uint32_t>(V); }
+
+inline float asF32(uint64_t V) { return std::bit_cast<float>(lo32(V)); }
+inline uint64_t fromF32(float F) {
+  return std::bit_cast<uint32_t>(F);
+}
+inline double asF64(uint64_t V) { return std::bit_cast<double>(V); }
+inline uint64_t fromF64(double D) { return std::bit_cast<uint64_t>(D); }
+
+/// Scalar ALU semantics shared by all lanes.
+uint64_t evalAlu(const Instruction &I, uint64_t A, uint64_t B, uint64_t C) {
+  const bool W64 = I.W == Width::W64;
+  auto Wrap = [&](uint64_t V) { return W64 ? V : uint64_t(lo32(V)); };
+  auto SExt = [&](uint64_t V) {
+    return W64 ? static_cast<int64_t>(V)
+               : static_cast<int64_t>(static_cast<int32_t>(lo32(V)));
+  };
+  switch (I.Op) {
+  case Opcode::MovImm:
+    return Wrap(static_cast<uint64_t>(I.Imm));
+  case Opcode::Mov:
+    return Wrap(A);
+  case Opcode::IAdd:
+    return Wrap(A + B);
+  case Opcode::ISub:
+    return Wrap(A - B);
+  case Opcode::IMul:
+    return Wrap(A * B);
+  case Opcode::IDivS: {
+    int64_t D = SExt(B);
+    if (D == 0)
+      return 0;
+    return Wrap(static_cast<uint64_t>(SExt(A) / D));
+  }
+  case Opcode::IDivU: {
+    uint64_t D = Wrap(B);
+    return D == 0 ? 0 : Wrap(Wrap(A) / D);
+  }
+  case Opcode::IRemS: {
+    int64_t D = SExt(B);
+    if (D == 0)
+      return 0;
+    return Wrap(static_cast<uint64_t>(SExt(A) % D));
+  }
+  case Opcode::IRemU: {
+    uint64_t D = Wrap(B);
+    return D == 0 ? 0 : Wrap(Wrap(A) % D);
+  }
+  case Opcode::IMinS:
+    return Wrap(SExt(A) < SExt(B) ? A : B);
+  case Opcode::IMinU:
+    return Wrap(std::min(Wrap(A), Wrap(B)));
+  case Opcode::IMaxS:
+    return Wrap(SExt(A) > SExt(B) ? A : B);
+  case Opcode::IMaxU:
+    return Wrap(std::max(Wrap(A), Wrap(B)));
+  case Opcode::Shl:
+    return Wrap(Wrap(A) << (B & (W64 ? 63 : 31)));
+  case Opcode::ShrU:
+    return Wrap(Wrap(A) >> (B & (W64 ? 63 : 31)));
+  case Opcode::ShrS:
+    return Wrap(static_cast<uint64_t>(SExt(A) >> (B & (W64 ? 63 : 31))));
+  case Opcode::And:
+    return Wrap(A & B);
+  case Opcode::Or:
+    return Wrap(A | B);
+  case Opcode::Xor:
+    return Wrap(A ^ B);
+  case Opcode::Not:
+    return Wrap(~A);
+  case Opcode::ICmpS: {
+    int64_t X = SExt(A), Y = SExt(B);
+    switch (I.Pred) {
+    case CmpPred::EQ:
+      return X == Y;
+    case CmpPred::NE:
+      return X != Y;
+    case CmpPred::LT:
+      return X < Y;
+    case CmpPred::LE:
+      return X <= Y;
+    case CmpPred::GT:
+      return X > Y;
+    case CmpPred::GE:
+      return X >= Y;
+    }
+    return 0;
+  }
+  case Opcode::ICmpU: {
+    uint64_t X = Wrap(A), Y = Wrap(B);
+    switch (I.Pred) {
+    case CmpPred::EQ:
+      return X == Y;
+    case CmpPred::NE:
+      return X != Y;
+    case CmpPred::LT:
+      return X < Y;
+    case CmpPred::LE:
+      return X <= Y;
+    case CmpPred::GT:
+      return X > Y;
+    case CmpPred::GE:
+      return X >= Y;
+    }
+    return 0;
+  }
+  case Opcode::Sel:
+    return Wrap(A != 0 ? B : C);
+  // Float.
+  case Opcode::FAdd:
+    return W64 ? fromF64(asF64(A) + asF64(B)) : fromF32(asF32(A) + asF32(B));
+  case Opcode::FSub:
+    return W64 ? fromF64(asF64(A) - asF64(B)) : fromF32(asF32(A) - asF32(B));
+  case Opcode::FMul:
+    return W64 ? fromF64(asF64(A) * asF64(B)) : fromF32(asF32(A) * asF32(B));
+  case Opcode::FDiv:
+    return W64 ? fromF64(asF64(A) / asF64(B)) : fromF32(asF32(A) / asF32(B));
+  case Opcode::FSqrt:
+    return W64 ? fromF64(std::sqrt(asF64(A)))
+               : fromF32(std::sqrt(asF32(A)));
+  case Opcode::FRsqrt:
+    return fromF32(1.0f / std::sqrt(asF32(A)));
+  case Opcode::FExp:
+    return fromF32(std::exp(asF32(A)));
+  case Opcode::FLog:
+    return fromF32(std::log(asF32(A)));
+  case Opcode::FMin:
+    return W64 ? fromF64(std::fmin(asF64(A), asF64(B)))
+               : fromF32(std::fmin(asF32(A), asF32(B)));
+  case Opcode::FMax:
+    return W64 ? fromF64(std::fmax(asF64(A), asF64(B)))
+               : fromF32(std::fmax(asF32(A), asF32(B)));
+  case Opcode::FNeg:
+    return W64 ? fromF64(-asF64(A)) : fromF32(-asF32(A));
+  case Opcode::FAbs:
+    return W64 ? fromF64(std::fabs(asF64(A))) : fromF32(std::fabs(asF32(A)));
+  case Opcode::FFloor:
+    return W64 ? fromF64(std::floor(asF64(A)))
+               : fromF32(std::floor(asF32(A)));
+  case Opcode::FCmp: {
+    double X, Y;
+    if (W64) {
+      X = asF64(A);
+      Y = asF64(B);
+    } else {
+      X = asF32(A);
+      Y = asF32(B);
+    }
+    switch (I.Pred) {
+    case CmpPred::EQ:
+      return X == Y;
+    case CmpPred::NE:
+      return X != Y;
+    case CmpPred::LT:
+      return X < Y;
+    case CmpPred::LE:
+      return X <= Y;
+    case CmpPred::GT:
+      return X > Y;
+    case CmpPred::GE:
+      return X >= Y;
+    }
+    return 0;
+  }
+  // Conversions.
+  case Opcode::CvtSI2F: {
+    int64_t V = I.SrcW == Width::W64
+                    ? static_cast<int64_t>(A)
+                    : static_cast<int64_t>(static_cast<int32_t>(lo32(A)));
+    return W64 ? fromF64(static_cast<double>(V))
+               : fromF32(static_cast<float>(V));
+  }
+  case Opcode::CvtUI2F: {
+    uint64_t V = I.SrcW == Width::W64 ? A : lo32(A);
+    return W64 ? fromF64(static_cast<double>(V))
+               : fromF32(static_cast<float>(V));
+  }
+  case Opcode::CvtF2SI: {
+    double V = I.SrcW == Width::W64 ? asF64(A) : asF32(A);
+    int64_t R = static_cast<int64_t>(V);
+    return W64 ? static_cast<uint64_t>(R)
+               : uint64_t(lo32(static_cast<uint64_t>(R)));
+  }
+  case Opcode::CvtF2UI: {
+    double V = I.SrcW == Width::W64 ? asF64(A) : asF32(A);
+    uint64_t R = V <= 0 ? 0 : static_cast<uint64_t>(V);
+    return W64 ? R : uint64_t(lo32(R));
+  }
+  case Opcode::CvtF2F:
+    return W64 ? fromF64(static_cast<double>(asF32(A)))
+               : fromF32(static_cast<float>(asF64(A)));
+  case Opcode::CvtSExt:
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(static_cast<int32_t>(lo32(A))));
+  case Opcode::CvtZExt:
+    return W64 ? uint64_t(lo32(A)) : uint64_t(lo32(A));
+  default:
+    return 0;
+  }
+}
+
+} // namespace
+
+bool Simulator::Impl::execute(SMState &SM, unsigned SMIdx, uint32_t WId,
+                              WarpState &W, const Instruction &I,
+                              uint32_t Mask) {
+  const IRKernel *K = Launches[W.KernelIdx].L->Kernel;
+  BlockState &B = SM.Blocks[W.BlockSlot];
+  InstrClass Cls = classify(I);
+  const GpuArch &A = Config.Arch;
+
+  auto AdvancePC = [&]() {
+    for (unsigned Lane = 0; Lane < WarpSize; ++Lane)
+      if (Mask & (1u << Lane))
+        ++W.PC[Lane];
+  };
+  auto SetDstReady = [&](uint64_t ReadyCycle, bool FromMem) {
+    if (I.Dst == NoReg)
+      return;
+    W.RegReady[I.Dst] = ReadyCycle;
+    W.RegMemSrc[I.Dst] = FromMem ? 1 : 0;
+  };
+  auto Fatal = [&](const std::string &Msg) {
+    Error = formatString("%s (kernel '%s', SM %u, block %u, pc area %u)",
+                         Msg.c_str(), K->Name.c_str(), SMIdx, B.BlockId,
+                         W.PC[std::countr_zero(Mask)]);
+    return false;
+  };
+
+  switch (I.Op) {
+  //===---------------- Control flow ----------------===//
+  case Opcode::Bra: {
+    uint32_t Target = K->BlockStart[static_cast<size_t>(I.Imm)];
+    for (unsigned Lane = 0; Lane < WarpSize; ++Lane)
+      if (Mask & (1u << Lane))
+        W.PC[Lane] = Target;
+    return true;
+  }
+  case Opcode::CBra: {
+    uint32_t TrueT = K->BlockStart[static_cast<size_t>(I.Imm)];
+    uint32_t FalseT = K->BlockStart[static_cast<size_t>(I.Imm2)];
+    for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
+      if (!(Mask & (1u << Lane)))
+        continue;
+      W.PC[Lane] = W.reg(I.Src[0], Lane) != 0 ? TrueT : FalseT;
+    }
+    return true;
+  }
+  case Opcode::Exit: {
+    W.LiveMask &= ~Mask;
+    B.LiveThreads -= static_cast<int>(popcount(Mask));
+    if (W.LiveMask == 0 && !W.Done) {
+      W.Done = true;
+      --SM.ActiveWarps;
+      ++B.WarpsDone;
+    }
+    // Exits may satisfy a pending full-block barrier.
+    for (int Id = 0; Id < 16; ++Id)
+      if (B.BarArrived[Id] > 0)
+        checkBarrierRelease(SM, B, Id);
+    if (B.LiveThreads == 0 && B.WarpsDone == B.NumWarps)
+      retireBlock(SM, SMIdx, B);
+    return true;
+  }
+  case Opcode::Bar: {
+    int Id = static_cast<int>(I.Imm);
+    if (W.WaitMask != 0 && W.PendingBarId != Id)
+      return Fatal("warp waits at two different barriers");
+    W.WaitMask |= Mask;
+    W.PendingBarId = static_cast<int8_t>(Id);
+    W.PendingBarCount = I.Imm2;
+    B.BarArrived[Id] += static_cast<int>(popcount(Mask));
+    AdvancePC();
+    checkBarrierRelease(SM, B, Id);
+    return true;
+  }
+
+  //===---------------- Special registers ----------------===//
+  case Opcode::SReg: {
+    const KernelLaunch &L = *Launches[W.KernelIdx].L;
+    uint32_t WarpInBlock = 0;
+    for (size_t WI = 0; WI < B.WarpIds.size(); ++WI) {
+      if (B.WarpIds[WI] == WId) {
+        WarpInBlock = static_cast<uint32_t>(WI);
+        break;
+      }
+    }
+    for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
+      if (!(Mask & (1u << Lane)))
+        continue;
+      // CUDA's linear layout: tid = x + y*ntid.x + z*ntid.x*ntid.y.
+      uint64_t Linear = WarpInBlock * WarpSize + Lane;
+      uint64_t V = 0;
+      switch (static_cast<SpecialReg>(I.Imm)) {
+      case SpecialReg::TidX:
+        V = Linear % static_cast<uint64_t>(L.BlockDim);
+        break;
+      case SpecialReg::TidY:
+        V = Linear / static_cast<uint64_t>(L.BlockDim) %
+            static_cast<uint64_t>(L.BlockDimY);
+        break;
+      case SpecialReg::TidZ:
+        V = Linear /
+            (static_cast<uint64_t>(L.BlockDim) *
+             static_cast<uint64_t>(L.BlockDimY));
+        break;
+      case SpecialReg::CtaIdX:
+        V = B.BlockId;
+        break;
+      case SpecialReg::NTidX:
+        V = static_cast<uint64_t>(L.BlockDim);
+        break;
+      case SpecialReg::NTidY:
+        V = static_cast<uint64_t>(L.BlockDimY);
+        break;
+      case SpecialReg::NTidZ:
+        V = static_cast<uint64_t>(L.BlockDimZ);
+        break;
+      case SpecialReg::NCtaIdX:
+        V = static_cast<uint64_t>(L.GridDim);
+        break;
+      }
+      W.reg(I.Dst, Lane) = V;
+    }
+    SetDstReady(Cycle + A.LatAlu32, false);
+    AdvancePC();
+    return true;
+  }
+
+  //===---------------- Shuffle ----------------===//
+  case Opcode::Shfl: {
+    uint64_t Vals[WarpSize];
+    for (unsigned Lane = 0; Lane < WarpSize; ++Lane)
+      Vals[Lane] = W.reg(I.Src[0], Lane);
+    for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
+      if (!(Mask & (1u << Lane)))
+        continue;
+      uint32_t Operand = lo32(W.reg(I.Src[1], Lane));
+      unsigned SrcLane =
+          I.Imm == 0 ? (Lane ^ Operand) : (Lane + Operand); // xor / down
+      if (SrcLane >= WarpSize)
+        SrcLane = Lane;
+      W.reg(I.Dst, Lane) = Vals[SrcLane];
+    }
+    SetDstReady(Cycle + A.LatShuffle, false);
+    AdvancePC();
+    return true;
+  }
+
+  //===---------------- Memory ----------------===//
+  case Opcode::LdGlobal:
+  case Opcode::StGlobal: {
+    uint64_t Sectors[WarpSize * 2];
+    unsigned N = collectSectors(W, I.Src[0], I.Imm, I.MemSize, Mask,
+                                Sectors);
+    uint64_t Completion = priceGlobalAccess(SM, W, Cycle, Sectors, N);
+    for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
+      if (!(Mask & (1u << Lane)))
+        continue;
+      uint64_t Addr = W.reg(I.Src[0], Lane) + I.Imm;
+      if (I.Op == Opcode::LdGlobal) {
+        uint64_t V;
+        if (!loadBytes(Global.data(), GlobalTop, Addr, I.MemSize,
+                       I.MemSigned, V))
+          return Fatal(formatString("global load out of bounds at 0x%llx",
+                                    static_cast<unsigned long long>(Addr)));
+        W.reg(I.Dst, Lane) = V;
+      } else {
+        if (!storeBytes(Global.data(), GlobalTop, Addr, I.MemSize,
+                        W.reg(I.Src[1], Lane)))
+          return Fatal(formatString("global store out of bounds at 0x%llx",
+                                    static_cast<unsigned long long>(Addr)));
+      }
+    }
+    if (I.Op == Opcode::LdGlobal)
+      SetDstReady(Completion, true);
+    AdvancePC();
+    return true;
+  }
+  case Opcode::LdShared:
+  case Opcode::StShared: {
+    for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
+      if (!(Mask & (1u << Lane)))
+        continue;
+      uint64_t Addr = W.reg(I.Src[0], Lane) + I.Imm;
+      if (I.Op == Opcode::LdShared) {
+        uint64_t V;
+        if (!loadBytes(B.Shared.data(), B.Shared.size(), Addr, I.MemSize,
+                       I.MemSigned, V))
+          return Fatal("shared load out of bounds");
+        W.reg(I.Dst, Lane) = V;
+      } else {
+        if (!storeBytes(B.Shared.data(), B.Shared.size(), Addr, I.MemSize,
+                        W.reg(I.Src[1], Lane)))
+          return Fatal("shared store out of bounds");
+      }
+    }
+    if (I.Op == Opcode::LdShared)
+      SetDstReady(Cycle + A.LatShared, false);
+    AdvancePC();
+    return true;
+  }
+  case Opcode::LdLocal:
+  case Opcode::StLocal: {
+    // Local memory (spills, local arrays) is interleaved per lane and
+    // L1-resident at spill-sized footprints: fixed short latency, no
+    // DRAM bandwidth or MSHR pressure.
+    for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
+      if (!(Mask & (1u << Lane)))
+        continue;
+      uint64_t Base = I.Src[0] == NoReg ? 0 : W.reg(I.Src[0], Lane);
+      uint64_t Addr = size_t(K->LocalBytes) * Lane + Base + I.Imm;
+      if (I.Op == Opcode::LdLocal) {
+        uint64_t V;
+        if (!loadBytes(W.Local.data(), W.Local.size(), Addr, I.MemSize,
+                       I.MemSigned, V))
+          return Fatal("local load out of bounds");
+        W.reg(I.Dst, Lane) = V;
+      } else {
+        if (!storeBytes(W.Local.data(), W.Local.size(), Addr, I.MemSize,
+                        W.reg(I.Src[1], Lane)))
+          return Fatal("local store out of bounds");
+      }
+    }
+    if (I.Op == Opcode::LdLocal)
+      SetDstReady(Cycle + A.LatLocal, false);
+    AdvancePC();
+    return true;
+  }
+  case Opcode::AtomAddG:
+  case Opcode::AtomAddS: {
+    bool IsGlobal = I.Op == Opcode::AtomAddG;
+    uint8_t *Base = IsGlobal ? Global.data() : B.Shared.data();
+    size_t Size = IsGlobal ? GlobalTop : B.Shared.size();
+    // Same-address serialization factor.
+    unsigned MaxMult = 1;
+    {
+      uint64_t Addrs[WarpSize];
+      unsigned N = 0;
+      for (unsigned Lane = 0; Lane < WarpSize; ++Lane)
+        if (Mask & (1u << Lane))
+          Addrs[N++] = W.reg(I.Src[0], Lane) + I.Imm;
+      for (unsigned X = 0; X < N; ++X) {
+        unsigned Mult = 0;
+        for (unsigned Y = 0; Y < N; ++Y)
+          if (Addrs[Y] == Addrs[X])
+            ++Mult;
+        MaxMult = std::max(MaxMult, Mult);
+      }
+    }
+    for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
+      if (!(Mask & (1u << Lane)))
+        continue;
+      uint64_t Addr = W.reg(I.Src[0], Lane) + I.Imm;
+      uint64_t Old;
+      if (!loadBytes(Base, Size, Addr, I.MemSize, false, Old))
+        return Fatal("atomic out of bounds");
+      uint64_t Add = W.reg(I.Src[1], Lane);
+      uint64_t New;
+      if (I.AtomFloat) {
+        New = I.MemSize == 8 ? fromF64(asF64(Old) + asF64(Add))
+                             : fromF32(asF32(Old) + asF32(Add));
+      } else {
+        New = Old + Add;
+      }
+      if (!storeBytes(Base, Size, Addr, I.MemSize, New))
+        return Fatal("atomic out of bounds");
+      if (I.Dst != NoReg)
+        W.reg(I.Dst, Lane) = Old;
+    }
+    uint64_t Ready;
+    if (IsGlobal) {
+      uint64_t Sectors[WarpSize * 2];
+      unsigned N = collectSectors(W, I.Src[0], I.Imm, I.MemSize, Mask,
+                                  Sectors);
+      uint64_t Completion = priceGlobalAccess(SM, W, Cycle, Sectors, N);
+      Ready = Completion + (A.LatAtomGlobal - A.LatGlobal) +
+              (MaxMult - 1) * 4;
+    } else {
+      Ready = Cycle + A.LatAtomShared + (MaxMult - 1) * 2;
+    }
+    LastAtomicReplay = MaxMult;
+    SetDstReady(Ready, IsGlobal);
+    AdvancePC();
+    return true;
+  }
+
+  //===---------------- ALU ----------------===//
+  default: {
+    for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
+      if (!(Mask & (1u << Lane)))
+        continue;
+      uint64_t SrcA = I.Src[0] != NoReg ? W.reg(I.Src[0], Lane) : 0;
+      uint64_t SrcB = I.Src[1] != NoReg ? W.reg(I.Src[1], Lane) : 0;
+      uint64_t SrcC = I.Src[2] != NoReg ? W.reg(I.Src[2], Lane) : 0;
+      uint64_t V = evalAlu(I, SrcA, SrcB, SrcC);
+      if (I.Dst != NoReg)
+        W.reg(I.Dst, Lane) = V;
+    }
+    SetDstReady(Cycle + latencyOf(Cls), false);
+    AdvancePC();
+    return true;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Issue
+//===----------------------------------------------------------------------===//
+
+bool Simulator::Impl::tryIssue(SMState &SM, unsigned SMIdx,
+                               SchedState &Sched, uint64_t &WakeHint,
+                               uint64_t *ReasonSamples) {
+  const size_t N = Sched.WarpIds.size();
+  if (N == 0)
+    return false;
+
+  // Pass 1: classify every resident warp; remember the first eligible
+  // one in round-robin order.
+  int CandidateStep = -1;
+  uint32_t CandMask = 0;
+  uint32_t CandPC = 0;
+  for (size_t Step = 0; Step < N; ++Step) {
+    uint32_t WId = Sched.WarpIds[(Sched.RRNext + Step) % N];
+    WarpState &W = SM.Warps[WId];
+    if (W.Done)
+      continue;
+
+    // Fast path: a warp known to be blocked until WakeAt keeps its
+    // cached stall reason without re-examination.
+    if (W.WakeAt > Cycle) {
+      ++ReasonSamples[size_t(W.CachedReason)];
+      WakeHint = std::min(WakeHint, W.WakeAt);
+      continue;
+    }
+
+    uint32_t Runnable = W.LiveMask & ~W.WaitMask;
+    if (Runnable == 0) {
+      // Waiting at a barrier; woken explicitly by checkBarrierRelease.
+      W.WakeAt = UINT64_MAX;
+      W.CachedReason = Stall::Barrier;
+      ++ReasonSamples[size_t(Stall::Barrier)];
+      continue;
+    }
+
+    // The warp's current instruction only changes when it executes or a
+    // barrier releases lanes, both of which invalidate the cache.
+    uint32_t MinPC;
+    uint32_t Mask;
+    if (W.CacheValid) {
+      MinPC = W.CachedPC;
+      Mask = W.CachedMask;
+    } else {
+      MinPC = UINT32_MAX;
+      for (unsigned Lane = 0; Lane < WarpSize; ++Lane)
+        if ((Runnable & (1u << Lane)) && W.PC[Lane] < MinPC)
+          MinPC = W.PC[Lane];
+      Mask = 0;
+      for (unsigned Lane = 0; Lane < WarpSize; ++Lane)
+        if ((Runnable & (1u << Lane)) && W.PC[Lane] == MinPC)
+          Mask |= 1u << Lane;
+      W.CacheValid = true;
+      W.CachedPC = MinPC;
+      W.CachedMask = Mask;
+    }
+
+    const IRKernel *K = Launches[W.KernelIdx].L->Kernel;
+    const Instruction &I = K->Flat[MinPC];
+    InstrClass Cls = classify(I);
+
+    // Scoreboard.
+    bool Blocked = false;
+    bool BlockedByMem = false;
+    uint64_t ReadyAt = 0;
+    auto CheckReg = [&](Reg R) {
+      if (R == NoReg)
+        return;
+      if (W.RegReady[R] > Cycle) {
+        Blocked = true;
+        BlockedByMem |= W.RegMemSrc[R] != 0;
+        ReadyAt = std::max(ReadyAt, W.RegReady[R]);
+      }
+    };
+    for (Reg S : I.Src)
+      CheckReg(S);
+    CheckReg(I.Dst);
+    if (Blocked) {
+      W.WakeAt = ReadyAt;
+      W.CachedReason = BlockedByMem ? Stall::MemDep : Stall::ExecDep;
+      WakeHint = std::min(WakeHint, ReadyAt);
+      ++ReasonSamples[size_t(W.CachedReason)];
+      continue;
+    }
+
+    // Pipe availability.
+    Pipe P = pipeOf(Cls);
+    if (Cls != InstrClass::Barrier && Cls != InstrClass::Control &&
+        Sched.PipeFree[P] > Cycle) {
+      WakeHint = std::min(WakeHint, Sched.PipeFree[P]);
+      ++ReasonSamples[size_t(Stall::PipeBusy)];
+      continue;
+    }
+
+    // Shared-memory atomic unit back-pressure.
+    if (Cls == InstrClass::SharedAtomic && SM.AtomUnitFree > Cycle) {
+      W.WakeAt = SM.AtomUnitFree;
+      W.CachedReason = Stall::PipeBusy;
+      WakeHint = std::min(WakeHint, SM.AtomUnitFree);
+      ++ReasonSamples[size_t(Stall::PipeBusy)];
+      continue;
+    }
+
+    // Memory back-pressure (local memory is L1-resident; exempt).
+    if (Cls == InstrClass::GlobalMem || Cls == InstrClass::GlobalAtomic) {
+      unsigned Sectors = countSectors(W, I.Src[0], I.Imm, I.MemSize, Mask);
+      if (!SM.Inflight->canIssue(Cycle, Sectors)) {
+        uint64_t Next = SM.Inflight->nextCompletion();
+        W.WakeAt = Next;
+        W.CachedReason = Stall::MemThrottle;
+        WakeHint = std::min(WakeHint, Next);
+        ++ReasonSamples[size_t(Stall::MemThrottle)];
+        continue;
+      }
+    }
+
+    if (CandidateStep < 0) {
+      CandidateStep = static_cast<int>(Step);
+      CandMask = Mask;
+      CandPC = MinPC;
+    } else {
+      ++ReasonSamples[size_t(Stall::NotSelected)];
+    }
+  }
+
+  if (CandidateStep < 0) {
+    Sched.RRNext = static_cast<uint32_t>((Sched.RRNext + 1) % N);
+    return false;
+  }
+
+  uint32_t WId = Sched.WarpIds[(Sched.RRNext + CandidateStep) % N];
+  WarpState &W = SM.Warps[WId];
+  const IRKernel *K = Launches[W.KernelIdx].L->Kernel;
+  const Instruction &I = K->Flat[CandPC];
+  InstrClass Cls = classify(I);
+  Pipe P = pipeOf(Cls);
+
+  // Issue! Note: execute() may retire the block and dispatch a new one,
+  // reallocating SM.Warps — W must not be used afterwards.
+  uint16_t KernelIdx = W.KernelIdx;
+  W.invalidateSchedCache();
+  LastAtomicReplay = 1;
+  if (!execute(SM, SMIdx, WId, W, I, CandMask))
+    return false; // fatal error recorded; run() aborts
+  if (Cls != InstrClass::Barrier && Cls != InstrClass::Control)
+    Sched.PipeFree[P] = Cycle + issueInterval(Cls);
+  if (Cls == InstrClass::SharedAtomic)
+    SM.AtomUnitFree =
+        Cycle + uint64_t(LastAtomicReplay) * Config.Arch.IIAtomShared;
+  ++Launches[KernelIdx].Issued;
+  ++IssuedSlots;
+  if (Config.Arch.Scheduler == SchedPolicy::GreedyThenOldest) {
+    // Stay on this warp next cycle (greedy-then-oldest).
+    Sched.RRNext =
+        static_cast<uint32_t>((Sched.RRNext + CandidateStep) % N);
+  } else {
+    // Strict round robin: move past the issued warp.
+    Sched.RRNext =
+        static_cast<uint32_t>((Sched.RRNext + CandidateStep + 1) % N);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Main loop
+//===----------------------------------------------------------------------===//
+
+SimResult Simulator::Impl::run(const std::vector<KernelLaunch> &Ls) {
+  SimResult Res;
+  const GpuArch &A = Config.Arch;
+
+  // Reset machine state.
+  SMs.clear();
+  Launches.clear();
+  Cycle = 0;
+  Error.clear();
+  IssuedSlots = 0;
+  std::fill(std::begin(StallSamples), std::end(StallSamples), 0);
+  ActiveWarpIntegral = 0;
+  ActiveCycleSlots = 0;
+  double BW = A.BytesPerCycleDevice * Config.SimSMs / A.NumSMs;
+  Mem = std::make_unique<MemorySystem>(BW, A.LatGlobal, A.SectorBytes);
+  L2.reset();
+  if (Config.ModelL2 && A.L2Bytes > 0) {
+    // The simulated-SM subset sees a proportional slice of the L2, the
+    // same scaling applied to DRAM bandwidth.
+    long Scaled = A.L2Bytes * Config.SimSMs / A.NumSMs;
+    L2 = std::make_unique<SectorCache>(Scaled, A.L2Assoc, A.SectorBytes);
+    Mem->setL2(L2.get(), A.LatL2Hit);
+  }
+
+  // Validate launches and precompute per-block resources.
+  for (const KernelLaunch &L : Ls) {
+    if (!L.Kernel) {
+      Res.Error = "null kernel in launch";
+      return Res;
+    }
+    if (L.BlockDim <= 0 || L.BlockDimY <= 0 || L.BlockDimZ <= 0 ||
+        totalBlockThreads(L) % A.WarpSize != 0 ||
+        totalBlockThreads(L) > A.MaxThreadsPerBlock) {
+      Res.Error = formatString(
+          "kernel '%s': block shape %dx%dx%d is not a warp multiple in "
+          "(0, %d]",
+          L.Kernel->Name.c_str(), L.BlockDim, L.BlockDimY, L.BlockDimZ,
+          A.MaxThreadsPerBlock);
+      return Res;
+    }
+    if (L.Params.size() != L.Kernel->ParamRegs.size()) {
+      Res.Error = formatString("kernel '%s': expected %zu parameters, got "
+                               "%zu",
+                               L.Kernel->Name.c_str(),
+                               L.Kernel->ParamRegs.size(), L.Params.size());
+      return Res;
+    }
+    if (L.Kernel->ArchRegsPerThread == 0) {
+      Res.Error = formatString("kernel '%s' was not register-allocated",
+                               L.Kernel->Name.c_str());
+      return Res;
+    }
+    uint32_t SharedBytes = L.Kernel->StaticSharedBytes + L.DynSharedBytes;
+    OccupancyResult Occ =
+        computeOccupancy(A, totalBlockThreads(L),
+                         static_cast<int>(L.Kernel->ArchRegsPerThread),
+                         SharedBytes);
+    if (Occ.BlocksPerSM < 1) {
+      Res.Error = formatString("kernel '%s' cannot launch: resources "
+                               "exceed one SM",
+                               L.Kernel->Name.c_str());
+      return Res;
+    }
+    LaunchState LS;
+    LS.L = &L;
+    LS.RegUnitsPerBlock =
+        regsPerWarpAllocated(A, static_cast<int>(
+                                    L.Kernel->ArchRegsPerThread)) *
+        (totalBlockThreads(L) / A.WarpSize);
+    uint32_t Unit = A.SharedAllocUnit;
+    LS.SharedPerBlock = (SharedBytes + Unit - 1) / Unit * Unit;
+    Launches.push_back(LS);
+  }
+
+  SMs.resize(Config.SimSMs);
+  for (int S = 0; S < Config.SimSMs; ++S) {
+    SMs[S].Scheds.resize(A.SchedulersPerSM);
+    SMs[S].Inflight =
+        std::make_unique<InflightTracker>(A.MaxInflightSectorsPerSM);
+    dispatchBlocks(SMs[S], static_cast<unsigned>(S));
+  }
+
+  auto AllDone = [&]() {
+    for (const LaunchState &LS : Launches)
+      if (LS.BlocksDone < LS.L->GridDim)
+        return false;
+    return true;
+  };
+
+  const uint64_t TotalScheds =
+      uint64_t(Config.SimSMs) * A.SchedulersPerSM;
+
+  while (!AllDone()) {
+    if (Cycle >= Config.MaxCycles) {
+      Res.Error = "simulation exceeded the cycle limit (deadlock or "
+                  "runaway kernel?)";
+      return Res;
+    }
+
+    bool AnyIssued = false;
+    uint64_t WakeHint = UINT64_MAX;
+    uint64_t CycleSamples[NumStalls] = {};
+    uint64_t ActiveWarps = 0;
+    uint64_t ActiveScheds = 0;
+
+    for (unsigned S = 0; S < SMs.size(); ++S) {
+      SMState &SM = SMs[S];
+      SM.Inflight->drain(Cycle);
+      ActiveWarps += static_cast<uint64_t>(SM.ActiveWarps);
+      for (SchedState &Sched : SM.Scheds) {
+        bool HasWarp = false;
+        for (uint32_t WId : Sched.WarpIds)
+          if (!SM.Warps[WId].Done) {
+            HasWarp = true;
+            break;
+          }
+        if (!HasWarp)
+          continue;
+        ++ActiveScheds;
+        AnyIssued |= tryIssue(SM, S, Sched, WakeHint, CycleSamples);
+        if (!Error.empty()) {
+          Res.Error = Error;
+          return Res;
+        }
+      }
+    }
+
+    uint64_t Delta = 1;
+    if (!AnyIssued) {
+      if (WakeHint == UINT64_MAX) {
+        Res.Error = "deadlock: no eligible warps and no pending events";
+        return Res;
+      }
+      Delta = std::max<uint64_t>(1, WakeHint - Cycle);
+    }
+    for (size_t R = 0; R < NumStalls; ++R)
+      StallSamples[R] += CycleSamples[R] * Delta;
+    ActiveWarpIntegral += ActiveWarps * Delta;
+    ActiveCycleSlots += ActiveScheds * Delta;
+    Cycle += Delta;
+  }
+
+  // ---- Metrics -------------------------------------------------------------
+  Res.Ok = true;
+  Res.TotalCycles = 0;
+  for (const LaunchState &LS : Launches)
+    Res.TotalCycles = std::max(Res.TotalCycles, LS.CompletionCycle);
+  Res.TotalMs =
+      static_cast<double>(Res.TotalCycles) / (A.ClockGHz * 1e9) * 1e3;
+  Res.TotalIssued = IssuedSlots;
+
+  uint64_t TotalSlots = Res.TotalCycles * TotalScheds;
+  uint64_t TotalStalls = 0;
+  for (size_t R = 1; R < NumStalls; ++R) // skip Stall::None
+    TotalStalls += StallSamples[R];
+  Res.DeviceIssueSlotUtilPct =
+      TotalSlots ? 100.0 * IssuedSlots / TotalSlots : 0.0;
+  Res.DeviceMemStallPct =
+      TotalStalls ? 100.0 *
+                        (StallSamples[size_t(Stall::MemDep)] +
+                         StallSamples[size_t(Stall::MemThrottle)]) /
+                        TotalStalls
+                  : 0.0;
+  Res.DeviceOccupancyPct =
+      Res.TotalCycles
+          ? 100.0 * ActiveWarpIntegral /
+                (double(Res.TotalCycles) * Config.SimSMs * A.maxWarpsPerSM())
+          : 0.0;
+  if (TotalStalls)
+    for (size_t R = 1; R < NumStalls; ++R)
+      Res.StallSharePct[R - 1] =
+          100.0 * StallSamples[R] / static_cast<double>(TotalStalls);
+
+  for (const LaunchState &LS : Launches) {
+    KernelMetrics M;
+    M.Label = LS.L->Label.empty() ? LS.L->Kernel->Name : LS.L->Label;
+    M.ElapsedCycles = LS.CompletionCycle;
+    M.TimeMs =
+        static_cast<double>(LS.CompletionCycle) / (A.ClockGHz * 1e9) * 1e3;
+    M.IssuedInsts = LS.Issued;
+    uint64_t Slots = LS.CompletionCycle * TotalScheds;
+    M.IssueSlotUtilPct = Slots ? 100.0 * LS.Issued / Slots : 0.0;
+    M.MemStallPct = Res.DeviceMemStallPct;
+    M.AchievedOccupancyPct = Res.DeviceOccupancyPct;
+    M.RegsPerThread = LS.L->Kernel->ArchRegsPerThread;
+    M.GlobalSectors = LS.GlobalSectors;
+    M.L2HitRatePct = LS.GlobalSectors
+                         ? 100.0 * static_cast<double>(LS.L2HitSectors) /
+                               static_cast<double>(LS.GlobalSectors)
+                         : 0.0;
+    M.SharedBytesPerBlock =
+        LS.L->Kernel->StaticSharedBytes + LS.L->DynSharedBytes;
+    OccupancyResult Occ = computeOccupancy(
+        A, totalBlockThreads(*LS.L), static_cast<int>(M.RegsPerThread),
+        M.SharedBytesPerBlock);
+    M.TheoreticalBlocksPerSM = Occ.BlocksPerSM;
+    Res.Kernels.push_back(std::move(M));
+  }
+  return Res;
+}
+
+//===----------------------------------------------------------------------===//
+// Public interface
+//===----------------------------------------------------------------------===//
+
+Simulator::Simulator(SimConfig Config)
+    : P(std::make_unique<Impl>(std::move(Config))) {}
+
+Simulator::~Simulator() = default;
+
+uint64_t Simulator::allocGlobal(size_t Bytes) {
+  uint64_t Base = (P->GlobalTop + 63) & ~size_t(63);
+  P->GlobalTop = Base + Bytes;
+  if (P->Global.size() < P->GlobalTop)
+    P->Global.resize(P->GlobalTop);
+  return Base;
+}
+
+std::vector<uint8_t> &Simulator::globalMem() { return P->Global; }
+
+SimResult Simulator::run(const std::vector<KernelLaunch> &Launches) {
+  return P->run(Launches);
+}

@@ -1,0 +1,620 @@
+//===-- kernels/Kernels.cpp - The paper's 9 benchmark kernels -------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernels.h"
+
+#include "kernels/CryptoTables.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <map>
+
+using namespace hfuse;
+using namespace hfuse::kernels;
+
+const std::vector<BenchKernelId> &hfuse::kernels::allKernels() {
+  static const std::vector<BenchKernelId> All = {
+      BenchKernelId::Maxpool,  BenchKernelId::Batchnorm,
+      BenchKernelId::Upsample, BenchKernelId::Im2Col,
+      BenchKernelId::Hist,     BenchKernelId::Ethash,
+      BenchKernelId::SHA256,   BenchKernelId::Blake256,
+      BenchKernelId::Blake2B,
+  };
+  return All;
+}
+
+const std::vector<BenchKernelId> &hfuse::kernels::deepLearningKernels() {
+  static const std::vector<BenchKernelId> DL = {
+      BenchKernelId::Maxpool,  BenchKernelId::Batchnorm,
+      BenchKernelId::Upsample, BenchKernelId::Im2Col,
+      BenchKernelId::Hist,
+  };
+  return DL;
+}
+
+const std::vector<BenchKernelId> &hfuse::kernels::cryptoKernels() {
+  static const std::vector<BenchKernelId> Crypto = {
+      BenchKernelId::Ethash,
+      BenchKernelId::SHA256,
+      BenchKernelId::Blake256,
+      BenchKernelId::Blake2B,
+  };
+  return Crypto;
+}
+
+const std::vector<BenchKernelId> &hfuse::kernels::extensionKernels() {
+  static const std::vector<BenchKernelId> Ext = {
+      BenchKernelId::Batchnorm2D,
+  };
+  return Ext;
+}
+
+const char *hfuse::kernels::kernelDisplayName(BenchKernelId Id) {
+  switch (Id) {
+  case BenchKernelId::Maxpool:
+    return "Maxpool";
+  case BenchKernelId::Batchnorm:
+    return "Batchnorm";
+  case BenchKernelId::Upsample:
+    return "Upsample";
+  case BenchKernelId::Im2Col:
+    return "Im2Col";
+  case BenchKernelId::Hist:
+    return "Hist";
+  case BenchKernelId::Ethash:
+    return "Ethash";
+  case BenchKernelId::SHA256:
+    return "SHA256";
+  case BenchKernelId::Blake256:
+    return "Blake256";
+  case BenchKernelId::Blake2B:
+    return "Blake2B";
+  case BenchKernelId::Batchnorm2D:
+    return "Batchnorm2D";
+  }
+  return "?";
+}
+
+const char *hfuse::kernels::kernelFunctionName(BenchKernelId Id) {
+  switch (Id) {
+  case BenchKernelId::Maxpool:
+    return "maxpool2d";
+  case BenchKernelId::Batchnorm:
+    return "batch_norm_collect_statistics";
+  case BenchKernelId::Upsample:
+    return "upsample_bilinear2d";
+  case BenchKernelId::Im2Col:
+    return "im2col_kernel";
+  case BenchKernelId::Hist:
+    return "kernel_histogram1d";
+  case BenchKernelId::Ethash:
+    return "ethash_search";
+  case BenchKernelId::SHA256:
+    return "sha256_gpu_hash";
+  case BenchKernelId::Blake256:
+    return "blake256_gpu_hash";
+  case BenchKernelId::Blake2B:
+    return "blake2b_gpu_hash";
+  case BenchKernelId::Batchnorm2D:
+    return "batch_norm_collect_statistics_2d";
+  }
+  return "?";
+}
+
+bool hfuse::kernels::kernelHasTunableBlockDim(BenchKernelId Id) {
+  switch (Id) {
+  case BenchKernelId::Ethash:
+  case BenchKernelId::SHA256:
+  case BenchKernelId::Blake256:
+  case BenchKernelId::Blake2B:
+    return false;
+  default:
+    return true;
+  }
+}
+
+int hfuse::kernels::kernelNativeBlockDim(BenchKernelId Id) {
+  (void)Id;
+  return 256;
+}
+
+int hfuse::kernels::kernelNativeBlockDimY(BenchKernelId Id) {
+  // Batchnorm2D natively launches 16x16 blocks: threadIdx.y walks the 16
+  // batches of its workload (paper Figure 2's blockDim.y).
+  return Id == BenchKernelId::Batchnorm2D ? 16 : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Deep-learning kernels (hand-written, mirroring the PyTorch originals)
+//===----------------------------------------------------------------------===//
+
+/// 2D max-pooling, 3x3 window, stride 1, no padding, over a CxHxW input.
+static const char *MaxpoolSource = R"(
+__global__ void maxpool2d(float *out, const float *in, int c, int h, int w,
+                          int total) {
+  int ow = w - 2;
+  int oh = h - 2;
+  for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < total;
+       i += gridDim.x * blockDim.x) {
+    int x = i % ow;
+    int y = (i / ow) % oh;
+    int ch = i / (ow * oh);
+    const float *p0 = in + (ch * h + y) * w + x;
+    const float *p1 = p0 + w;
+    const float *p2 = p1 + w;
+    float m = p0[0];
+    m = fmaxf(m, p0[1]);
+    m = fmaxf(m, p0[2]);
+    m = fmaxf(m, p1[0]);
+    m = fmaxf(m, p1[1]);
+    m = fmaxf(m, p1[2]);
+    m = fmaxf(m, p2[0]);
+    m = fmaxf(m, p2[1]);
+    m = fmaxf(m, p2[2]);
+    out[i] = m;
+  }
+}
+)";
+
+/// Mean/variance per plane via Welford accumulation and two levels of
+/// warp-shuffle reduction (paper Figure 2). Planes are processed in a
+/// grid-stride loop so the kernel works with any grid dimension.
+static const char *BatchnormSource = R"(
+__global__ void batch_norm_collect_statistics(float *out_mean,
+                                              float *out_var,
+                                              const float *in, int planes,
+                                              int n) {
+  __shared__ float shared_avg[32];
+  __shared__ float shared_var[32];
+  __shared__ int shared_n[32];
+  for (int plane = blockIdx.x; plane < planes; plane += gridDim.x) {
+    // PART A: per-thread Welford, then intra-warp merge via shuffles.
+    float avg = 0.0f;
+    float var_n = 0.0f;
+    int cnt = 0;
+    for (int x = threadIdx.x; x < n; x += blockDim.x) {
+      float v = in[plane * n + x];
+      float d1 = v - avg;
+      cnt = cnt + 1;
+      avg += d1 / (float)cnt;
+      var_n += d1 * (v - avg);
+    }
+    for (int i = 0; i < 5; i++) {
+      float o_avg = __shfl_xor_sync(0xffffffffu, avg, 1 << i);
+      int o_n = __shfl_xor_sync(0xffffffffu, cnt, 1 << i);
+      float o_var = __shfl_xor_sync(0xffffffffu, var_n, 1 << i);
+      float factor = 1.0f / fmaxf(1.0f, (float)(cnt + o_n));
+      var_n += o_var + (avg - o_avg) * (avg - o_avg) *
+                           (float)cnt * (float)o_n * factor;
+      avg = ((float)cnt * avg + (float)o_n * o_avg) * factor;
+      cnt += o_n;
+    }
+    __syncthreads();
+    // PART B: one partial result per warp into shared memory.
+    if (threadIdx.x % 32u == 0u) {
+      shared_avg[threadIdx.x / 32u] = avg;
+      shared_var[threadIdx.x / 32u] = var_n;
+      shared_n[threadIdx.x / 32u] = cnt;
+    }
+    __syncthreads();
+    // PART C: first warp merges the per-warp partials.
+    if (threadIdx.x < 32u) {
+      int warps = (int)(blockDim.x / 32u);
+      avg = (int)threadIdx.x < warps ? shared_avg[threadIdx.x] : 0.0f;
+      var_n = (int)threadIdx.x < warps ? shared_var[threadIdx.x] : 0.0f;
+      cnt = (int)threadIdx.x < warps ? shared_n[threadIdx.x] : 0;
+      for (int i = 0; i < 5; i++) {
+        float o_avg = __shfl_xor_sync(0xffffffffu, avg, 1 << i);
+        int o_n = __shfl_xor_sync(0xffffffffu, cnt, 1 << i);
+        float o_var = __shfl_xor_sync(0xffffffffu, var_n, 1 << i);
+        float factor = 1.0f / fmaxf(1.0f, (float)(cnt + o_n));
+        var_n += o_var + (avg - o_avg) * (avg - o_avg) *
+                             (float)cnt * (float)o_n * factor;
+        avg = ((float)cnt * avg + (float)o_n * o_avg) * factor;
+        cnt += o_n;
+      }
+      if (threadIdx.x == 0u) {
+        out_mean[plane] = avg;
+        out_var[plane] = var_n / (float)n;
+      }
+    }
+  }
+}
+)";
+
+/// Batchnorm with a 2-D thread block, following the paper's Figure 2
+/// verbatim: `threadIdx.y` strides over batches, `threadIdx.x` over the
+/// spatial dimension, and the warp bookkeeping uses the linearized
+/// `tid = threadIdx.x + threadIdx.y * blockDim.x`. The input tensor is
+/// batch-major (`in[batch][plane][x]`), unlike the plane-major 1-D
+/// variant above.
+static const char *Batchnorm2DSource = R"(
+__global__ void batch_norm_collect_statistics_2d(float *out_mean,
+                                                 float *out_var,
+                                                 const float *in,
+                                                 int planes, int nbatch,
+                                                 int spatial) {
+  __shared__ float shared_avg[32];
+  __shared__ float shared_var[32];
+  __shared__ int shared_n[32];
+  int tid = (int)(threadIdx.x + threadIdx.y * blockDim.x);
+  for (int plane = blockIdx.x; plane < planes; plane += gridDim.x) {
+    // PART A: per-thread Welford over a batch x spatial tile, then
+    // intra-warp merge via shuffles.
+    float avg = 0.0f;
+    float var_n = 0.0f;
+    int cnt = 0;
+    for (int batch = threadIdx.y; batch < nbatch; batch += blockDim.y) {
+      for (int x = threadIdx.x; x < spatial; x += blockDim.x) {
+        float v = in[(batch * planes + plane) * spatial + x];
+        float d1 = v - avg;
+        cnt = cnt + 1;
+        avg += d1 / (float)cnt;
+        var_n += d1 * (v - avg);
+      }
+    }
+    for (int i = 0; i < 5; i++) {
+      float o_avg = __shfl_xor_sync(0xffffffffu, avg, 1 << i);
+      int o_n = __shfl_xor_sync(0xffffffffu, cnt, 1 << i);
+      float o_var = __shfl_xor_sync(0xffffffffu, var_n, 1 << i);
+      float factor = 1.0f / fmaxf(1.0f, (float)(cnt + o_n));
+      var_n += o_var + (avg - o_avg) * (avg - o_avg) *
+                           (float)cnt * (float)o_n * factor;
+      avg = ((float)cnt * avg + (float)o_n * o_avg) * factor;
+      cnt += o_n;
+    }
+    __syncthreads();
+    // PART B: one partial result per warp into shared memory.
+    if (tid % 32 == 0) {
+      shared_avg[tid / 32] = avg;
+      shared_var[tid / 32] = var_n;
+      shared_n[tid / 32] = cnt;
+    }
+    __syncthreads();
+    // PART C: first warp merges the per-warp partials.
+    if (tid < 32) {
+      int warps = (int)(blockDim.x * blockDim.y) / 32;
+      avg = tid < warps ? shared_avg[tid] : 0.0f;
+      var_n = tid < warps ? shared_var[tid] : 0.0f;
+      cnt = tid < warps ? shared_n[tid] : 0;
+      for (int i = 0; i < 5; i++) {
+        float o_avg = __shfl_xor_sync(0xffffffffu, avg, 1 << i);
+        int o_n = __shfl_xor_sync(0xffffffffu, cnt, 1 << i);
+        float o_var = __shfl_xor_sync(0xffffffffu, var_n, 1 << i);
+        float factor = 1.0f / fmaxf(1.0f, (float)(cnt + o_n));
+        var_n += o_var + (avg - o_avg) * (avg - o_avg) *
+                             (float)cnt * (float)o_n * factor;
+        avg = ((float)cnt * avg + (float)o_n * o_avg) * factor;
+        cnt += o_n;
+      }
+      if (tid == 0) {
+        out_mean[plane] = avg;
+        out_var[plane] = var_n / (float)(nbatch * spatial);
+      }
+    }
+  }
+}
+)";
+
+/// 2x bilinear upsampling of a CxHxW tensor.
+static const char *UpsampleSource = R"(
+__global__ void upsample_bilinear2d(float *out, const float *in, int c,
+                                    int ih, int iw, int total) {
+  int ow = iw * 2;
+  int oh = ih * 2;
+  for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < total;
+       i += gridDim.x * blockDim.x) {
+    int x = i % ow;
+    int y = (i / ow) % oh;
+    int ch = i / (ow * oh);
+    float sx = (float)x * 0.5f;
+    float sy = (float)y * 0.5f;
+    int x0 = (int)sx;
+    int y0 = (int)sy;
+    int x1 = min(x0 + 1, iw - 1);
+    int y1 = min(y0 + 1, ih - 1);
+    float fx = sx - (float)x0;
+    float fy = sy - (float)y0;
+    const float *p = in + ch * ih * iw;
+    float top = p[y0 * iw + x0] * (1.0f - fx) + p[y0 * iw + x1] * fx;
+    float bot = p[y1 * iw + x0] * (1.0f - fx) + p[y1 * iw + x1] * fx;
+    out[i] = top * (1.0f - fy) + bot * fy;
+  }
+}
+)";
+
+/// Rearranges 3x3 image patches into columns (stride 1, no padding).
+static const char *Im2ColSource = R"(
+__global__ void im2col_kernel(float *out, const float *in, int c, int h,
+                              int w, int total) {
+  int ow = w - 2;
+  int oh = h - 2;
+  for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < total;
+       i += gridDim.x * blockDim.x) {
+    int x = i % ow;
+    int t = i / ow;
+    int y = t % oh;
+    t = t / oh;
+    int kx = t % 3;
+    t = t / 3;
+    int ky = t % 3;
+    int ch = t / 3;
+    out[i] = in[(ch * h + y + ky) * w + x + kx];
+  }
+}
+)";
+
+/// Histogram over float values with shared-memory counters (paper
+/// Figure 3): zero the counters, accumulate with shared atomics, flush
+/// with global atomics.
+static const char *HistSource = R"(
+__global__ void kernel_histogram1d(unsigned int *out, const float *data,
+                                   int total, int nbins, float minv,
+                                   float maxv) {
+  extern __shared__ unsigned int smem[];
+  // PART A: initialize shared counters.
+  for (int i = threadIdx.x; i < nbins; i += blockDim.x) {
+    smem[i] = 0u;
+  }
+  __syncthreads();
+  // PART B: count into shared memory.
+  for (int li = blockIdx.x * blockDim.x + threadIdx.x; li < total;
+       li += gridDim.x * blockDim.x) {
+    float v = data[li];
+    if (v >= minv && v <= maxv) {
+      int bin = (int)((v - minv) / (maxv - minv) * (float)nbins);
+      bin = min(bin, nbins - 1);
+      atomicAdd(&smem[bin], 1u);
+    }
+  }
+  __syncthreads();
+  // PART C: merge into the global histogram.
+  for (int i = threadIdx.x; i < nbins; i += blockDim.x) {
+    atomicAdd(&out[i], smem[i]);
+  }
+}
+)";
+
+/// Ethash-style proof of work: data-dependent random lookups into a
+/// large DAG, mixed with FNV — memory-latency bound by construction.
+static const char *EthashSource = R"(
+__global__ void ethash_search(unsigned int *out, const unsigned int *dag,
+                              int dag_words, int iters,
+                              unsigned int seed) {
+  unsigned int gid = blockIdx.x * blockDim.x + threadIdx.x;
+  unsigned int mix = seed ^ (gid * 2654435761u);
+  for (int i = 0; i < iters; i++) {
+    unsigned int idx = (mix ^ (unsigned int)i * 0x9E3779B9u)
+                       % (unsigned int)dag_words;
+    unsigned int a = dag[idx];
+    mix = (mix * 0x01000193u) ^ a;
+  }
+  out[gid] = mix;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Crypto kernel generators (fully unrolled, like the miner originals)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// "((x >> n) | (x << (32 - n)))"
+std::string rotr32(const std::string &X, int N) {
+  return formatString("((%s >> %d) | (%s << %d))", X.c_str(), N, X.c_str(),
+                      32 - N);
+}
+
+std::string rotr64(const std::string &X, int N) {
+  return formatString("((%s >> %d) | (%s << %d))", X.c_str(), N, X.c_str(),
+                      64 - N);
+}
+
+/// SHA-256: full 64-round compression with the message schedule kept in
+/// sixteen rotating registers (w0..w15), the standard miner layout.
+std::string generateSHA256() {
+  std::string S;
+  S += "__global__ void sha256_gpu_hash(unsigned int *out, int iters,\n"
+       "                                unsigned int seed) {\n"
+       "  unsigned int gid = blockIdx.x * blockDim.x + threadIdx.x;\n"
+       "  unsigned int acc = 0u;\n"
+       "  for (int it = 0; it < iters; it++) {\n"
+       "    unsigned int itv = (unsigned int)it;\n";
+  // Message block from the nonce.
+  for (int J = 0; J < 16; ++J)
+    S += formatString("    unsigned int w%d = (gid * 2654435761u) ^ "
+                      "(itv * 2246822519u) ^ (seed + %du) * 3266489917u;\n",
+                      J, J);
+  // Initial state.
+  static const char *HName[8] = {"a", "b", "c", "d", "e", "f", "g", "h"};
+  for (int J = 0; J < 8; ++J)
+    S += formatString("    unsigned int %s = 0x%08Xu;\n", HName[J],
+                      Sha256InitState[J]);
+  for (int R = 0; R < 64; ++R) {
+    std::string W = formatString("w%d", R % 16);
+    if (R >= 16) {
+      // w[r%16] += s0(w[(r+1)%16]) + w[(r+9)%16] + s1(w[(r+14)%16])
+      std::string W1 = formatString("w%d", (R + 1) % 16);
+      std::string W9 = formatString("w%d", (R + 9) % 16);
+      std::string W14 = formatString("w%d", (R + 14) % 16);
+      S += formatString(
+          "    %s += (%s ^ %s ^ (%s >> 3)) + %s + (%s ^ %s ^ (%s >> 10));\n",
+          W.c_str(), rotr32(W1, 7).c_str(), rotr32(W1, 18).c_str(),
+          W1.c_str(), W9.c_str(), rotr32(W14, 17).c_str(),
+          rotr32(W14, 19).c_str(), W14.c_str());
+    }
+    // t1 = h + S1(e) + ch(e,f,g) + K[r] + w; t2 = S0(a) + maj(a,b,c)
+    S += formatString(
+        "    unsigned int t1_%d = h + (%s ^ %s ^ %s) + ((e & f) ^ (~e & g)) "
+        "+ 0x%08Xu + %s;\n",
+        R, rotr32("e", 6).c_str(), rotr32("e", 11).c_str(),
+        rotr32("e", 25).c_str(), Sha256RoundK[R], W.c_str());
+    S += formatString(
+        "    unsigned int t2_%d = (%s ^ %s ^ %s) + ((a & b) ^ (a & c) ^ "
+        "(b & c));\n",
+        R, rotr32("a", 2).c_str(), rotr32("a", 13).c_str(),
+        rotr32("a", 22).c_str());
+    S += formatString("    h = g; g = f; f = e; e = d + t1_%d;\n", R);
+    S += formatString("    d = c; c = b; b = a; a = t1_%d + t2_%d;\n", R, R);
+  }
+  S += "    acc ^= a + e;\n"
+       "  }\n"
+       "  out[gid] = acc;\n"
+       "}\n";
+  return S;
+}
+
+/// Blake-256: 14 rounds of the column/diagonal G function with the
+/// real sigma permutation schedule and u256 constants.
+std::string generateBlake256() {
+  std::string S;
+  S += "__global__ void blake256_gpu_hash(unsigned int *out, int iters,\n"
+       "                                  unsigned int seed) {\n"
+       "  unsigned int gid = blockIdx.x * blockDim.x + threadIdx.x;\n"
+       "  unsigned int acc = 0u;\n"
+       "  for (int it = 0; it < iters; it++) {\n"
+       "    unsigned int itv = (unsigned int)it;\n";
+  for (int J = 0; J < 16; ++J)
+    S += formatString("    unsigned int m%d = (gid * 2654435761u) ^ "
+                      "(itv * 2246822519u) ^ (seed + %du) * 3266489917u;\n",
+                      J, J);
+  for (int J = 0; J < 8; ++J)
+    S += formatString("    unsigned int v%d = 0x%08Xu;\n", J,
+                      Sha256InitState[J]); // blake256 IV == sha256 IV
+  for (int J = 0; J < 8; ++J)
+    S += formatString("    unsigned int v%d = 0x%08Xu;\n", J + 8,
+                      BlakeU256[J]);
+
+  static const int Cols[8][4] = {{0, 4, 8, 12},  {1, 5, 9, 13},
+                                 {2, 6, 10, 14}, {3, 7, 11, 15},
+                                 {0, 5, 10, 15}, {1, 6, 11, 12},
+                                 {2, 7, 8, 13},  {3, 4, 9, 14}};
+  for (int R = 0; R < 14; ++R) {
+    const uint8_t *Sig = BlakeSigma[R % 10];
+    for (int G = 0; G < 8; ++G) {
+      int A = Cols[G][0], B = Cols[G][1], C = Cols[G][2], D = Cols[G][3];
+      int X = Sig[2 * G], Y = Sig[2 * G + 1];
+      auto V = [](int I) { return formatString("v%d", I); };
+      std::string VA = V(A), VB = V(B), VC = V(C), VD = V(D);
+      S += formatString("    %s += %s + (m%d ^ 0x%08Xu);\n", VA.c_str(),
+                        VB.c_str(), X, BlakeU256[Y]);
+      S += formatString("    %s = %s;\n", VD.c_str(),
+                        rotr32("(" + VD + " ^ " + VA + ")", 16).c_str());
+      S += formatString("    %s += %s;\n", VC.c_str(), VD.c_str());
+      S += formatString("    %s = %s;\n", VB.c_str(),
+                        rotr32("(" + VB + " ^ " + VC + ")", 12).c_str());
+      S += formatString("    %s += %s + (m%d ^ 0x%08Xu);\n", VA.c_str(),
+                        VB.c_str(), Y, BlakeU256[X]);
+      S += formatString("    %s = %s;\n", VD.c_str(),
+                        rotr32("(" + VD + " ^ " + VA + ")", 8).c_str());
+      S += formatString("    %s += %s;\n", VC.c_str(), VD.c_str());
+      S += formatString("    %s = %s;\n", VB.c_str(),
+                        rotr32("(" + VB + " ^ " + VC + ")", 7).c_str());
+    }
+  }
+  S += "    acc ^= v0 ^ v8;\n"
+       "  }\n"
+       "  out[gid] = acc;\n"
+       "}\n";
+  return S;
+}
+
+/// Blake2b: 12 rounds of the 64-bit G function (rotations 32/24/16/63).
+std::string generateBlake2B() {
+  std::string S;
+  S += "__global__ void blake2b_gpu_hash(unsigned long long *out, int "
+       "iters,\n"
+       "                                 unsigned int seed) {\n"
+       "  unsigned int gid = blockIdx.x * blockDim.x + threadIdx.x;\n"
+       "  unsigned long long acc = 0ull;\n"
+       "  for (int it = 0; it < iters; it++) {\n"
+       "    unsigned long long itv = (unsigned long long)it;\n";
+  for (int J = 0; J < 16; ++J)
+    S += formatString(
+        "    unsigned long long m%d = ((unsigned long long)gid * "
+        "0x9E3779B97F4A7C15ull) ^ (itv * 0xBF58476D1CE4E5B9ull) ^ "
+        "((unsigned long long)(seed + %du) * 0x94D049BB133111EBull);\n",
+        J, J);
+  for (int J = 0; J < 16; ++J)
+    S += formatString("    unsigned long long v%d = 0x%016llXull;\n", J,
+                      static_cast<unsigned long long>(Blake2BIV[J % 8] ^
+                                                      (J >= 8 ? 0 : J)));
+
+  static const int Cols[8][4] = {{0, 4, 8, 12},  {1, 5, 9, 13},
+                                 {2, 6, 10, 14}, {3, 7, 11, 15},
+                                 {0, 5, 10, 15}, {1, 6, 11, 12},
+                                 {2, 7, 8, 13},  {3, 4, 9, 14}};
+  for (int R = 0; R < 12; ++R) {
+    const uint8_t *Sig = BlakeSigma[R % 10];
+    for (int G = 0; G < 8; ++G) {
+      int A = Cols[G][0], B = Cols[G][1], C = Cols[G][2], D = Cols[G][3];
+      int X = Sig[2 * G], Y = Sig[2 * G + 1];
+      auto V = [](int I) { return formatString("v%d", I); };
+      std::string VA = V(A), VB = V(B), VC = V(C), VD = V(D);
+      S += formatString("    %s += %s + m%d;\n", VA.c_str(), VB.c_str(), X);
+      S += formatString("    %s = %s;\n", VD.c_str(),
+                        rotr64("(" + VD + " ^ " + VA + ")", 32).c_str());
+      S += formatString("    %s += %s;\n", VC.c_str(), VD.c_str());
+      S += formatString("    %s = %s;\n", VB.c_str(),
+                        rotr64("(" + VB + " ^ " + VC + ")", 24).c_str());
+      S += formatString("    %s += %s + m%d;\n", VA.c_str(), VB.c_str(), Y);
+      S += formatString("    %s = %s;\n", VD.c_str(),
+                        rotr64("(" + VD + " ^ " + VA + ")", 16).c_str());
+      S += formatString("    %s += %s;\n", VC.c_str(), VD.c_str());
+      S += formatString("    %s = %s;\n", VB.c_str(),
+                        rotr64("(" + VB + " ^ " + VC + ")", 63).c_str());
+    }
+  }
+  S += "    acc ^= v0 ^ v8;\n"
+       "  }\n"
+       "  out[gid] = acc;\n"
+       "}\n";
+  return S;
+}
+
+} // namespace
+
+const std::string &hfuse::kernels::kernelSource(BenchKernelId Id) {
+  static std::map<BenchKernelId, std::string> Cache;
+  auto It = Cache.find(Id);
+  if (It != Cache.end())
+    return It->second;
+
+  std::string Source;
+  switch (Id) {
+  case BenchKernelId::Maxpool:
+    Source = MaxpoolSource;
+    break;
+  case BenchKernelId::Batchnorm:
+    Source = BatchnormSource;
+    break;
+  case BenchKernelId::Upsample:
+    Source = UpsampleSource;
+    break;
+  case BenchKernelId::Im2Col:
+    Source = Im2ColSource;
+    break;
+  case BenchKernelId::Hist:
+    Source = HistSource;
+    break;
+  case BenchKernelId::Ethash:
+    Source = EthashSource;
+    break;
+  case BenchKernelId::SHA256:
+    Source = generateSHA256();
+    break;
+  case BenchKernelId::Blake256:
+    Source = generateBlake256();
+    break;
+  case BenchKernelId::Blake2B:
+    Source = generateBlake2B();
+    break;
+  case BenchKernelId::Batchnorm2D:
+    Source = Batchnorm2DSource;
+    break;
+  }
+  return Cache.emplace(Id, std::move(Source)).first->second;
+}

@@ -1,0 +1,87 @@
+//===-- kernels/Kernels.h - The paper's 9 benchmark kernels -----*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CuLite sources for the paper's benchmark kernels (§IV-A): five deep-
+/// learning kernels re-implemented from their PyTorch originals
+/// (Maxpool, Batchnorm, Upsample, Im2Col, Hist) and four cryptography
+/// kernels re-implemented from ethminer/ccminer (Ethash, SHA256,
+/// Blake256, Blake2B). The crypto kernels are emitted fully unrolled by
+/// small generators — exactly how the miner codebases write them — so
+/// their round state lives in registers, not local memory.
+///
+/// Algorithmic fidelity notes:
+///  - Batchnorm uses Welford accumulation + two levels of warp-shuffle
+///    reduction with two __syncthreads, like Figure 2 of the paper;
+///  - Hist uses extern __shared__ counters with shared-memory atomics
+///    and a grid-stride loop, like Figure 3;
+///  - Ethash performs data-dependent random DAG lookups mixed with FNV;
+///  - SHA256/Blake256/Blake2B implement the real round functions and
+///    permutation schedules on synthetic nonce-derived messages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_KERNELS_KERNELS_H
+#define HFUSE_KERNELS_KERNELS_H
+
+#include <string>
+#include <vector>
+
+namespace hfuse::kernels {
+
+enum class BenchKernelId {
+  Maxpool,
+  Batchnorm,
+  Upsample,
+  Im2Col,
+  Hist,
+  Ethash,
+  SHA256,
+  Blake256,
+  Blake2B,
+  /// Extension: Batchnorm written with a 2-D thread block exactly like
+  /// the paper's Figure 2 (`threadIdx.y` walks batches, `threadIdx.x`
+  /// the spatial dimension; the input is batch-major). Exercises the
+  /// multi-dimensional fusion prologue of paper Figure 4. Not part of
+  /// the paper's 16 evaluation pairs.
+  Batchnorm2D,
+};
+
+/// All nine kernels, in the paper's order.
+const std::vector<BenchKernelId> &allKernels();
+/// The five deep-learning kernels.
+const std::vector<BenchKernelId> &deepLearningKernels();
+/// The four cryptography kernels.
+const std::vector<BenchKernelId> &cryptoKernels();
+/// Kernels beyond the paper's nine (multi-dimensional-block variants).
+const std::vector<BenchKernelId> &extensionKernels();
+
+/// Display name matching the paper ("Maxpool", "Ethash", ...).
+const char *kernelDisplayName(BenchKernelId Id);
+
+/// The __global__ function name inside the source.
+const char *kernelFunctionName(BenchKernelId Id);
+
+/// The CuLite source of the kernel (generated on first use, cached).
+const std::string &kernelSource(BenchKernelId Id);
+
+/// True for kernels whose block dimension may be tuned by HFuse's
+/// thread-space search (all DL kernels; crypto kernels are fixed,
+/// paper §IV-A).
+bool kernelHasTunableBlockDim(BenchKernelId Id);
+
+/// The block dimension used for native (solo) launches. For kernels
+/// with a multi-dimensional block this is the *total* thread count;
+/// the .y extent is kernelNativeBlockDimY.
+int kernelNativeBlockDim(BenchKernelId Id);
+
+/// The .y block extent of native launches (1 for every kernel except
+/// the 2-D extension kernels).
+int kernelNativeBlockDimY(BenchKernelId Id);
+
+} // namespace hfuse::kernels
+
+#endif // HFUSE_KERNELS_KERNELS_H

@@ -1,0 +1,264 @@
+//===-- kernels/Reference.cpp - CPU reference implementations -------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Reference.h"
+
+#include "kernels/CryptoTables.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace hfuse::kernels;
+
+void hfuse::kernels::refMaxpool(std::vector<float> &Out,
+                                const std::vector<float> &In, int C, int H,
+                                int W) {
+  int OW = W - 2, OH = H - 2;
+  Out.assign(size_t(C) * OW * OH, 0.0f);
+  for (int Ch = 0; Ch < C; ++Ch) {
+    for (int Y = 0; Y < OH; ++Y) {
+      for (int X = 0; X < OW; ++X) {
+        float M = In[(size_t(Ch) * H + Y) * W + X];
+        for (int DY = 0; DY < 3; ++DY)
+          for (int DX = 0; DX < 3; ++DX)
+            M = std::fmax(M, In[(size_t(Ch) * H + Y + DY) * W + X + DX]);
+        Out[(size_t(Ch) * OH + Y) * OW + X] = M;
+      }
+    }
+  }
+}
+
+void hfuse::kernels::refBatchnorm(std::vector<double> &Mean,
+                                  std::vector<double> &Var,
+                                  const std::vector<float> &In, int Planes,
+                                  int N) {
+  Mean.assign(Planes, 0.0);
+  Var.assign(Planes, 0.0);
+  for (int P = 0; P < Planes; ++P) {
+    double Sum = 0.0;
+    for (int X = 0; X < N; ++X)
+      Sum += In[size_t(P) * N + X];
+    double M = Sum / N;
+    double V = 0.0;
+    for (int X = 0; X < N; ++X) {
+      double D = In[size_t(P) * N + X] - M;
+      V += D * D;
+    }
+    Mean[P] = M;
+    Var[P] = V / N;
+  }
+}
+
+void hfuse::kernels::refBatchnorm2D(std::vector<double> &Mean,
+                                    std::vector<double> &Var,
+                                    const std::vector<float> &In,
+                                    int Planes, int NBatch, int Spatial) {
+  Mean.assign(Planes, 0.0);
+  Var.assign(Planes, 0.0);
+  const double N = static_cast<double>(NBatch) * Spatial;
+  for (int P = 0; P < Planes; ++P) {
+    double Sum = 0.0;
+    for (int B = 0; B < NBatch; ++B)
+      for (int X = 0; X < Spatial; ++X)
+        Sum += In[(size_t(B) * Planes + P) * Spatial + X];
+    double M = Sum / N;
+    double V = 0.0;
+    for (int B = 0; B < NBatch; ++B)
+      for (int X = 0; X < Spatial; ++X) {
+        double D = In[(size_t(B) * Planes + P) * Spatial + X] - M;
+        V += D * D;
+      }
+    Mean[P] = M;
+    Var[P] = V / N;
+  }
+}
+
+void hfuse::kernels::refUpsample(std::vector<float> &Out,
+                                 const std::vector<float> &In, int C,
+                                 int IH, int IW) {
+  int OW = IW * 2, OH = IH * 2;
+  Out.assign(size_t(C) * OW * OH, 0.0f);
+  for (int Ch = 0; Ch < C; ++Ch) {
+    const float *P = In.data() + size_t(Ch) * IH * IW;
+    for (int Y = 0; Y < OH; ++Y) {
+      for (int X = 0; X < OW; ++X) {
+        float SX = static_cast<float>(X) * 0.5f;
+        float SY = static_cast<float>(Y) * 0.5f;
+        int X0 = static_cast<int>(SX);
+        int Y0 = static_cast<int>(SY);
+        int X1 = std::min(X0 + 1, IW - 1);
+        int Y1 = std::min(Y0 + 1, IH - 1);
+        float FX = SX - static_cast<float>(X0);
+        float FY = SY - static_cast<float>(Y0);
+        float Top = P[Y0 * IW + X0] * (1.0f - FX) + P[Y0 * IW + X1] * FX;
+        float Bot = P[Y1 * IW + X0] * (1.0f - FX) + P[Y1 * IW + X1] * FX;
+        Out[(size_t(Ch) * OH + Y) * OW + X] = Top * (1.0f - FY) + Bot * FY;
+      }
+    }
+  }
+}
+
+void hfuse::kernels::refIm2Col(std::vector<float> &Out,
+                               const std::vector<float> &In, int C, int H,
+                               int W) {
+  int OW = W - 2, OH = H - 2;
+  Out.assign(size_t(C) * 9 * OW * OH, 0.0f);
+  size_t I = 0;
+  for (int Ch = 0; Ch < C; ++Ch)
+    for (int KY = 0; KY < 3; ++KY)
+      for (int KX = 0; KX < 3; ++KX)
+        for (int Y = 0; Y < OH; ++Y)
+          for (int X = 0; X < OW; ++X)
+            Out[I++] = In[(size_t(Ch) * H + Y + KY) * W + X + KX];
+}
+
+void hfuse::kernels::refHist(std::vector<uint32_t> &Out,
+                             const std::vector<float> &Data, int NBins,
+                             float MinV, float MaxV) {
+  Out.assign(NBins, 0);
+  for (float V : Data) {
+    if (V >= MinV && V <= MaxV) {
+      // Mirror the device kernel's float binning exactly.
+      int Bin = static_cast<int>((V - MinV) / (MaxV - MinV) *
+                                 static_cast<float>(NBins));
+      Bin = std::min(Bin, NBins - 1);
+      ++Out[Bin];
+    }
+  }
+}
+
+uint32_t hfuse::kernels::refEthashOne(uint32_t Gid,
+                                      const std::vector<uint32_t> &Dag,
+                                      int Iters, uint32_t Seed) {
+  uint32_t Mix = Seed ^ (Gid * 2654435761u);
+  for (int I = 0; I < Iters; ++I) {
+    uint32_t Idx = (Mix ^ (static_cast<uint32_t>(I) * 0x9E3779B9u)) %
+                   static_cast<uint32_t>(Dag.size());
+    Mix = (Mix * 0x01000193u) ^ Dag[Idx];
+  }
+  return Mix;
+}
+
+namespace {
+uint32_t rotr32v(uint32_t X, int N) { return (X >> N) | (X << (32 - N)); }
+uint64_t rotr64v(uint64_t X, int N) { return (X >> N) | (X << (64 - N)); }
+} // namespace
+
+uint32_t hfuse::kernels::refSha256One(uint32_t Gid, int Iters,
+                                      uint32_t Seed) {
+  uint32_t Acc = 0;
+  for (int It = 0; It < Iters; ++It) {
+    uint32_t Itv = static_cast<uint32_t>(It);
+    uint32_t W[16];
+    for (uint32_t J = 0; J < 16; ++J)
+      W[J] = (Gid * 2654435761u) ^ (Itv * 2246822519u) ^
+             ((Seed + J) * 3266489917u);
+    uint32_t S[8];
+    for (int J = 0; J < 8; ++J)
+      S[J] = Sha256InitState[J];
+    uint32_t &A = S[0], &B = S[1], &C = S[2], &D = S[3], &E = S[4],
+             &F = S[5], &G = S[6], &H = S[7];
+    for (int R = 0; R < 64; ++R) {
+      if (R >= 16) {
+        uint32_t W1 = W[(R + 1) % 16], W9 = W[(R + 9) % 16],
+                 W14 = W[(R + 14) % 16];
+        W[R % 16] += (rotr32v(W1, 7) ^ rotr32v(W1, 18) ^ (W1 >> 3)) + W9 +
+                     (rotr32v(W14, 17) ^ rotr32v(W14, 19) ^ (W14 >> 10));
+      }
+      uint32_t T1 = H + (rotr32v(E, 6) ^ rotr32v(E, 11) ^ rotr32v(E, 25)) +
+                    ((E & F) ^ (~E & G)) + Sha256RoundK[R] + W[R % 16];
+      uint32_t T2 = (rotr32v(A, 2) ^ rotr32v(A, 13) ^ rotr32v(A, 22)) +
+                    ((A & B) ^ (A & C) ^ (B & C));
+      H = G;
+      G = F;
+      F = E;
+      E = D + T1;
+      D = C;
+      C = B;
+      B = A;
+      A = T1 + T2;
+    }
+    Acc ^= A + E;
+  }
+  return Acc;
+}
+
+uint32_t hfuse::kernels::refBlake256One(uint32_t Gid, int Iters,
+                                        uint32_t Seed) {
+  static const int Cols[8][4] = {{0, 4, 8, 12},  {1, 5, 9, 13},
+                                 {2, 6, 10, 14}, {3, 7, 11, 15},
+                                 {0, 5, 10, 15}, {1, 6, 11, 12},
+                                 {2, 7, 8, 13},  {3, 4, 9, 14}};
+  uint32_t Acc = 0;
+  for (int It = 0; It < Iters; ++It) {
+    uint32_t Itv = static_cast<uint32_t>(It);
+    uint32_t M[16];
+    for (uint32_t J = 0; J < 16; ++J)
+      M[J] = (Gid * 2654435761u) ^ (Itv * 2246822519u) ^
+             ((Seed + J) * 3266489917u);
+    uint32_t V[16];
+    for (int J = 0; J < 8; ++J)
+      V[J] = Sha256InitState[J];
+    for (int J = 0; J < 8; ++J)
+      V[J + 8] = BlakeU256[J];
+    for (int R = 0; R < 14; ++R) {
+      const uint8_t *Sig = BlakeSigma[R % 10];
+      for (int G = 0; G < 8; ++G) {
+        uint32_t &A = V[Cols[G][0]], &B = V[Cols[G][1]], &C = V[Cols[G][2]],
+                 &D = V[Cols[G][3]];
+        int X = Sig[2 * G], Y = Sig[2 * G + 1];
+        A += B + (M[X] ^ BlakeU256[Y]);
+        D = rotr32v(D ^ A, 16);
+        C += D;
+        B = rotr32v(B ^ C, 12);
+        A += B + (M[Y] ^ BlakeU256[X]);
+        D = rotr32v(D ^ A, 8);
+        C += D;
+        B = rotr32v(B ^ C, 7);
+      }
+    }
+    Acc ^= V[0] ^ V[8];
+  }
+  return Acc;
+}
+
+uint64_t hfuse::kernels::refBlake2BOne(uint32_t Gid, int Iters,
+                                       uint32_t Seed) {
+  static const int Cols[8][4] = {{0, 4, 8, 12},  {1, 5, 9, 13},
+                                 {2, 6, 10, 14}, {3, 7, 11, 15},
+                                 {0, 5, 10, 15}, {1, 6, 11, 12},
+                                 {2, 7, 8, 13},  {3, 4, 9, 14}};
+  uint64_t Acc = 0;
+  for (int It = 0; It < Iters; ++It) {
+    uint64_t Itv = static_cast<uint64_t>(It);
+    uint64_t M[16];
+    for (uint32_t J = 0; J < 16; ++J)
+      M[J] = (static_cast<uint64_t>(Gid) * 0x9E3779B97F4A7C15ull) ^
+             (Itv * 0xBF58476D1CE4E5B9ull) ^
+             (static_cast<uint64_t>(Seed + J) * 0x94D049BB133111EBull);
+    uint64_t V[16];
+    for (int J = 0; J < 16; ++J)
+      V[J] = Blake2BIV[J % 8] ^ (J >= 8 ? 0 : J);
+    for (int R = 0; R < 12; ++R) {
+      const uint8_t *Sig = BlakeSigma[R % 10];
+      for (int G = 0; G < 8; ++G) {
+        uint64_t &A = V[Cols[G][0]], &B = V[Cols[G][1]], &C = V[Cols[G][2]],
+                 &D = V[Cols[G][3]];
+        int X = Sig[2 * G], Y = Sig[2 * G + 1];
+        A += B + M[X];
+        D = rotr64v(D ^ A, 32);
+        C += D;
+        B = rotr64v(B ^ C, 24);
+        A += B + M[Y];
+        D = rotr64v(D ^ A, 16);
+        C += D;
+        B = rotr64v(B ^ C, 63);
+      }
+    }
+    Acc ^= V[0] ^ V[8];
+  }
+  return Acc;
+}

@@ -1,0 +1,61 @@
+//===-- kernels/Reference.h - CPU reference implementations -----*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Host-side reference implementations of the nine benchmark kernels,
+/// used to verify that the whole pipeline (front-end, fusion, codegen,
+/// simulator) computes the right values. The elementwise kernels mirror
+/// the device float operations exactly; Batchnorm is verified against
+/// exact double-precision statistics with a tolerance because its
+/// summation order legitimately depends on the block dimension.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_KERNELS_REFERENCE_H
+#define HFUSE_KERNELS_REFERENCE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace hfuse::kernels {
+
+/// 3x3/stride-1 max pooling over CxHxW; Out sized C*(H-2)*(W-2).
+void refMaxpool(std::vector<float> &Out, const std::vector<float> &In,
+                int C, int H, int W);
+
+/// Exact per-plane mean and (population) variance in double precision.
+void refBatchnorm(std::vector<double> &Mean, std::vector<double> &Var,
+                  const std::vector<float> &In, int Planes, int N);
+
+/// Per-plane mean/variance over a batch-major tensor
+/// `In[batch][plane][x]` (the layout of the paper's Figure 2 kernel and
+/// of the Batchnorm2D extension kernel).
+void refBatchnorm2D(std::vector<double> &Mean, std::vector<double> &Var,
+                    const std::vector<float> &In, int Planes, int NBatch,
+                    int Spatial);
+
+/// 2x bilinear upsampling; Out sized C*(2*IH)*(2*IW).
+void refUpsample(std::vector<float> &Out, const std::vector<float> &In,
+                 int C, int IH, int IW);
+
+/// 3x3 im2col; Out sized C*9*(H-2)*(W-2).
+void refIm2Col(std::vector<float> &Out, const std::vector<float> &In, int C,
+               int H, int W);
+
+/// Histogram with the device kernel's exact float binning.
+void refHist(std::vector<uint32_t> &Out, const std::vector<float> &Data,
+             int NBins, float MinV, float MaxV);
+
+/// Per-thread crypto results (bit-exact).
+uint32_t refEthashOne(uint32_t Gid, const std::vector<uint32_t> &Dag,
+                      int Iters, uint32_t Seed);
+uint32_t refSha256One(uint32_t Gid, int Iters, uint32_t Seed);
+uint32_t refBlake256One(uint32_t Gid, int Iters, uint32_t Seed);
+uint64_t refBlake2BOne(uint32_t Gid, int Iters, uint32_t Seed);
+
+} // namespace hfuse::kernels
+
+#endif // HFUSE_KERNELS_REFERENCE_H

@@ -1,0 +1,97 @@
+//===-- kernels/Workload.h - Benchmark workloads ----------------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Workloads: input/output buffers, launch parameters, and verification
+/// for each benchmark kernel. A workload owns its buffers inside a
+/// Simulator arena; the same parameter vector serves native launches and
+/// fused launches (whose parameter list is the concatenation of the two
+/// input kernels' parameters).
+///
+/// SizeScale scales the kernel's per-run work; the paper's Figure 7
+/// sweeps it on one kernel of each pair to vary the execution-time
+/// ratio.
+///
+/// All workloads are valid for any (grid, block) launch shape except the
+/// crypto kernels, whose nonce indexing fixes the block dimension at 256
+/// (paper §IV-A: crypto kernels do not support tunable block
+/// dimensions) and whose output size fixes the grid; use preferredGrid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_KERNELS_WORKLOAD_H
+#define HFUSE_KERNELS_WORKLOAD_H
+
+#include "gpusim/Simulator.h"
+#include "kernels/Kernels.h"
+
+#include <memory>
+#include <string>
+
+namespace hfuse::kernels {
+
+struct WorkloadConfig {
+  /// Multiplies the kernel's work (input elements or hash iterations).
+  double SizeScale = 1.0;
+  /// Grids are sized for this many simulated SMs.
+  int SimSMs = 4;
+  /// Seed for input generation.
+  uint32_t Seed = 42;
+};
+
+class Workload {
+public:
+  virtual ~Workload() = default;
+
+  BenchKernelId id() const { return Id; }
+
+  /// Allocates and fills buffers in \p Sim. Call once per Simulator.
+  virtual void setup(gpusim::Simulator &Sim) = 0;
+
+  /// Parameter vector for launching this kernel (valid after setup).
+  const std::vector<uint64_t> &params() const { return Params; }
+
+  /// Dynamic shared memory required per block.
+  virtual uint32_t dynSharedBytes() const { return 0; }
+
+  /// Zeroes output buffers; call before every run (histograms and other
+  /// accumulating outputs would otherwise carry state across runs).
+  virtual void clearOutputs(gpusim::Simulator &Sim) = 0;
+
+  /// Compares device outputs against the CPU reference. Returns false
+  /// and fills \p Err on mismatch. \p TotalThreads is the number of
+  /// threads that executed the kernel (needed by the crypto kernels,
+  /// where each thread owns one output slot).
+  virtual bool verify(gpusim::Simulator &Sim, int TotalThreads,
+                      std::string &Err) = 0;
+
+  int preferredGrid() const { return Grid; }
+  /// Native block .x extent; the total native block is Block * BlockY.
+  int preferredBlock() const { return Block; }
+  /// Native block .y extent (1 for every 1-D kernel).
+  int preferredBlockY() const { return BlockY; }
+  /// Total threads per native block.
+  int preferredBlockThreads() const { return Block * BlockY; }
+
+protected:
+  Workload(BenchKernelId Id, const WorkloadConfig &Cfg)
+      : Id(Id), Cfg(Cfg) {}
+
+  BenchKernelId Id;
+  WorkloadConfig Cfg;
+  std::vector<uint64_t> Params;
+  int Grid = 1;
+  int Block = 256;
+  int BlockY = 1;
+};
+
+/// Creates the workload for \p Id with the given configuration.
+std::unique_ptr<Workload> makeWorkload(BenchKernelId Id,
+                                       const WorkloadConfig &Cfg);
+
+} // namespace hfuse::kernels
+
+#endif // HFUSE_KERNELS_WORKLOAD_H

@@ -1,0 +1,61 @@
+//===-- profile/Compile.cpp - Kernel compilation helpers ------------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Compile.h"
+
+#include "codegen/CodeGen.h"
+#include "cudalang/Sema.h"
+#include "ir/RegAlloc.h"
+
+using namespace hfuse;
+using namespace hfuse::profile;
+
+std::unique_ptr<CompiledKernel>
+hfuse::profile::compileSource(std::string_view Source,
+                              const std::string &Name, unsigned RegBound,
+                              DiagnosticEngine &Diags) {
+  auto Result = std::make_unique<CompiledKernel>();
+  Result->Pre = transform::parseAndPreprocess(Source, Name, Diags);
+  if (!Result->Pre)
+    return nullptr;
+  Result->IR = codegen::compileKernel(Result->Pre->Kernel, Diags);
+  if (!Result->IR)
+    return nullptr;
+  ir::RegAllocResult RA = ir::allocateRegisters(*Result->IR, RegBound);
+  if (!RA.Ok) {
+    Diags.error(SourceLocation(), RA.Error);
+    return nullptr;
+  }
+  return Result;
+}
+
+std::unique_ptr<CompiledKernel>
+hfuse::profile::compileBenchKernel(kernels::BenchKernelId Id,
+                                   unsigned RegBound,
+                                   DiagnosticEngine &Diags) {
+  return compileSource(kernels::kernelSource(Id),
+                       kernels::kernelFunctionName(Id), RegBound, Diags);
+}
+
+std::unique_ptr<ir::IRKernel>
+hfuse::profile::lowerFunction(cuda::ASTContext &Ctx, cuda::FunctionDecl *Fn,
+                              unsigned RegBound, DiagnosticEngine &Diags) {
+  // The function may have been analyzed before (e.g. when lowering the
+  // same fusion twice with different register bounds).
+  transform::stripImplicitCasts(Fn->body());
+  cuda::Sema S(Ctx, Diags);
+  if (!S.runOnFunction(Fn))
+    return nullptr;
+  auto IR = codegen::compileKernel(Fn, Diags);
+  if (!IR)
+    return nullptr;
+  ir::RegAllocResult RA = ir::allocateRegisters(*IR, RegBound);
+  if (!RA.Ok) {
+    Diags.error(SourceLocation(), RA.Error);
+    return nullptr;
+  }
+  return IR;
+}

@@ -1,0 +1,59 @@
+//===-- profile/Compile.h - Kernel compilation helpers ----------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience wrappers tying the pipeline together: CuLite source ->
+/// preprocessed AST -> SASS-lite IR -> register-allocated executable
+/// kernel, with an optional register bound (the paper's -maxrregcount
+/// analogue).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_PROFILE_COMPILE_H
+#define HFUSE_PROFILE_COMPILE_H
+
+#include "cudalang/AST.h"
+#include "ir/IR.h"
+#include "kernels/Kernels.h"
+#include "support/Diagnostics.h"
+#include "transform/Pipeline.h"
+
+#include <memory>
+#include <string_view>
+
+namespace hfuse::profile {
+
+/// A fully compiled kernel: the preprocessed AST (kept alive so it can
+/// be used as fusion input) plus the executable IR.
+struct CompiledKernel {
+  std::unique_ptr<transform::PreprocessedKernel> Pre;
+  std::unique_ptr<ir::IRKernel> IR;
+
+  const cuda::FunctionDecl *fn() const { return Pre->Kernel; }
+};
+
+/// Compiles CuLite \p Source (kernel \p Name, or the only kernel when
+/// empty). \p RegBound of 0 means unbounded. Null + diagnostics on error.
+std::unique_ptr<CompiledKernel> compileSource(std::string_view Source,
+                                              const std::string &Name,
+                                              unsigned RegBound,
+                                              DiagnosticEngine &Diags);
+
+/// Compiles one of the paper's benchmark kernels.
+std::unique_ptr<CompiledKernel> compileBenchKernel(kernels::BenchKernelId Id,
+                                                   unsigned RegBound,
+                                                   DiagnosticEngine &Diags);
+
+/// Lowers an already-fused function living in \p Ctx (runs Sema, then
+/// codegen and register allocation with the given bound).
+std::unique_ptr<ir::IRKernel> lowerFunction(cuda::ASTContext &Ctx,
+                                            cuda::FunctionDecl *Fn,
+                                            unsigned RegBound,
+                                            DiagnosticEngine &Diags);
+
+} // namespace hfuse::profile
+
+#endif // HFUSE_PROFILE_COMPILE_H

@@ -1,0 +1,337 @@
+//===-- profile/PairRunner.cpp - Benchmark-pair experiment driver ---------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/PairRunner.h"
+
+#include "cudalang/ASTPrinter.h"
+#include "support/StringUtils.h"
+#include "ir/RegAlloc.h"
+#include "transform/Fusion.h"
+
+#include <climits>
+
+#include <algorithm>
+
+using namespace hfuse;
+using namespace hfuse::gpusim;
+using namespace hfuse::kernels;
+using namespace hfuse::profile;
+
+PairRunner::PairRunner(BenchKernelId A, BenchKernelId B, Options Opts)
+    : IdA(A), IdB(B), Opts(std::move(Opts)) {
+  DiagnosticEngine Diags;
+  K1 = compileBenchKernel(A, /*RegBound=*/0, Diags);
+  K2 = compileBenchKernel(B, /*RegBound=*/0, Diags);
+  if (!K1 || !K2) {
+    Err = "kernel compilation failed:\n" + Diags.str();
+    return;
+  }
+
+  WorkloadConfig C1;
+  C1.SizeScale = this->Opts.Scale1;
+  C1.SimSMs = this->Opts.SimSMs;
+  C1.Seed = this->Opts.Seed;
+  WorkloadConfig C2 = C1;
+  C2.SizeScale = this->Opts.Scale2;
+  C2.Seed = this->Opts.Seed + 1;
+  W1 = makeWorkload(A, C1);
+  W2 = makeWorkload(B, C2);
+
+  SimConfig SC;
+  SC.Arch = this->Opts.Arch;
+  SC.SimSMs = this->Opts.SimSMs;
+  SC.ModelL2 = this->Opts.ModelL2;
+  Sim = std::make_unique<Simulator>(SC);
+  W1->setup(*Sim);
+  W2->setup(*Sim);
+  Ready = true;
+}
+
+unsigned PairRunner::soloRegs(int Which) const {
+  return (Which == 0 ? K1 : K2)->IR->ArchRegsPerThread;
+}
+
+int PairRunner::commonGrid() const {
+  return std::max(W1->preferredGrid(), W2->preferredGrid());
+}
+
+SimResult PairRunner::fail(const std::string &Message) const {
+  SimResult R;
+  R.Error = Message;
+  return R;
+}
+
+SimResult PairRunner::runLaunches(
+    const std::vector<KernelLaunch> &Launches, int Threads1, int Threads2) {
+  W1->clearOutputs(*Sim);
+  W2->clearOutputs(*Sim);
+  SimResult R = Sim->run(Launches);
+  if (!R.Ok)
+    return R;
+  if (Opts.Verify) {
+    std::string VerifyErr;
+    if (Threads1 > 0 && !W1->verify(*Sim, Threads1, VerifyErr)) {
+      R.Ok = false;
+      R.Error = "verification failed: " + VerifyErr;
+      return R;
+    }
+    if (Threads2 > 0 && !W2->verify(*Sim, Threads2, VerifyErr)) {
+      R.Ok = false;
+      R.Error = "verification failed: " + VerifyErr;
+      return R;
+    }
+  }
+  return R;
+}
+
+SimResult PairRunner::runNative() {
+  if (!Ready)
+    return fail(Err);
+  KernelLaunch L1;
+  L1.Kernel = K1->IR.get();
+  L1.GridDim = W1->preferredGrid();
+  L1.BlockDim = W1->preferredBlock();
+  L1.BlockDimY = W1->preferredBlockY();
+  L1.DynSharedBytes = W1->dynSharedBytes();
+  L1.Params = W1->params();
+  L1.Label = kernelDisplayName(IdA);
+  KernelLaunch L2;
+  L2.Kernel = K2->IR.get();
+  L2.GridDim = W2->preferredGrid();
+  L2.BlockDim = W2->preferredBlock();
+  L2.BlockDimY = W2->preferredBlockY();
+  L2.DynSharedBytes = W2->dynSharedBytes();
+  L2.Params = W2->params();
+  L2.Label = kernelDisplayName(IdB);
+  return runLaunches({L1, L2}, L1.GridDim * W1->preferredBlockThreads(),
+                     L2.GridDim * W2->preferredBlockThreads());
+}
+
+SimResult PairRunner::runSolo(int Which) {
+  if (!Ready)
+    return fail(Err);
+  Workload *W = Which == 0 ? W1.get() : W2.get();
+  CompiledKernel *K = Which == 0 ? K1.get() : K2.get();
+  KernelLaunch L;
+  L.Kernel = K->IR.get();
+  L.GridDim = W->preferredGrid();
+  L.BlockDim = W->preferredBlock();
+  L.BlockDimY = W->preferredBlockY();
+  L.DynSharedBytes = W->dynSharedBytes();
+  L.Params = W->params();
+  L.Label = kernelDisplayName(Which == 0 ? IdA : IdB);
+  int Total = L.GridDim * W->preferredBlockThreads();
+  return runLaunches({L}, Which == 0 ? Total : 0, Which == 1 ? Total : 0);
+}
+
+SimResult PairRunner::runVFused() {
+  if (!Ready)
+    return fail(Err);
+  if (!VFused) {
+    DiagnosticEngine Diags;
+    auto Entry = std::make_unique<CompiledKernel>();
+    auto Ctx = std::make_unique<cuda::ASTContext>();
+    transform::FusionResult FR = transform::fuseVertical(
+        *Ctx, K1->fn(), K2->fn(), /*FusedName=*/"", Diags);
+    if (!FR.Ok)
+      return fail("vertical fusion failed:\n" + Diags.str());
+    auto IR = lowerFunction(*Ctx, FR.Fused, /*RegBound=*/0, Diags);
+    if (!IR)
+      return fail("vertical fusion lowering failed:\n" + Diags.str());
+    VFused = std::make_unique<CompiledKernel>();
+    VFused->Pre = std::make_unique<transform::PreprocessedKernel>();
+    VFused->Pre->Ctx = std::move(Ctx);
+    VFused->Pre->Kernel = FR.Fused;
+    VFused->IR = std::move(IR);
+    VFusedDynShared = W1->dynSharedBytes() + W2->dynSharedBytes();
+  }
+  KernelLaunch L;
+  L.Kernel = VFused->IR.get();
+  int Grid = commonGrid();
+  L.GridDim = Grid;
+  L.BlockDim = 256;
+  L.DynSharedBytes = VFusedDynShared;
+  L.Params = W1->params();
+  L.Params.insert(L.Params.end(), W2->params().begin(), W2->params().end());
+  L.Label = formatString("VFuse(%s+%s)", kernelDisplayName(IdA),
+                         kernelDisplayName(IdB));
+  return runLaunches({L}, Grid * 256, Grid * 256);
+}
+
+PairRunner::FusedEntry *PairRunner::getFused(int D1, int D2,
+                                             unsigned RegBound) {
+  auto Key = std::make_tuple(D1, D2, RegBound);
+  auto It = FusedCache.find(Key);
+  if (It != FusedCache.end())
+    return It->second.IR ? &It->second : nullptr;
+
+  FusedEntry &Entry = FusedCache[Key];
+  DiagnosticEngine Diags;
+  Entry.Ctx = std::make_unique<cuda::ASTContext>();
+  transform::HorizontalFusionOptions HO;
+  HO.D1 = D1;
+  HO.D2 = D2;
+  HO.Y1 = W1->preferredBlockY();
+  HO.Y2 = W2->preferredBlockY();
+  HO.UsePartialBarriers = Opts.UsePartialBarriers;
+  transform::FusionResult FR =
+      transform::fuseHorizontal(*Entry.Ctx, K1->fn(), K2->fn(), HO, Diags);
+  if (!FR.Ok) {
+    Err = "horizontal fusion failed:\n" + Diags.str();
+    return nullptr;
+  }
+  Entry.IR = lowerFunction(*Entry.Ctx, FR.Fused, RegBound, Diags);
+  if (!Entry.IR) {
+    Err = "fused kernel lowering failed:\n" + Diags.str();
+    return nullptr;
+  }
+  Entry.DynShared = W1->dynSharedBytes() + W2->dynSharedBytes();
+  return &Entry;
+}
+
+SimResult PairRunner::runHFused(int D1, int D2, unsigned RegBound) {
+  if (!Ready)
+    return fail(Err);
+  FusedEntry *Entry = getFused(D1, D2, RegBound);
+  if (!Entry)
+    return fail(Err);
+  KernelLaunch L;
+  L.Kernel = Entry->IR.get();
+  int Grid = commonGrid();
+  L.GridDim = Grid;
+  L.BlockDim = D1 + D2;
+  L.DynSharedBytes = Entry->DynShared;
+  L.Params = W1->params();
+  L.Params.insert(L.Params.end(), W2->params().begin(), W2->params().end());
+  L.Label = formatString("HFuse(%s+%s,%d/%d%s)", kernelDisplayName(IdA),
+                         kernelDisplayName(IdB), D1, D2,
+                         RegBound ? formatString(",r%u", RegBound).c_str()
+                                  : "");
+  return runLaunches({L}, Grid * D1, Grid * D2);
+}
+
+std::optional<unsigned> PairRunner::figure6RegBound(int D1, int D2) {
+  const GpuArch &A = Opts.Arch;
+  unsigned NRegs1 = K1->IR->ArchRegsPerThread;
+  unsigned NRegs2 = K2->IR->ArchRegsPerThread;
+  int D0 = D1 + D2;
+
+  // b1/b2: register-limited concurrent blocks of the original kernels.
+  long B1 = A.RegsPerSM / (static_cast<long>(D1) * NRegs1);
+  long B2 = A.RegsPerSM / (static_cast<long>(D2) * NRegs2);
+  if (B1 < 1 || B2 < 1)
+    return std::nullopt;
+
+  // Shared memory of the fused kernel.
+  FusedEntry *Entry = getFused(D1, D2, /*RegBound=*/0);
+  if (!Entry)
+    return std::nullopt;
+  uint32_t ShMem = Entry->IR->StaticSharedBytes + Entry->DynShared;
+  long BShMem = ShMem > 0 ? A.SharedMemPerSM / ShMem : LONG_MAX;
+  long BThreads = A.MaxThreadsPerSM / D0;
+
+  long B0 = std::min({B1, B2, BShMem, BThreads});
+  if (B0 < 1)
+    return std::nullopt;
+
+  long R0 = A.RegsPerSM / (B0 * D0);
+  R0 = std::min<long>(R0, A.MaxRegsPerThread);
+  // Below this there is no room for even the spill scratch registers.
+  long MinUseful = ir::RegOverhead + ir::SpillScratchRegs * 2 + 8;
+  if (R0 < MinUseful)
+    return std::nullopt;
+  return static_cast<unsigned>(R0);
+}
+
+SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
+  SearchResult SR;
+  if (!Ready) {
+    SR.Error = Err;
+    return SR;
+  }
+
+  bool Tunable = kernelHasTunableBlockDim(IdA) &&
+                 kernelHasTunableBlockDim(IdB);
+  int D0 = Tunable
+               ? 1024
+               : W1->preferredBlockThreads() + W2->preferredBlockThreads();
+
+  // A partition must be divisible by the kernel's fixed .y extent so its
+  // threads form whole rows of the original block shape.
+  auto Feasible = [&](int D1) {
+    return D1 % W1->preferredBlockY() == 0 &&
+           (D0 - D1) % W2->preferredBlockY() == 0;
+  };
+
+  std::vector<int> Partitions;
+  if (!Tunable || NaiveEvenSplit) {
+    if (Feasible(D0 / 2))
+      Partitions.push_back(D0 / 2);
+  } else {
+    for (int D1 = 128; D1 < D0; D1 += 128)
+      if (Feasible(D1))
+        Partitions.push_back(D1);
+  }
+
+  for (int D1 : Partitions) {
+    int D2 = D0 - D1;
+    FusionCandidate Cand;
+    Cand.D1 = D1;
+    Cand.D2 = D2;
+    Cand.RegBound = 0;
+    Cand.Result = runHFused(D1, D2, 0);
+    if (Cand.Result.Ok) {
+      Cand.TimeMs = Cand.Result.TotalMs;
+      Cand.Cycles = Cand.Result.TotalCycles;
+      SR.All.push_back(Cand);
+    }
+
+    if (NaiveEvenSplit)
+      continue;
+    std::optional<unsigned> R0 = figure6RegBound(D1, D2);
+    if (!R0)
+      continue;
+    FusionCandidate CandB;
+    CandB.D1 = D1;
+    CandB.D2 = D2;
+    CandB.RegBound = *R0;
+    CandB.Result = runHFused(D1, D2, *R0);
+    if (CandB.Result.Ok) {
+      CandB.TimeMs = CandB.Result.TotalMs;
+      CandB.Cycles = CandB.Result.TotalCycles;
+      SR.All.push_back(CandB);
+    }
+  }
+
+  if (SR.All.empty()) {
+    SR.Error = Err.empty() ? "no feasible fusion configuration" : Err;
+    return SR;
+  }
+  SR.Best = *std::min_element(
+      SR.All.begin(), SR.All.end(),
+      [](const FusionCandidate &X, const FusionCandidate &Y) {
+        return X.Cycles < Y.Cycles;
+      });
+  SR.Ok = true;
+  return SR;
+}
+
+std::string PairRunner::fusedSource(int D1, int D2) {
+  if (!Ready)
+    return "";
+  cuda::ASTContext Ctx;
+  DiagnosticEngine Diags;
+  transform::HorizontalFusionOptions HO;
+  HO.D1 = D1;
+  HO.D2 = D2;
+  HO.Y1 = W1->preferredBlockY();
+  HO.Y2 = W2->preferredBlockY();
+  transform::FusionResult FR =
+      transform::fuseHorizontal(Ctx, K1->fn(), K2->fn(), HO, Diags);
+  if (!FR.Ok)
+    return "";
+  return cuda::printFunction(FR.Fused);
+}

@@ -1,0 +1,140 @@
+//===-- profile/PairRunner.h - Benchmark-pair experiment driver -*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment driver for one benchmark pair: owns a simulator with
+/// both workloads resident, and runs the four execution modes the paper
+/// compares —
+///
+///   native : both kernels launched concurrently (parallel CUDA
+///            streams), elapsed = first launch to last finish;
+///   vfused : the standard vertical fusion baseline;
+///   hfused : HFuse's horizontal fusion for a given thread partition
+///            and optional register bound;
+///   solo   : one kernel alone (Figure 8 metrics).
+///
+/// It also implements the paper's Figure 6 configuration search: sweep
+/// the thread-space partition at a granularity of 128, profile each
+/// candidate with and without the computed register bound r0, keep the
+/// fastest. All runs verify kernel outputs against the CPU references
+/// unless disabled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_PROFILE_PAIRRUNNER_H
+#define HFUSE_PROFILE_PAIRRUNNER_H
+
+#include "gpusim/Simulator.h"
+#include "kernels/Workload.h"
+#include "profile/Compile.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+
+namespace hfuse::profile {
+
+/// One profiled fusion configuration (a row of the Figure 6 search).
+struct FusionCandidate {
+  int D1 = 0;
+  int D2 = 0;
+  unsigned RegBound = 0; // 0 = unbounded
+  double TimeMs = 0.0;
+  uint64_t Cycles = 0;
+  gpusim::SimResult Result;
+};
+
+/// Result of the Figure 6 search.
+struct SearchResult {
+  bool Ok = false;
+  std::string Error;
+  FusionCandidate Best;
+  std::vector<FusionCandidate> All;
+};
+
+class PairRunner {
+public:
+  struct Options {
+    gpusim::GpuArch Arch;
+    int SimSMs = 4;
+    /// SizeScale for each kernel's workload (the Figure 7 ratio knob).
+    double Scale1 = 1.0;
+    double Scale2 = 1.0;
+    /// Verify all outputs against CPU references after each run.
+    bool Verify = true;
+    /// Ablation: disable HFuse's partial barriers (unsound in general).
+    bool UsePartialBarriers = true;
+    /// Fidelity study: model the device L2 cache (bench_ablation_cache).
+    bool ModelL2 = false;
+    uint32_t Seed = 42;
+  };
+
+  PairRunner(kernels::BenchKernelId A, kernels::BenchKernelId B,
+             Options Opts);
+
+  bool ok() const { return Ready; }
+  const std::string &error() const { return Err; }
+
+  kernels::BenchKernelId kernelId(int Which) const {
+    return Which == 0 ? IdA : IdB;
+  }
+
+  /// Registers per thread of kernel \p Which compiled standalone.
+  unsigned soloRegs(int Which) const;
+
+  /// Both kernels on concurrent streams (the paper's native baseline).
+  gpusim::SimResult runNative();
+
+  /// One kernel alone, with its preferred launch shape.
+  gpusim::SimResult runSolo(int Which);
+
+  /// Vertically fused baseline (both kernels at block 256).
+  gpusim::SimResult runVFused();
+
+  /// Horizontally fused with partition D1/D2 and optional bound.
+  gpusim::SimResult runHFused(int D1, int D2, unsigned RegBound);
+
+  /// The register bound r0 of Figure 6 lines 13-16 for partition D1/D2.
+  std::optional<unsigned> figure6RegBound(int D1, int D2);
+
+  /// Figure 6 search. \p NaiveEvenSplit restricts to the even partition
+  /// without the register-bound trial (the "Naive" marker of Figure 7);
+  /// crypto pairs always use the even split but still try the bound.
+  SearchResult searchBestConfig(bool NaiveEvenSplit = false);
+
+  /// Fused-kernel source text for a partition (for inspection/driver).
+  std::string fusedSource(int D1, int D2);
+
+private:
+  struct FusedEntry {
+    std::unique_ptr<cuda::ASTContext> Ctx;
+    std::unique_ptr<ir::IRKernel> IR;
+    uint32_t DynShared = 0;
+  };
+
+  gpusim::SimResult fail(const std::string &Message) const;
+  FusedEntry *getFused(int D1, int D2, unsigned RegBound);
+  gpusim::SimResult runLaunches(
+      const std::vector<gpusim::KernelLaunch> &Launches, int Threads1,
+      int Threads2);
+  int commonGrid() const;
+
+  kernels::BenchKernelId IdA, IdB;
+  Options Opts;
+  bool Ready = false;
+  std::string Err;
+
+  std::unique_ptr<gpusim::Simulator> Sim;
+  std::unique_ptr<kernels::Workload> W1, W2;
+  std::unique_ptr<CompiledKernel> K1, K2;
+  std::unique_ptr<CompiledKernel> VFused;
+  uint32_t VFusedDynShared = 0;
+  std::map<std::tuple<int, int, unsigned>, FusedEntry> FusedCache;
+};
+
+} // namespace hfuse::profile
+
+#endif // HFUSE_PROFILE_PAIRRUNNER_H

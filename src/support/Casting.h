@@ -1,0 +1,63 @@
+//===-- support/Casting.h - LLVM-style RTTI helpers -------------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled opt-in RTTI in the style of LLVM's llvm/Support/Casting.h.
+/// Classes participate by providing a static `classof(const Base *)`
+/// predicate; `isa<>`, `cast<>`, and `dyn_cast<>` are built on top of it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_SUPPORT_CASTING_H
+#define HFUSE_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace hfuse {
+
+/// Returns true if \p Val is an instance of type To (or a subclass).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that the cast is valid.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast for const pointers.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast that yields nullptr when the dynamic type does not match.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Downcast for const pointers that yields nullptr on mismatch.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// dyn_cast<> that tolerates null inputs.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+/// Const overload of dyn_cast_or_null<>.
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace hfuse
+
+#endif // HFUSE_SUPPORT_CASTING_H

@@ -1,0 +1,41 @@
+//===-- support/Diagnostics.cpp - Diagnostic engine -----------------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace hfuse;
+
+static const char *kindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::string Out = kindName(Kind);
+  Out += ": ";
+  if (Loc.isValid()) {
+    Out += Loc.str();
+    Out += ": ";
+  }
+  Out += Message;
+  return Out;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

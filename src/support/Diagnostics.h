@@ -1,0 +1,76 @@
+//===-- support/Diagnostics.h - Diagnostic engine ---------------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine. The front-end and the fusion passes report
+/// errors here instead of throwing; callers check hasErrors() after each
+/// phase. Messages follow the LLVM style: lowercase first word, no
+/// trailing period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_SUPPORT_DIAGNOSTICS_H
+#define HFUSE_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace hfuse {
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLocation Loc;
+  std::string Message;
+
+  /// Renders as "error: 3:7: message".
+  std::string str() const;
+};
+
+/// Collects diagnostics for one compilation. Not thread-safe; each
+/// compilation pipeline owns its own engine.
+class DiagnosticEngine {
+public:
+  void error(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+
+  void warning(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+
+  void note(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// All diagnostics rendered one per line; convenient for gtest failure
+  /// messages and the CLI driver.
+  std::string str() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace hfuse
+
+#endif // HFUSE_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,46 @@
+//===-- support/SourceLocation.h - Source positions -------------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight line/column source locations used by the CuLite front-end
+/// and the diagnostic engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_SUPPORT_SOURCELOCATION_H
+#define HFUSE_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace hfuse {
+
+/// A position inside one source buffer. Line and column are 1-based; a
+/// default-constructed location is invalid.
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  SourceLocation() = default;
+  SourceLocation(uint32_t Line, uint32_t Column) : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLocation &RHS) const {
+    return Line == RHS.Line && Column == RHS.Column;
+  }
+
+  /// Renders as "line:col", or "<unknown>" when invalid.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+} // namespace hfuse
+
+#endif // HFUSE_SUPPORT_SOURCELOCATION_H

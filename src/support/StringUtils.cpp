@@ -1,0 +1,73 @@
+//===-- support/StringUtils.cpp - Small string helpers --------------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace hfuse;
+
+std::vector<std::string_view> hfuse::splitString(std::string_view Text,
+                                                 char Sep) {
+  std::vector<std::string_view> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Parts.push_back(Text.substr(Start));
+      return Parts;
+    }
+    Parts.push_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string_view hfuse::trimString(std::string_view Text) {
+  size_t Begin = 0;
+  while (Begin < Text.size() &&
+         std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  size_t End = Text.size();
+  while (End > Begin && std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::string hfuse::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Size = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Size < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Out(static_cast<size_t>(Size), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Out;
+}
+
+bool hfuse::isValidIdentifier(std::string_view Name) {
+  if (Name.empty())
+    return false;
+  auto IsIdentStart = [](char C) {
+    return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+  };
+  auto IsIdentChar = [&](char C) {
+    return IsIdentStart(C) || std::isdigit(static_cast<unsigned char>(C));
+  };
+  if (!IsIdentStart(Name.front()))
+    return false;
+  for (char C : Name.substr(1))
+    if (!IsIdentChar(C))
+      return false;
+  return true;
+}

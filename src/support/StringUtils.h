@@ -1,0 +1,38 @@
+//===-- support/StringUtils.h - Small string helpers ------------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared by the front-end, the printers, and the bench
+/// harnesses: splitting, trimming, and printf-style formatting into
+/// std::string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_SUPPORT_STRINGUTILS_H
+#define HFUSE_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hfuse {
+
+/// Splits \p Text on \p Sep; empty pieces are kept.
+std::vector<std::string_view> splitString(std::string_view Text, char Sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trimString(std::string_view Text);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Returns true when \p Name is a valid C identifier.
+bool isValidIdentifier(std::string_view Name);
+
+} // namespace hfuse
+
+#endif // HFUSE_SUPPORT_STRINGUTILS_H

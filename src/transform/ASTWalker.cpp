@@ -1,0 +1,190 @@
+//===-- transform/ASTWalker.cpp - Generic AST traversal -------------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/ASTWalker.h"
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+
+void hfuse::transform::forEachStmt(Stmt *S,
+                                   const std::function<void(Stmt *)> &Fn) {
+  if (!S)
+    return;
+  Fn(S);
+  switch (S->kind()) {
+  case StmtKind::Compound:
+    for (Stmt *Sub : cast<CompoundStmt>(S)->body())
+      forEachStmt(Sub, Fn);
+    return;
+  case StmtKind::If: {
+    auto *I = cast<IfStmt>(S);
+    forEachStmt(I->thenStmt(), Fn);
+    forEachStmt(I->elseStmt(), Fn);
+    return;
+  }
+  case StmtKind::For: {
+    auto *F = cast<ForStmt>(S);
+    forEachStmt(F->init(), Fn);
+    forEachStmt(F->body(), Fn);
+    return;
+  }
+  case StmtKind::While:
+    forEachStmt(cast<WhileStmt>(S)->body(), Fn);
+    return;
+  case StmtKind::Label:
+    forEachStmt(cast<LabelStmt>(S)->sub(), Fn);
+    return;
+  default:
+    return;
+  }
+}
+
+Expr *hfuse::transform::rewriteExpr(
+    Expr *E, const std::function<Expr *(Expr *)> &Fn) {
+  if (!E)
+    return nullptr;
+  switch (E->kind()) {
+  case StmtKind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    U->setSub(rewriteExpr(U->sub(), Fn));
+    break;
+  }
+  case StmtKind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    B->setLHS(rewriteExpr(B->lhs(), Fn));
+    B->setRHS(rewriteExpr(B->rhs(), Fn));
+    break;
+  }
+  case StmtKind::Conditional: {
+    auto *C = cast<ConditionalExpr>(E);
+    C->setCond(rewriteExpr(C->cond(), Fn));
+    C->setTrueExpr(rewriteExpr(C->trueExpr(), Fn));
+    C->setFalseExpr(rewriteExpr(C->falseExpr(), Fn));
+    break;
+  }
+  case StmtKind::Call: {
+    auto *C = cast<CallExpr>(E);
+    for (Expr *&Arg : C->args())
+      Arg = rewriteExpr(Arg, Fn);
+    break;
+  }
+  case StmtKind::Cast: {
+    auto *C = cast<CastExpr>(E);
+    C->setSub(rewriteExpr(C->sub(), Fn));
+    break;
+  }
+  case StmtKind::Index: {
+    auto *I = cast<IndexExpr>(E);
+    I->setBase(rewriteExpr(I->base(), Fn));
+    I->setIndex(rewriteExpr(I->index(), Fn));
+    break;
+  }
+  case StmtKind::Paren: {
+    auto *P = cast<ParenExpr>(E);
+    P->setSub(rewriteExpr(P->sub(), Fn));
+    break;
+  }
+  default:
+    break;
+  }
+  return Fn(E);
+}
+
+void hfuse::transform::rewriteAllExprs(
+    Stmt *S, const std::function<Expr *(Expr *)> &Fn) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case StmtKind::Compound:
+    for (Stmt *Sub : cast<CompoundStmt>(S)->body())
+      rewriteAllExprs(Sub, Fn);
+    return;
+  case StmtKind::Decl:
+    for (VarDecl *V : cast<DeclStmt>(S)->decls())
+      if (V->init())
+        V->setInit(rewriteExpr(V->init(), Fn));
+    return;
+  case StmtKind::ExprStmtKind: {
+    auto *ES = cast<ExprStmt>(S);
+    if (ES->expr())
+      ES->setExpr(rewriteExpr(ES->expr(), Fn));
+    return;
+  }
+  case StmtKind::If: {
+    auto *I = cast<IfStmt>(S);
+    I->setCond(rewriteExpr(I->cond(), Fn));
+    rewriteAllExprs(I->thenStmt(), Fn);
+    rewriteAllExprs(I->elseStmt(), Fn);
+    return;
+  }
+  case StmtKind::For: {
+    auto *F = cast<ForStmt>(S);
+    rewriteAllExprs(F->init(), Fn);
+    if (F->cond())
+      F->setCond(rewriteExpr(F->cond(), Fn));
+    if (F->inc())
+      F->setInc(rewriteExpr(F->inc(), Fn));
+    rewriteAllExprs(F->body(), Fn);
+    return;
+  }
+  case StmtKind::While: {
+    auto *W = cast<WhileStmt>(S);
+    W->setCond(rewriteExpr(W->cond(), Fn));
+    rewriteAllExprs(W->body(), Fn);
+    return;
+  }
+  case StmtKind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    if (R->value())
+      R->setValue(rewriteExpr(R->value(), Fn));
+    return;
+  }
+  case StmtKind::Label:
+    rewriteAllExprs(cast<LabelStmt>(S)->sub(), Fn);
+    return;
+  default:
+    return;
+  }
+}
+
+Stmt *hfuse::transform::rewriteStmts(
+    Stmt *S, const std::function<Stmt *(Stmt *)> &Fn) {
+  if (!S)
+    return nullptr;
+  switch (S->kind()) {
+  case StmtKind::Compound: {
+    auto *C = cast<CompoundStmt>(S);
+    for (Stmt *&Sub : C->body())
+      Sub = rewriteStmts(Sub, Fn);
+    break;
+  }
+  case StmtKind::If: {
+    auto *I = cast<IfStmt>(S);
+    I->setThen(rewriteStmts(I->thenStmt(), Fn));
+    I->setElse(rewriteStmts(I->elseStmt(), Fn));
+    break;
+  }
+  case StmtKind::For: {
+    auto *F = cast<ForStmt>(S);
+    F->setInit(rewriteStmts(F->init(), Fn));
+    F->setBody(rewriteStmts(F->body(), Fn));
+    break;
+  }
+  case StmtKind::While: {
+    auto *W = cast<WhileStmt>(S);
+    W->setBody(rewriteStmts(W->body(), Fn));
+    break;
+  }
+  case StmtKind::Label: {
+    auto *L = cast<LabelStmt>(S);
+    L->setSub(rewriteStmts(L->sub(), Fn));
+    break;
+  }
+  default:
+    break;
+  }
+  return Fn(S);
+}

@@ -1,0 +1,46 @@
+//===-- transform/ASTWalker.h - Generic AST traversal -----------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small traversal helpers shared by the HFuse transformation passes:
+/// pre-order statement walks, bottom-up expression rewriting, and
+/// statement-list rewriting inside compound bodies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_TRANSFORM_ASTWALKER_H
+#define HFUSE_TRANSFORM_ASTWALKER_H
+
+#include "cudalang/AST.h"
+
+#include <functional>
+
+namespace hfuse::transform {
+
+/// Visits \p S and every nested statement (not expressions) in pre-order.
+void forEachStmt(cuda::Stmt *S, const std::function<void(cuda::Stmt *)> &Fn);
+
+/// Rewrites an expression tree bottom-up: children are rewritten first,
+/// then \p Fn is applied to the node itself; the returned expression
+/// replaces it.
+cuda::Expr *rewriteExpr(cuda::Expr *E,
+                        const std::function<cuda::Expr *(cuda::Expr *)> &Fn);
+
+/// Applies rewriteExpr to every expression slot reachable from \p S
+/// (conditions, increments, initializers, statement expressions, ...).
+void rewriteAllExprs(cuda::Stmt *S,
+                     const std::function<cuda::Expr *(cuda::Expr *)> &Fn);
+
+/// Rewrites every statement position reachable from \p S. \p Fn receives
+/// each statement after its children have been rewritten and returns the
+/// replacement (possibly the same pointer). Compound bodies splice in the
+/// results.
+cuda::Stmt *rewriteStmts(cuda::Stmt *S,
+                         const std::function<cuda::Stmt *(cuda::Stmt *)> &Fn);
+
+} // namespace hfuse::transform
+
+#endif // HFUSE_TRANSFORM_ASTWALKER_H

@@ -1,0 +1,70 @@
+//===-- transform/BarrierReplacer.cpp - Partial barrier rewrite -----------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/BarrierReplacer.h"
+
+#include "support/StringUtils.h"
+#include "transform/ASTWalker.h"
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+using namespace hfuse::transform;
+
+static bool isSyncthreadsCall(const Expr *E) {
+  const auto *C = dyn_cast<CallExpr>(ignoreParensAndImplicitCasts(E));
+  return C && !C->calleeDecl() && C->callee() == "__syncthreads";
+}
+
+int hfuse::transform::replaceBarriers(ASTContext &Ctx, Stmt *Body,
+                                      int BarrierId, int NumThreads,
+                                      DiagnosticEngine &Diags) {
+  assert(BarrierId >= 0 && BarrierId <= 15 &&
+         "PTX names barriers 0 through 15");
+  if (NumThreads <= 0 || NumThreads % 32 != 0) {
+    Diags.error(SourceLocation(),
+                formatString("bar.sync thread count %d is not a positive "
+                             "multiple of the warp size",
+                             NumThreads));
+    return -1;
+  }
+
+  int NumReplaced = 0;
+  bool BadPosition = false;
+
+  // Statement-position __syncthreads() becomes an asm statement.
+  rewriteStmts(Body, [&](Stmt *S) -> Stmt * {
+    auto *ES = dyn_cast<ExprStmt>(S);
+    if (!ES || !ES->expr() || !isSyncthreadsCall(ES->expr()))
+      return S;
+    ++NumReplaced;
+    return Ctx.create<AsmStmt>(S->loc(),
+                               formatString("bar.sync %d, %d;", BarrierId,
+                                            NumThreads),
+                               /*IsVolatile=*/false);
+  });
+
+  // Any remaining __syncthreads call sits in a value position.
+  rewriteAllExprs(Body, [&](Expr *E) -> Expr * {
+    if (isSyncthreadsCall(E)) {
+      Diags.error(E->loc(),
+                  "__syncthreads() may only appear as a whole statement");
+      BadPosition = true;
+    }
+    return E;
+  });
+
+  return BadPosition ? -1 : NumReplaced;
+}
+
+unsigned hfuse::transform::countSyncthreads(Stmt *Body) {
+  unsigned Count = 0;
+  rewriteAllExprs(Body, [&](Expr *E) -> Expr * {
+    if (isSyncthreadsCall(E))
+      ++Count;
+    return E;
+  });
+  return Count;
+}

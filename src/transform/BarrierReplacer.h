@@ -1,0 +1,38 @@
+//===-- transform/BarrierReplacer.h - Partial barrier rewrite ---*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replaces `__syncthreads()` with the inline PTX partial barrier
+/// `asm("bar.sync <id>, <count>;")` (paper Figure 5, lines 5-6). In the
+/// fused kernel, threads of both input kernels coexist in one block, so a
+/// full `__syncthreads()` would deadlock or change semantics; a named
+/// barrier with an explicit arrival count synchronizes only the thread
+/// range belonging to one input kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_TRANSFORM_BARRIERREPLACER_H
+#define HFUSE_TRANSFORM_BARRIERREPLACER_H
+
+#include "cudalang/AST.h"
+#include "support/Diagnostics.h"
+
+namespace hfuse::transform {
+
+/// Rewrites every `__syncthreads()` statement in \p Body into
+/// `asm("bar.sync BarrierId, NumThreads;")`. \p NumThreads must be a
+/// multiple of the warp size (PTX requirement; checked). Returns the
+/// number of barriers replaced, or -1 on error (e.g. __syncthreads in a
+/// value position).
+int replaceBarriers(cuda::ASTContext &Ctx, cuda::Stmt *Body, int BarrierId,
+                    int NumThreads, DiagnosticEngine &Diags);
+
+/// Counts `__syncthreads()` calls in \p Body.
+unsigned countSyncthreads(cuda::Stmt *Body);
+
+} // namespace hfuse::transform
+
+#endif // HFUSE_TRANSFORM_BARRIERREPLACER_H

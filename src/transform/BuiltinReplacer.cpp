@@ -1,0 +1,59 @@
+//===-- transform/BuiltinReplacer.cpp - threadIdx/blockDim rewrite --------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/BuiltinReplacer.h"
+
+#include "transform/ASTWalker.h"
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+using namespace hfuse::transform;
+
+bool hfuse::transform::replaceBuiltins(ASTContext &Ctx, Stmt *Body,
+                                       const KernelThreadMap &Map,
+                                       DiagnosticEngine &Diags) {
+  bool Ok = true;
+  rewriteAllExprs(Body, [&](Expr *E) -> Expr * {
+    auto *B = dyn_cast<BuiltinIdxExpr>(E);
+    if (!B)
+      return E;
+    unsigned D = B->dim();
+    switch (B->builtin()) {
+    case BuiltinIdxKind::ThreadIdx:
+      // A 1-wide dimension has threadIdx.<d> == 0 for every thread.
+      return Map.Tid[D] ? static_cast<Expr *>(Ctx.ref(Map.Tid[D]))
+                        : static_cast<Expr *>(Ctx.intLit(0));
+    case BuiltinIdxKind::BlockDim:
+      return Map.Size[D] ? static_cast<Expr *>(Ctx.ref(Map.Size[D]))
+                         : static_cast<Expr *>(Ctx.intLit(1));
+    case BuiltinIdxKind::BlockIdx:
+    case BuiltinIdxKind::GridDim:
+      // Shared between the input kernels; grids are one-dimensional.
+      if (D != 0) {
+        Diags.error(B->loc(), "grids are one-dimensional: blockIdx/gridDim "
+                              "only support .x");
+        Ok = false;
+      }
+      return E;
+    }
+    return E;
+  });
+  return Ok;
+}
+
+bool hfuse::transform::usesMultiDimBuiltins(Stmt *Body) {
+  bool Found = false;
+  rewriteAllExprs(Body, [&](Expr *E) -> Expr * {
+    if (auto *B = dyn_cast<BuiltinIdxExpr>(E)) {
+      bool IsThreadLocal = B->builtin() == BuiltinIdxKind::ThreadIdx ||
+                           B->builtin() == BuiltinIdxKind::BlockDim;
+      if (IsThreadLocal && B->dim() != 0)
+        Found = true;
+    }
+    return E;
+  });
+  return Found;
+}

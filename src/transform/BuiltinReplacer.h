@@ -1,0 +1,48 @@
+//===-- transform/BuiltinReplacer.h - threadIdx/blockDim rewrite -*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replaces `threadIdx.*` and `blockDim.*` inside one input kernel's
+/// statements with references to the fused kernel's per-kernel thread-id
+/// and block-dimension variables (paper Figure 5 line 4 for the
+/// one-dimensional case; the prologue of paper Figure 4 for kernels with
+/// .y/.z block sub-dimensions). `blockIdx.x` and `gridDim.x` are left
+/// alone: both input kernels share the fused grid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_TRANSFORM_BUILTINREPLACER_H
+#define HFUSE_TRANSFORM_BUILTINREPLACER_H
+
+#include "cudalang/AST.h"
+#include "support/Diagnostics.h"
+
+namespace hfuse::transform {
+
+/// The fused kernel's stand-in variables for one input kernel's
+/// threadIdx/blockDim, per block sub-dimension. A null entry means the
+/// input kernel's launch shape has extent 1 in that dimension, so
+/// `threadIdx.<d>` is the constant 0 and `blockDim.<d>` the constant 1
+/// (exactly CUDA's semantics for a 1-wide dimension).
+struct KernelThreadMap {
+  cuda::VarDecl *Tid[3] = {nullptr, nullptr, nullptr};
+  cuda::VarDecl *Size[3] = {nullptr, nullptr, nullptr};
+};
+
+/// Rewrites builtins in \p Body according to \p Map. Uses of `.y`/`.z`
+/// grid builtins (blockIdx/gridDim) are reported as errors — grids are
+/// one-dimensional in this reproduction. Returns false on error.
+bool replaceBuiltins(cuda::ASTContext &Ctx, cuda::Stmt *Body,
+                     const KernelThreadMap &Map, DiagnosticEngine &Diags);
+
+/// Returns true if \p Body references threadIdx/blockDim .y or .z (such
+/// a kernel needs a multi-dimensional partition shape when fusing, and
+/// cannot be fused vertically with a kernel of a different shape).
+bool usesMultiDimBuiltins(cuda::Stmt *Body);
+
+} // namespace hfuse::transform
+
+#endif // HFUSE_TRANSFORM_BUILTINREPLACER_H

@@ -1,0 +1,165 @@
+//===-- transform/DeclLifter.cpp - Hoist local declarations ---------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/DeclLifter.h"
+
+#include "transform/ASTWalker.h"
+#include "transform/Renamer.h"
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+using namespace hfuse::transform;
+
+namespace {
+
+class LifterImpl {
+public:
+  LifterImpl(ASTContext &Ctx, FunctionDecl *F) : Ctx(Ctx), F(F) {
+    for (VarDecl *P : F->params())
+      Names.reserve(P->name());
+  }
+
+  unsigned run() {
+    CompoundStmt *Body = F->body();
+    liftInCompound(Body);
+
+    // Prepend one DeclStmt per lifted variable, preserving order.
+    std::vector<Stmt *> NewBody;
+    NewBody.reserve(Lifted.size() + Body->body().size());
+    for (VarDecl *V : Lifted)
+      NewBody.push_back(
+          Ctx.create<DeclStmt>(V->loc(), std::vector<VarDecl *>{V}));
+    NewBody.insert(NewBody.end(), Body->body().begin(), Body->body().end());
+    Body->body() = std::move(NewBody);
+
+    // Renaming may have changed decl names; sync reference spellings.
+    rewriteAllExprs(Body, [](Expr *E) -> Expr * {
+      if (auto *Ref = dyn_cast<DeclRefExpr>(E))
+        if (Ref->decl())
+          Ref->setName(Ref->decl()->name());
+      return E;
+    });
+    return static_cast<unsigned>(Lifted.size());
+  }
+
+private:
+  /// Registers \p V as lifted, renaming it if a previous lifted variable
+  /// or parameter took its name (shadowing in the source). Const
+  /// qualifiers are dropped: the initializer becomes a plain assignment
+  /// at the original location, which a const local would reject.
+  void registerVar(VarDecl *V) {
+    V->setName(Names.freshName(V->name(), "_s"));
+    V->setInit(nullptr);
+    V->setConst(false);
+    Lifted.push_back(V);
+  }
+
+  /// Turns the declaration group \p DS into a sequence of assignment
+  /// statements (possibly empty) appended to \p Out.
+  void lowerDeclStmt(DeclStmt *DS, std::vector<Stmt *> &Out) {
+    for (VarDecl *V : DS->decls()) {
+      Expr *Init = V->init();
+      registerVar(V);
+      if (Init)
+        Out.push_back(Ctx.assignStmt(Ctx.ref(V), Init));
+    }
+  }
+
+  /// Joins initializer assignments into one comma expression for
+  /// for-init position; returns null when there is nothing to do.
+  Expr *lowerDeclStmtToExpr(DeclStmt *DS) {
+    Expr *Joined = nullptr;
+    for (VarDecl *V : DS->decls()) {
+      Expr *Init = V->init();
+      registerVar(V);
+      if (!Init)
+        continue;
+      Expr *Assign = Ctx.binOp(BinaryOpKind::Assign, Ctx.ref(V), Init);
+      Joined = Joined ? Ctx.binOp(BinaryOpKind::Comma, Joined, Assign)
+                      : Assign;
+    }
+    return Joined;
+  }
+
+  void liftInStmt(Stmt *S) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case StmtKind::Compound:
+      liftInCompound(cast<CompoundStmt>(S));
+      return;
+    case StmtKind::If: {
+      auto *I = cast<IfStmt>(S);
+      I->setThen(wrapIfDecl(I->thenStmt()));
+      I->setElse(wrapIfDecl(I->elseStmt()));
+      liftInStmt(I->thenStmt());
+      liftInStmt(I->elseStmt());
+      return;
+    }
+    case StmtKind::For: {
+      auto *Fo = cast<ForStmt>(S);
+      if (auto *DS = dyn_cast_or_null<DeclStmt>(Fo->init())) {
+        Expr *InitE = lowerDeclStmtToExpr(DS);
+        Fo->setInit(Ctx.create<ExprStmt>(DS->loc(), InitE));
+      }
+      Fo->setBody(wrapIfDecl(Fo->body()));
+      liftInStmt(Fo->body());
+      return;
+    }
+    case StmtKind::While: {
+      auto *W = cast<WhileStmt>(S);
+      W->setBody(wrapIfDecl(W->body()));
+      liftInStmt(W->body());
+      return;
+    }
+    case StmtKind::Label: {
+      auto *L = cast<LabelStmt>(S);
+      L->setSub(wrapIfDecl(L->sub()));
+      liftInStmt(L->sub());
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  /// A bare DeclStmt in a controlled position (e.g. `if (c) int x = 1;`)
+  /// must become a compound so the assignments have a place to live.
+  Stmt *wrapIfDecl(Stmt *S) {
+    auto *DS = dyn_cast_or_null<DeclStmt>(S);
+    if (!DS)
+      return S;
+    std::vector<Stmt *> Stmts;
+    lowerDeclStmt(DS, Stmts);
+    return Ctx.create<CompoundStmt>(DS->loc(), std::move(Stmts));
+  }
+
+  void liftInCompound(CompoundStmt *C) {
+    std::vector<Stmt *> NewBody;
+    NewBody.reserve(C->body().size());
+    for (Stmt *S : C->body()) {
+      if (auto *DS = dyn_cast<DeclStmt>(S)) {
+        lowerDeclStmt(DS, NewBody);
+        continue;
+      }
+      liftInStmt(S);
+      NewBody.push_back(S);
+    }
+    C->body() = std::move(NewBody);
+  }
+
+  ASTContext &Ctx;
+  FunctionDecl *F;
+  Renamer Names;
+  std::vector<VarDecl *> Lifted;
+};
+
+} // namespace
+
+unsigned hfuse::transform::liftDeclarations(ASTContext &Ctx,
+                                            FunctionDecl *F) {
+  return LifterImpl(Ctx, F).run();
+}

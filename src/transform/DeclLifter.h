@@ -1,0 +1,31 @@
+//===-- transform/DeclLifter.h - Hoist local declarations -------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lifts all local variable declarations of a kernel to the top of its
+/// body, replacing initializers with assignment statements at the
+/// original locations (paper §III-C). HFuse needs this because the fused
+/// kernel guards whole kernel bodies with `goto`, and CUDA (like C++)
+/// does not allow jumps over initialized declarations.
+///
+/// Shadowed declarations are renamed so all lifted names are unique at
+/// function scope; Sema must have resolved references beforehand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_TRANSFORM_DECLLIFTER_H
+#define HFUSE_TRANSFORM_DECLLIFTER_H
+
+#include "cudalang/AST.h"
+
+namespace hfuse::transform {
+
+/// Lifts declarations in place. Returns the number of lifted variables.
+unsigned liftDeclarations(cuda::ASTContext &Ctx, cuda::FunctionDecl *F);
+
+} // namespace hfuse::transform
+
+#endif // HFUSE_TRANSFORM_DECLLIFTER_H

@@ -1,0 +1,374 @@
+//===-- transform/Inliner.cpp - Device-function inlining ------------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Inliner.h"
+
+#include "cudalang/ASTCloner.h"
+#include "support/StringUtils.h"
+#include "transform/ASTWalker.h"
+
+#include <map>
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+using namespace hfuse::transform;
+
+namespace {
+
+/// True if the expression tree under \p E contains a resolved user call.
+bool containsUserCall(Expr *E) {
+  bool Found = false;
+  rewriteExpr(E, [&](Expr *Sub) -> Expr * {
+    if (auto *C = dyn_cast<CallExpr>(Sub))
+      if (C->calleeDecl())
+        Found = true;
+    return Sub;
+  });
+  return Found;
+}
+
+class InlinerImpl {
+public:
+  InlinerImpl(ASTContext &Ctx, FunctionDecl *F, DiagnosticEngine &Diags)
+      : Ctx(Ctx), F(F), Diags(Diags) {}
+
+  bool run() {
+    // Fixpoint: each round hoists the innermost call of each statement;
+    // bodies spliced in may contain further calls.
+    do {
+      Changed = false;
+      processCompound(F->body());
+    } while (Changed && !HadError);
+    return !HadError;
+  }
+
+private:
+  /// Finds the first (innermost, left-to-right) user call in \p E.
+  /// Reports an error if any user call sits in a conditionally evaluated
+  /// position (?: branches, && / || right-hand sides).
+  CallExpr *findCall(Expr *E) {
+    if (!E)
+      return nullptr;
+    switch (E->kind()) {
+    case StmtKind::Conditional: {
+      auto *C = cast<ConditionalExpr>(E);
+      if (CallExpr *Found = findCall(C->cond()))
+        return Found;
+      if (containsUserCall(C->trueExpr()) || containsUserCall(C->falseExpr()))
+        reportUnsupported(E, "a conditional expression");
+      return nullptr;
+    }
+    case StmtKind::Binary: {
+      auto *B = cast<BinaryExpr>(E);
+      if (B->op() == BinaryOpKind::LogicalAnd ||
+          B->op() == BinaryOpKind::LogicalOr) {
+        if (CallExpr *Found = findCall(B->lhs()))
+          return Found;
+        if (containsUserCall(B->rhs()))
+          reportUnsupported(E, "a short-circuit operator");
+        return nullptr;
+      }
+      if (CallExpr *Found = findCall(B->lhs()))
+        return Found;
+      return findCall(B->rhs());
+    }
+    case StmtKind::Unary:
+      return findCall(cast<UnaryExpr>(E)->sub());
+    case StmtKind::Cast:
+      return findCall(cast<CastExpr>(E)->sub());
+    case StmtKind::Paren:
+      return findCall(cast<ParenExpr>(E)->sub());
+    case StmtKind::Index: {
+      auto *I = cast<IndexExpr>(E);
+      if (CallExpr *Found = findCall(I->base()))
+        return Found;
+      return findCall(I->index());
+    }
+    case StmtKind::Call: {
+      auto *C = cast<CallExpr>(E);
+      for (Expr *Arg : C->args())
+        if (CallExpr *Found = findCall(Arg))
+          return Found;
+      return C->calleeDecl() ? C : nullptr;
+    }
+    default:
+      return nullptr;
+    }
+  }
+
+  void reportUnsupported(Expr *E, const char *Where) {
+    Diags.error(E->loc(),
+                formatString("cannot inline a device call inside %s", Where));
+    HadError = true;
+  }
+
+  /// Emits the hoisted temps and inlined body of \p Call into \p Out and
+  /// returns the variable holding the return value (null for void).
+  VarDecl *emitInlinedCall(CallExpr *Call, std::vector<Stmt *> &Out) {
+    FunctionDecl *Callee = Call->calleeDecl();
+    unsigned N = ++Counter;
+    if (N > 1000) {
+      Diags.error(Call->loc(), "inlining did not terminate (mutual "
+                               "recursion between device functions?)");
+      HadError = true;
+      return nullptr;
+    }
+    ASTCloner Cloner(Ctx);
+
+    // Argument temps, evaluated in order.
+    assert(Call->args().size() == Callee->params().size() &&
+           "Sema should have checked the arity");
+    for (size_t I = 0; I < Call->args().size(); ++I) {
+      VarDecl *Param = Callee->params()[I];
+      auto *Temp = Ctx.create<VarDecl>(
+          Call->loc(),
+          formatString("__hf_%s_%u", Param->name().c_str(), N),
+          Cloner.translateType(Param->type()));
+      Temp->setInit(Call->args()[I]);
+      Out.push_back(
+          Ctx.create<DeclStmt>(Call->loc(), std::vector<VarDecl *>{Temp}));
+      Cloner.mapDecl(Param, Temp);
+    }
+
+    // Return-value temp.
+    VarDecl *RetTemp = nullptr;
+    if (!Callee->returnType()->isVoid()) {
+      RetTemp = Ctx.create<VarDecl>(Call->loc(),
+                                    formatString("__hf_ret_%u", N),
+                                    Cloner.translateType(Callee->returnType()));
+      Out.push_back(
+          Ctx.create<DeclStmt>(Call->loc(), std::vector<VarDecl *>{RetTemp}));
+    }
+
+    // Clone the body with parameters substituted.
+    Stmt *Body = Cloner.cloneStmt(Callee->body());
+
+    // Keep the callee's labels unique in the caller.
+    std::map<std::string, std::string> LabelMap;
+    forEachStmt(Body, [&](Stmt *S) {
+      if (auto *L = dyn_cast<LabelStmt>(S)) {
+        std::string NewName = formatString("%s__hf%u", L->name().c_str(), N);
+        LabelMap[L->name()] = NewName;
+        L->setName(NewName);
+      }
+    });
+    forEachStmt(Body, [&](Stmt *S) {
+      if (auto *G = dyn_cast<GotoStmt>(S)) {
+        auto It = LabelMap.find(G->label());
+        if (It != LabelMap.end())
+          G->setLabel(It->second);
+      }
+    });
+
+    // return e;  -->  __hf_ret_N = e; goto __hf_end_N;
+    std::string EndLabel = formatString("__hf_end_%u", N);
+    Body = rewriteStmts(Body, [&](Stmt *S) -> Stmt * {
+      auto *R = dyn_cast<ReturnStmt>(S);
+      if (!R)
+        return S;
+      auto *Goto = Ctx.create<GotoStmt>(R->loc(), EndLabel);
+      if (!R->value())
+        return Goto;
+      assert(RetTemp && "value return from void function");
+      std::vector<Stmt *> Seq;
+      Seq.push_back(Ctx.assignStmt(Ctx.ref(RetTemp), R->value()));
+      Seq.push_back(Goto);
+      return Ctx.create<CompoundStmt>(R->loc(), std::move(Seq));
+    });
+
+    Out.push_back(Body);
+    Out.push_back(Ctx.create<LabelStmt>(Call->loc(), EndLabel,
+                                        /*Sub=*/nullptr));
+    return RetTemp;
+  }
+
+  /// Replaces node \p From with \p To inside the expression tree rooted
+  /// at the statement's expressions.
+  static Expr *replaceInExpr(Expr *Root, Expr *From, Expr *To) {
+    return rewriteExpr(Root,
+                       [&](Expr *E) -> Expr * { return E == From ? To : E; });
+  }
+
+  /// Hoists calls out of one hoistable expression slot. Returns the
+  /// rewritten expression; hoisted statements are appended to \p Out.
+  Expr *hoistCalls(Expr *E, std::vector<Stmt *> &Out) {
+    while (E && !HadError) {
+      CallExpr *Call = findCall(E);
+      if (!Call)
+        return E;
+      Changed = true;
+      VarDecl *RetTemp = emitInlinedCall(Call, Out);
+      if (Call == E && !RetTemp)
+        return nullptr; // whole statement was a void call
+      if (!RetTemp) {
+        reportUnsupported(Call, "an expression (void return type)");
+        return E;
+      }
+      E = replaceInExpr(E, Call, Ctx.ref(RetTemp));
+    }
+    return E;
+  }
+
+  /// Wraps controlled statements that contain calls into compounds so
+  /// hoisted statements have a place to go.
+  Stmt *wrapForHoisting(Stmt *S) {
+    if (!S || isa<CompoundStmt>(S))
+      return S;
+    return Ctx.create<CompoundStmt>(S->loc(), std::vector<Stmt *>{S});
+  }
+
+  bool stmtNeedsWrap(Stmt *S) {
+    if (!S || isa<CompoundStmt>(S))
+      return false;
+    bool Found = false;
+    forEachStmt(S, [&](Stmt *Sub) {
+      auto CheckExpr = [&](Expr *E) {
+        if (E && containsUserCall(E))
+          Found = true;
+      };
+      switch (Sub->kind()) {
+      case StmtKind::ExprStmtKind:
+        CheckExpr(cast<ExprStmt>(Sub)->expr());
+        break;
+      case StmtKind::Decl:
+        for (VarDecl *V : cast<DeclStmt>(Sub)->decls())
+          CheckExpr(V->init());
+        break;
+      case StmtKind::If:
+        CheckExpr(cast<IfStmt>(Sub)->cond());
+        break;
+      case StmtKind::Return:
+        CheckExpr(cast<ReturnStmt>(Sub)->value());
+        break;
+      default:
+        break;
+      }
+    });
+    return Found;
+  }
+
+  void checkLoopExprs(Stmt *S) {
+    auto Check = [&](Expr *E, const char *Where) {
+      if (E && containsUserCall(E)) {
+        Diags.error(E->loc(),
+                    formatString("cannot inline a device call inside %s",
+                                 Where));
+        HadError = true;
+      }
+    };
+    if (auto *Fo = dyn_cast<ForStmt>(S)) {
+      Check(Fo->cond(), "a for-loop condition");
+      Check(Fo->inc(), "a for-loop increment");
+      if (auto *Init = dyn_cast_or_null<DeclStmt>(Fo->init()))
+        for (VarDecl *V : Init->decls())
+          Check(V->init(), "a for-loop initializer");
+      if (auto *Init = dyn_cast_or_null<ExprStmt>(Fo->init()))
+        Check(Init->expr(), "a for-loop initializer");
+    }
+    if (auto *W = dyn_cast<WhileStmt>(S))
+      Check(W->cond(), "a while condition");
+  }
+
+  void processStmt(Stmt *S) {
+    if (!S || HadError)
+      return;
+    switch (S->kind()) {
+    case StmtKind::Compound:
+      processCompound(cast<CompoundStmt>(S));
+      return;
+    case StmtKind::If: {
+      auto *I = cast<IfStmt>(S);
+      if (stmtNeedsWrap(I->thenStmt()))
+        I->setThen(wrapForHoisting(I->thenStmt()));
+      if (stmtNeedsWrap(I->elseStmt()))
+        I->setElse(wrapForHoisting(I->elseStmt()));
+      processStmt(I->thenStmt());
+      processStmt(I->elseStmt());
+      return;
+    }
+    case StmtKind::For: {
+      auto *Fo = cast<ForStmt>(S);
+      checkLoopExprs(Fo);
+      if (stmtNeedsWrap(Fo->body()))
+        Fo->setBody(wrapForHoisting(Fo->body()));
+      processStmt(Fo->body());
+      return;
+    }
+    case StmtKind::While: {
+      auto *W = cast<WhileStmt>(S);
+      checkLoopExprs(W);
+      if (stmtNeedsWrap(W->body()))
+        W->setBody(wrapForHoisting(W->body()));
+      processStmt(W->body());
+      return;
+    }
+    case StmtKind::Label: {
+      auto *L = cast<LabelStmt>(S);
+      if (stmtNeedsWrap(L->sub()))
+        L->setSub(wrapForHoisting(L->sub()));
+      processStmt(L->sub());
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  void processCompound(CompoundStmt *C) {
+    std::vector<Stmt *> NewBody;
+    NewBody.reserve(C->body().size());
+    for (Stmt *S : C->body()) {
+      if (HadError)
+        break;
+      switch (S->kind()) {
+      case StmtKind::ExprStmtKind: {
+        auto *ES = cast<ExprStmt>(S);
+        if (ES->expr())
+          ES->setExpr(hoistCalls(ES->expr(), NewBody));
+        break;
+      }
+      case StmtKind::Decl: {
+        auto *DS = cast<DeclStmt>(S);
+        for (VarDecl *V : DS->decls())
+          if (V->init())
+            V->setInit(hoistCalls(V->init(), NewBody));
+        break;
+      }
+      case StmtKind::If: {
+        auto *I = cast<IfStmt>(S);
+        I->setCond(hoistCalls(I->cond(), NewBody));
+        processStmt(I);
+        break;
+      }
+      case StmtKind::Return: {
+        auto *R = cast<ReturnStmt>(S);
+        if (R->value())
+          R->setValue(hoistCalls(R->value(), NewBody));
+        break;
+      }
+      default:
+        processStmt(S);
+        break;
+      }
+      NewBody.push_back(S);
+    }
+    C->body() = std::move(NewBody);
+  }
+
+  ASTContext &Ctx;
+  FunctionDecl *F;
+  DiagnosticEngine &Diags;
+  unsigned Counter = 0;
+  bool Changed = false;
+  bool HadError = false;
+};
+
+} // namespace
+
+bool hfuse::transform::inlineDeviceCalls(ASTContext &Ctx, FunctionDecl *F,
+                                         DiagnosticEngine &Diags) {
+  return InlinerImpl(Ctx, F, Diags).run();
+}

@@ -1,0 +1,49 @@
+//===-- transform/Inliner.h - Device-function inlining ----------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inlines all user `__device__` function calls into a kernel (paper
+/// §III-C: "We also use the built-in functionalities from the Clang
+/// front-end to inline all function calls in the input kernels"). Calls
+/// are hoisted out of statements in evaluation order:
+///
+///   x = f(a, b) + 1;
+///
+/// becomes
+///
+///   int __hf_arg0_1; int __hf_arg1_1; int __hf_ret_1;
+///   __hf_arg0_1 = a; __hf_arg1_1 = b;
+///   { <body of f with params -> arg temps, return e -> ret temp + goto> }
+///   __hf_end_1: ;
+///   x = __hf_ret_1 + 1;
+///
+/// Arguments are always materialized into temps, so multiple parameter
+/// uses never duplicate side effects or work.
+///
+/// Limitations (diagnosed as errors): calls in loop conditions/increments
+/// and calls under short-circuit or ?: operators are not supported;
+/// recursion is already rejected by Sema. None of the paper's benchmark
+/// kernels need these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_TRANSFORM_INLINER_H
+#define HFUSE_TRANSFORM_INLINER_H
+
+#include "cudalang/AST.h"
+#include "support/Diagnostics.h"
+
+namespace hfuse::transform {
+
+/// Inlines every user call in \p F (in place, iterating to a fixpoint for
+/// nested calls). Returns false and reports diagnostics on unsupported
+/// call positions. \p F must be Sema-resolved; run Sema again afterwards.
+bool inlineDeviceCalls(cuda::ASTContext &Ctx, cuda::FunctionDecl *F,
+                       DiagnosticEngine &Diags);
+
+} // namespace hfuse::transform
+
+#endif // HFUSE_TRANSFORM_INLINER_H

@@ -1,0 +1,37 @@
+//===-- transform/KernelInfo.cpp - Kernel resource analysis ---------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/KernelInfo.h"
+
+#include "transform/ASTWalker.h"
+#include "transform/BarrierReplacer.h"
+#include "transform/BuiltinReplacer.h"
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+using namespace hfuse::transform;
+
+KernelResources hfuse::transform::analyzeKernel(const FunctionDecl *F) {
+  KernelResources Res;
+  auto *Body = const_cast<CompoundStmt *>(F->body());
+  forEachStmt(Body, [&](Stmt *S) {
+    auto *DS = dyn_cast<DeclStmt>(S);
+    if (!DS)
+      return;
+    for (const VarDecl *V : DS->decls()) {
+      if (!V->isShared())
+        continue;
+      if (V->isExternShared()) {
+        Res.UsesExternShared = true;
+        continue;
+      }
+      Res.StaticSharedBytes += V->type()->storeSize();
+    }
+  });
+  Res.NumBarriers = countSyncthreads(Body);
+  Res.UsesMultiDimBuiltins = usesMultiDimBuiltins(Body);
+  return Res;
+}

@@ -1,0 +1,41 @@
+//===-- transform/KernelInfo.h - Kernel resource analysis -------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static analysis of a kernel's declared resources: shared-memory
+/// footprint, barrier count, and fusibility preconditions. The fusion
+/// configuration search (paper Figure 6) uses ShMem() from here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_TRANSFORM_KERNELINFO_H
+#define HFUSE_TRANSFORM_KERNELINFO_H
+
+#include "cudalang/AST.h"
+
+#include <cstdint>
+
+namespace hfuse::transform {
+
+/// Statically derivable kernel resource facts.
+struct KernelResources {
+  /// Total bytes of statically sized __shared__ declarations.
+  uint64_t StaticSharedBytes = 0;
+  /// True when the kernel declares `extern __shared__` memory whose size
+  /// comes from the launch configuration.
+  bool UsesExternShared = false;
+  /// Number of __syncthreads() calls in the body.
+  unsigned NumBarriers = 0;
+  /// True when the kernel reads threadIdx/blockDim .y or .z.
+  bool UsesMultiDimBuiltins = false;
+};
+
+/// Analyzes \p F (which should be Sema-resolved).
+KernelResources analyzeKernel(const cuda::FunctionDecl *F);
+
+} // namespace hfuse::transform
+
+#endif // HFUSE_TRANSFORM_KERNELINFO_H

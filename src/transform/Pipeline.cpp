@@ -1,0 +1,93 @@
+//===-- transform/Pipeline.cpp - HFuse preprocessing pipeline -------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Pipeline.h"
+
+#include "cudalang/Parser.h"
+#include "cudalang/Sema.h"
+#include "support/StringUtils.h"
+#include "transform/ASTWalker.h"
+#include "transform/DeclLifter.h"
+#include "transform/Inliner.h"
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+using namespace hfuse::transform;
+
+void hfuse::transform::stripImplicitCasts(Stmt *S) {
+  rewriteAllExprs(S, [](Expr *E) -> Expr * {
+    if (auto *C = dyn_cast<CastExpr>(E))
+      if (C->isImplicit())
+        return C->sub();
+    return E;
+  });
+}
+
+bool hfuse::transform::preprocessKernel(ASTContext &Ctx, FunctionDecl *F,
+                                        DiagnosticEngine &Diags) {
+  Sema S(Ctx, Diags);
+  if (!S.runOnFunction(F))
+    return false;
+  if (!inlineDeviceCalls(Ctx, F, Diags))
+    return false;
+  stripImplicitCasts(F->body());
+  if (!S.runOnFunction(F))
+    return false;
+  liftDeclarations(Ctx, F);
+  stripImplicitCasts(F->body());
+  return S.runOnFunction(F);
+}
+
+std::unique_ptr<PreprocessedKernel>
+hfuse::transform::parseAndPreprocess(std::string_view Source,
+                                     const std::string &KernelName,
+                                     DiagnosticEngine &Diags) {
+  auto Result = std::make_unique<PreprocessedKernel>();
+  Result->Ctx = std::make_unique<ASTContext>();
+
+  Parser P(Source, *Result->Ctx, Diags);
+  if (!P.parseTranslationUnit())
+    return nullptr;
+
+  // Device functions must be resolved before the kernel is analyzed.
+  Sema S(*Result->Ctx, Diags);
+  if (!S.run())
+    return nullptr;
+
+  FunctionDecl *Kernel = nullptr;
+  if (!KernelName.empty()) {
+    Kernel = Result->Ctx->translationUnit().findFunction(KernelName);
+    if (!Kernel || !Kernel->isKernel()) {
+      Diags.error(SourceLocation(),
+                  formatString("no __global__ kernel named '%s' in input",
+                               KernelName.c_str()));
+      return nullptr;
+    }
+  } else {
+    for (FunctionDecl *F : Result->Ctx->translationUnit().functions()) {
+      if (!F->isKernel())
+        continue;
+      if (Kernel) {
+        Diags.error(SourceLocation(),
+                    "multiple __global__ kernels in input; pass a name");
+        return nullptr;
+      }
+      Kernel = F;
+    }
+    if (!Kernel) {
+      Diags.error(SourceLocation(), "no __global__ kernel in input");
+      return nullptr;
+    }
+  }
+
+  // The first Sema pass above left implicit casts in the tree;
+  // preprocessKernel starts with its own Sema run, so strip them first.
+  stripImplicitCasts(Kernel->body());
+  if (!preprocessKernel(*Result->Ctx, Kernel, Diags))
+    return nullptr;
+  Result->Kernel = Kernel;
+  return Result;
+}

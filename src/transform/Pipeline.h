@@ -1,0 +1,54 @@
+//===-- transform/Pipeline.h - HFuse preprocessing pipeline -----*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kernel preprocessing pipeline of HFuse (paper §III: "Macros are
+/// preprocessed, function calls are all inlined, and local variable
+/// declarations are lifted to the top of the function"): Sema →
+/// device-call inlining → declaration lifting, with re-analysis between
+/// stages. Fusion passes require their inputs in this form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_TRANSFORM_PIPELINE_H
+#define HFUSE_TRANSFORM_PIPELINE_H
+
+#include "cudalang/AST.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string_view>
+
+namespace hfuse::transform {
+
+/// Removes Sema-inserted implicit casts so Sema can be re-run after a
+/// transformation mutated the tree.
+void stripImplicitCasts(cuda::Stmt *S);
+
+/// Runs the full preprocessing pipeline on \p F in place. The
+/// translation unit of \p Ctx must contain any __device__ functions \p F
+/// calls. Returns false (with diagnostics) on failure; on success \p F
+/// is Sema-resolved, call-free, and decl-lifted.
+bool preprocessKernel(cuda::ASTContext &Ctx, cuda::FunctionDecl *F,
+                      DiagnosticEngine &Diags);
+
+/// A parsed and preprocessed kernel together with the context that owns
+/// it. Movable; the kernel pointer stays valid for the context lifetime.
+struct PreprocessedKernel {
+  std::unique_ptr<cuda::ASTContext> Ctx;
+  cuda::FunctionDecl *Kernel = nullptr;
+};
+
+/// Parses \p Source, finds the kernel \p KernelName (or the only
+/// __global__ function when empty), and preprocesses it. Returns an
+/// engaged result only on success.
+std::unique_ptr<PreprocessedKernel>
+parseAndPreprocess(std::string_view Source, const std::string &KernelName,
+                   DiagnosticEngine &Diags);
+
+} // namespace hfuse::transform
+
+#endif // HFUSE_TRANSFORM_PIPELINE_H

@@ -1,0 +1,69 @@
+//===-- transform/Renamer.cpp - Fresh-name variable renaming --------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Renamer.h"
+
+#include "transform/ASTWalker.h"
+
+#include <map>
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+using namespace hfuse::transform;
+
+std::string Renamer::freshName(const std::string &Base,
+                               const std::string &Suffix) {
+  std::string Candidate = Base;
+  if (Used.count(Candidate)) {
+    Candidate = Base + Suffix;
+    unsigned Counter = 2;
+    while (Used.count(Candidate))
+      Candidate = Base + Suffix + "_" + std::to_string(Counter++);
+  }
+  Used.insert(Candidate);
+  return Candidate;
+}
+
+void Renamer::renameFunction(FunctionDecl *F, const std::string &Suffix) {
+  // Rename declarations (params first, then locals in source order).
+  // Variable references carry resolved decl pointers, so only the
+  // spelling sync below is needed.
+  auto RenameVar = [&](VarDecl *V) { V->setName(freshName(V->name(), Suffix)); };
+  for (VarDecl *P : F->params())
+    RenameVar(P);
+  forEachStmt(F->body(), [&](Stmt *S) {
+    if (auto *DS = dyn_cast<DeclStmt>(S))
+      for (VarDecl *V : DS->decls())
+        RenameVar(V);
+  });
+
+  // Labels are renamed through a name map: goto targets may be
+  // unresolved (e.g. right after cloning), but label names are unique
+  // within one function, so name-based remapping is unambiguous.
+  std::map<std::string, std::string> LabelMap;
+  forEachStmt(F->body(), [&](Stmt *S) {
+    if (auto *L = dyn_cast<LabelStmt>(S)) {
+      std::string NewName = freshName(L->name(), Suffix);
+      LabelMap.emplace(L->name(), NewName);
+      L->setName(NewName);
+    }
+  });
+  forEachStmt(F->body(), [&](Stmt *S) {
+    if (auto *G = dyn_cast<GotoStmt>(S)) {
+      auto It = LabelMap.find(G->label());
+      if (It != LabelMap.end())
+        G->setLabel(It->second);
+    }
+  });
+
+  // Sync reference spellings with the (possibly renamed) declarations.
+  rewriteAllExprs(F->body(), [](Expr *E) -> Expr * {
+    if (auto *Ref = dyn_cast<DeclRefExpr>(E))
+      if (Ref->decl())
+        Ref->setName(Ref->decl()->name());
+    return E;
+  });
+}

@@ -1,0 +1,53 @@
+//===-- transform/Renamer.h - Fresh-name variable renaming ------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Guarantees name freshness when two kernels are merged into one fused
+/// function (paper §III-C: "It renames each local variable to make sure
+/// that they will not cause name conflicts in the fused kernel").
+///
+/// The renamer operates on Sema-resolved functions: DeclRefExpr nodes
+/// carry decl pointers, GotoStmt nodes carry label targets, so renaming a
+/// declaration only requires syncing the stored spellings afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_TRANSFORM_RENAMER_H
+#define HFUSE_TRANSFORM_RENAMER_H
+
+#include "cudalang/AST.h"
+
+#include <set>
+#include <string>
+
+namespace hfuse::transform {
+
+/// Tracks names already taken in the fused kernel and renames colliding
+/// declarations and labels as functions are merged in.
+class Renamer {
+public:
+  /// Marks \p Name as taken (prologue variables, etc.).
+  void reserve(const std::string &Name) { Used.insert(Name); }
+
+  bool isUsed(const std::string &Name) const { return Used.count(Name) != 0; }
+
+  /// Returns \p Base if free, otherwise Base+Suffix, otherwise
+  /// Base+Suffix+counter; the result is marked as taken.
+  std::string freshName(const std::string &Base, const std::string &Suffix);
+
+  /// Renames every parameter, local variable, and label of \p F that
+  /// collides with an already-used name, appending \p Suffix. All names
+  /// of \p F (renamed or not) become reserved. DeclRef and Goto
+  /// spellings are synced afterwards.
+  void renameFunction(cuda::FunctionDecl *F, const std::string &Suffix);
+
+private:
+  std::set<std::string> Used;
+};
+
+} // namespace hfuse::transform
+
+#endif // HFUSE_TRANSFORM_RENAMER_H

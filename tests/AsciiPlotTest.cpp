@@ -1,0 +1,108 @@
+//===-- tests/AsciiPlotTest.cpp - Figure 7 plot renderer tests ------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the ASCII scatter-plot renderer bench_fig7 uses to
+/// draw the paper's Figure 7 subplots: marker placement, auto-scaling,
+/// the always-present zero line, average h-lines, and degenerate data.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../bench/AsciiPlot.h" // lives with the benches it serves
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using hfuse::bench::AsciiPlot;
+
+namespace {
+
+/// Splits rendered output into lines for row-level assertions.
+std::vector<std::string> lines(const std::string &S) {
+  std::vector<std::string> Out;
+  std::istringstream In(S);
+  std::string L;
+  while (std::getline(In, L))
+    Out.push_back(L);
+  return Out;
+}
+
+} // namespace
+
+TEST(AsciiPlot, EmptyPlotSaysNoData) {
+  AsciiPlot P;
+  EXPECT_NE(P.render("t", "x").find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiPlot, TitleAndAxisLabelAppear) {
+  AsciiPlot P;
+  P.addPoint(0.0, 1.0, 'H');
+  std::string Out = P.render("my title", "my x axis");
+  EXPECT_NE(Out.find("my title"), std::string::npos);
+  EXPECT_NE(Out.find("(my x axis)"), std::string::npos);
+}
+
+TEST(AsciiPlot, MarkersLandAtExtremes) {
+  AsciiPlot P(40, 10);
+  P.addPoint(-2.0, 50.0, 'A');  // top-left
+  P.addPoint(2.0, -50.0, 'B');  // bottom-right
+  auto L = lines(P.render("t", "x"));
+  // Row 1 is the top grid row (row 0 is the title).
+  std::string Top = L[1];
+  std::string Bottom = L[10];
+  EXPECT_NE(Top.find('A'), std::string::npos);
+  EXPECT_EQ(Top.find('B'), std::string::npos);
+  EXPECT_NE(Bottom.find('B'), std::string::npos);
+  // A is at the left edge of the grid, B at the right edge.
+  EXPECT_LT(Top.find('A'), Bottom.find('B'));
+}
+
+TEST(AsciiPlot, ZeroLineAlwaysDrawn) {
+  AsciiPlot P(30, 8);
+  P.addPoint(0.0, 100.0, 'H');
+  P.addPoint(1.0, 40.0, 'H');
+  std::string Out = P.render("t", "x");
+  // All-positive data: the y range still includes 0 and a dashed line.
+  EXPECT_NE(Out.find("+0.0 |"), std::string::npos);
+  EXPECT_NE(Out.find("----"), std::string::npos);
+}
+
+TEST(AsciiPlot, HLineIsSparseAndDoesNotOverwritePoints) {
+  AsciiPlot P(33, 9);
+  P.addPoint(0.5, 10.0, 'H');
+  P.addHLine(10.0, '.');
+  auto L = lines(P.render("t", "x"));
+  // Find the row containing the point: it must keep its marker and
+  // carry dots at 4-column intervals around it.
+  bool Found = false;
+  for (const std::string &Row : L) {
+    if (Row.find('H') == std::string::npos)
+      continue;
+    Found = true;
+    EXPECT_NE(Row.find('.'), std::string::npos);
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(AsciiPlot, DegenerateSinglePointScales) {
+  AsciiPlot P(20, 6);
+  P.addPoint(3.0, 7.0, 'X');
+  std::string Out = P.render("t", "x");
+  EXPECT_NE(Out.find('X'), std::string::npos);
+  EXPECT_NE(Out.find("+7.0"), std::string::npos);
+}
+
+TEST(AsciiPlot, TicksShowDataRange) {
+  AsciiPlot P(30, 8);
+  P.addPoint(-1.5, 25.0, 'H');
+  P.addPoint(1.5, -12.5, 'v');
+  std::string Out = P.render("t", "x");
+  EXPECT_NE(Out.find("+25.0"), std::string::npos);
+  EXPECT_NE(Out.find("-12.5"), std::string::npos);
+  EXPECT_NE(Out.find("-1.50"), std::string::npos);
+  EXPECT_NE(Out.find("1.50"), std::string::npos);
+}

@@ -1,0 +1,233 @@
+//===-- tests/ClonerPrinterTest.cpp - Cloner and printer details ----------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Focused tests for ASTCloner (cross-context type interning, decl
+/// remapping, implicit-cast stripping, callee preservation) and golden
+/// tests for the exact text the printer emits — the printer output *is*
+/// the product of a source-to-source compiler, so its shape is API.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cudalang/ASTCloner.h"
+#include "cudalang/ASTPrinter.h"
+#include "cudalang/Parser.h"
+#include "cudalang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+
+namespace {
+
+struct Parsed {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  FunctionDecl *Fn = nullptr;
+
+  explicit Parsed(const char *Source) {
+    Parser P(Source, Ctx, Diags);
+    if (!P.parseTranslationUnit())
+      return;
+    if (!Sema(Ctx, Diags).run())
+      return;
+    for (FunctionDecl *F : Ctx.translationUnit().functions())
+      if (F->isKernel())
+        Fn = F;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Cloner
+//===----------------------------------------------------------------------===//
+
+TEST(Cloner, CrossContextTypesAreInterned) {
+  Parsed P("__global__ void k(float *a, int n) {\n"
+           "  __shared__ int s[8];\n"
+           "  s[0] = n;\n"
+           "  a[0] = (float)s[0];\n"
+           "}\n");
+  ASSERT_NE(P.Fn, nullptr) << P.Diags.str();
+
+  ASTContext Target;
+  ASTCloner Cloner(Target);
+  FunctionDecl *Clone = Cloner.cloneFunction(P.Fn);
+
+  // Types must belong to the target context: interning means pointer
+  // equality with the target's canonical types.
+  EXPECT_EQ(Clone->params()[0]->type(),
+            Target.types().pointerTo(Target.types().floatTy()));
+  EXPECT_EQ(Clone->params()[1]->type(), Target.types().intTy());
+  auto *DS = cast<DeclStmt>(Clone->body()->body()[0]);
+  EXPECT_EQ(DS->decls()[0]->type(),
+            Target.types().arrayOf(Target.types().intTy(), 8));
+}
+
+TEST(Cloner, ImplicitCastsStripped) {
+  // `a[0] = n` forces an implicit int->float cast after Sema.
+  Parsed P("__global__ void k(float *a, int n) { a[0] = n; }\n");
+  ASSERT_NE(P.Fn, nullptr) << P.Diags.str();
+
+  ASTContext Target;
+  ASTCloner Cloner(Target);
+  FunctionDecl *Clone = Cloner.cloneFunction(P.Fn);
+
+  auto *ES = cast<ExprStmt>(Clone->body()->body()[0]);
+  auto *Assign = cast<BinaryExpr>(ES->expr());
+  EXPECT_EQ(Assign->rhs()->kind(), StmtKind::DeclRef)
+      << "the Sema-inserted implicit cast must not survive cloning";
+}
+
+TEST(Cloner, ExplicitCastsSurvive) {
+  Parsed P("__global__ void k(float *a, int n) { a[0] = (float)n; }\n");
+  ASSERT_NE(P.Fn, nullptr) << P.Diags.str();
+  ASTContext Target;
+  ASTCloner Cloner(Target);
+  FunctionDecl *Clone = Cloner.cloneFunction(P.Fn);
+  auto *ES = cast<ExprStmt>(Clone->body()->body()[0]);
+  auto *Assign = cast<BinaryExpr>(ES->expr());
+  auto *C = dyn_cast<CastExpr>(Assign->rhs());
+  ASSERT_NE(C, nullptr);
+  EXPECT_FALSE(C->isImplicit());
+}
+
+TEST(Cloner, DeclRefsPointIntoClone) {
+  Parsed P("__global__ void k(int *a) {\n"
+           "  int x = 1;\n"
+           "  a[0] = x;\n"
+           "}\n");
+  ASSERT_NE(P.Fn, nullptr) << P.Diags.str();
+  ASTContext Target;
+  ASTCloner Cloner(Target);
+  FunctionDecl *Clone = Cloner.cloneFunction(P.Fn);
+
+  auto *DS = cast<DeclStmt>(Clone->body()->body()[0]);
+  VarDecl *ClonedX = DS->decls()[0];
+  auto *ES = cast<ExprStmt>(Clone->body()->body()[1]);
+  auto *Assign = cast<BinaryExpr>(ES->expr());
+  auto *Ref =
+      cast<DeclRefExpr>(ignoreParensAndImplicitCasts(Assign->rhs()));
+  EXPECT_EQ(Ref->decl(), ClonedX)
+      << "cloned refs must target the cloned decl, not the original";
+
+  // Mutating the clone must not affect the original.
+  ClonedX->setName("renamed");
+  auto *OrigDS = cast<DeclStmt>(P.Fn->body()->body()[0]);
+  EXPECT_EQ(OrigDS->decls()[0]->name(), "x");
+}
+
+TEST(Cloner, ParamToExprSubstitution) {
+  Parsed P("__global__ void k(int *a, int n) { a[0] = n + n; }\n");
+  ASSERT_NE(P.Fn, nullptr) << P.Diags.str();
+  ASTContext Target;
+  ASTCloner Cloner(Target);
+
+  // Substitute `n` with the literal 7 while cloning.
+  auto *Seven = Target.create<IntLiteralExpr>(SourceLocation(), 7,
+                                              /*IsUnsigned=*/false,
+                                              /*Is64=*/false);
+  VarDecl *APar = Cloner.cloneVar(P.Fn->params()[0]);
+  (void)APar;
+  Cloner.mapDeclToExpr(P.Fn->params()[1], Seven);
+  Stmt *Body = Cloner.cloneStmt(P.Fn->body());
+  std::string Printed = printStmt(Body);
+  EXPECT_NE(Printed.find("a[0] = 7 + 7;"), std::string::npos) << Printed;
+}
+
+//===----------------------------------------------------------------------===//
+// Printer goldens
+//===----------------------------------------------------------------------===//
+
+std::string printKernel(const char *Source) {
+  Parsed P(Source);
+  EXPECT_NE(P.Fn, nullptr) << P.Diags.str();
+  if (!P.Fn)
+    return "";
+  return printFunction(P.Fn);
+}
+
+TEST(PrinterGolden, DeclGroups) {
+  std::string Out = printKernel(
+      "__global__ void k(int *a) { int x = 1, y = 2, *p = a; p[x] = y; }\n");
+  EXPECT_NE(Out.find("int x = 1, y = 2, *p = a;"), std::string::npos)
+      << Out;
+}
+
+TEST(PrinterGolden, SharedAndExternShared) {
+  std::string Out = printKernel("__global__ void k(int *a) {\n"
+                                "  __shared__ float s[64];\n"
+                                "  extern __shared__ unsigned char m[];\n"
+                                "  s[0] = 0.0f;\n"
+                                "  m[0] = (unsigned char)a[0];\n"
+                                "  a[1] = (int)s[0];\n"
+                                "}\n");
+  EXPECT_NE(Out.find("__shared__ float s[64];"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("extern __shared__ unsigned char m[];"),
+            std::string::npos)
+      << Out;
+}
+
+TEST(PrinterGolden, ControlFlowLayout) {
+  std::string Out = printKernel(
+      "__global__ void k(int *a, int n) {\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    if (i % 2 == 0) a[i] = 0;\n"
+      "    else { a[i] = 1; }\n"
+      "  }\n"
+      "}\n");
+  EXPECT_NE(Out.find("for (int i = 0; i < n; i++)"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("if (i % 2 == 0)"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("else"), std::string::npos) << Out;
+}
+
+TEST(PrinterGolden, AsmEscaping) {
+  Parsed P("__global__ void k(int *a) { a[0] = 1; }\n");
+  ASSERT_NE(P.Fn, nullptr);
+  auto *A = P.Ctx.create<AsmStmt>(SourceLocation(),
+                                  "text with \"quotes\" and \\slash",
+                                  /*IsVolatile=*/true);
+  std::string Out = printStmt(A);
+  EXPECT_NE(Out.find("asm volatile (\"text with \\\"quotes\\\" and "
+                     "\\\\slash\");"),
+            std::string::npos)
+      << Out;
+}
+
+TEST(PrinterGolden, UnsignedAndLongSuffixes) {
+  std::string Out = printKernel(
+      "__global__ void k(unsigned long long *a) {\n"
+      "  a[0] = 1ull + (unsigned long long)2u;\n"
+      "}\n");
+  EXPECT_NE(Out.find("1ull"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("2u"), std::string::npos) << Out;
+}
+
+TEST(PrinterGolden, NegativeAndFloatLiterals) {
+  std::string Out = printKernel("__global__ void k(float *a) {\n"
+                                "  a[0] = -1.5f;\n"
+                                "  a[1] = 1e-5f;\n"
+                                "  a[2] = 2.0;\n"
+                                "}\n");
+  EXPECT_NE(Out.find("-1.5f"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("1e-05f"), std::string::npos)
+      << "round-trip precision of float literals:\n"
+      << Out;
+  EXPECT_NE(Out.find("= 2;") == std::string::npos, false)
+      << "2.0 must keep a floating spelling:\n"
+      << Out;
+}
+
+TEST(PrinterGolden, MinusMinusSpacing) {
+  // -(-x) must not print as `--x`.
+  Parsed P("__global__ void k(int *a) { int x = 3; a[0] = -(-x); }\n");
+  ASSERT_NE(P.Fn, nullptr);
+  std::string Out = printFunction(P.Fn);
+  EXPECT_EQ(Out.find("--"), std::string::npos) << Out;
+}
+
+} // namespace

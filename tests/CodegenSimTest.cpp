@@ -1,0 +1,648 @@
+//===-- tests/CodegenSimTest.cpp - Codegen + simulator functional tests ---===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end functional tests of the substrate: CuLite source is
+/// parsed, preprocessed, lowered to SASS-lite, register-allocated, and
+/// executed on the GPU simulator; results are compared against CPU
+/// reference computations. Also covers bar.sync semantics, divergence,
+/// atomics, shuffles, spilling, and the timing model's sanity.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGen.h"
+#include "gpusim/Occupancy.h"
+#include "gpusim/Simulator.h"
+#include "ir/RegAlloc.h"
+#include "transform/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <random>
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+using namespace hfuse::gpusim;
+
+namespace {
+
+/// Compiles the only kernel in \p Source down to register-allocated IR.
+std::unique_ptr<ir::IRKernel> compile(const char *Source,
+                                      unsigned RegBound = 0) {
+  DiagnosticEngine Diags;
+  auto Pre = transform::parseAndPreprocess(Source, "", Diags);
+  EXPECT_NE(Pre, nullptr) << Diags.str();
+  if (!Pre)
+    return nullptr;
+  auto K = codegen::compileKernel(Pre->Kernel, Diags);
+  EXPECT_NE(K, nullptr) << Diags.str();
+  if (!K)
+    return nullptr;
+  ir::RegAllocResult RA = ir::allocateRegisters(*K, RegBound);
+  EXPECT_TRUE(RA.Ok) << RA.Error;
+  if (!RA.Ok)
+    return nullptr;
+  return K;
+}
+
+SimConfig testConfig() {
+  SimConfig C;
+  C.Arch = makeGTX1080Ti();
+  C.SimSMs = 2;
+  return C;
+}
+
+template <typename T>
+std::vector<T> readBuffer(Simulator &Sim, uint64_t Base, size_t Count) {
+  std::vector<T> Out(Count);
+  std::memcpy(Out.data(), Sim.globalMem().data() + Base, Count * sizeof(T));
+  return Out;
+}
+
+template <typename T>
+void writeBuffer(Simulator &Sim, uint64_t Base, const std::vector<T> &Data) {
+  std::memcpy(Sim.globalMem().data() + Base, Data.data(),
+              Data.size() * sizeof(T));
+}
+
+//===----------------------------------------------------------------------===//
+// Basic functional execution
+//===----------------------------------------------------------------------===//
+
+TEST(Sim, VectorAdd) {
+  auto K = compile("__global__ void vadd(float *a, const float *b, "
+                   "const float *c, int n) {\n"
+                   "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+                   "  if (i < n) a[i] = b[i] + c[i];\n"
+                   "}\n");
+  ASSERT_NE(K, nullptr);
+
+  const int N = 1024;
+  Simulator Sim(testConfig());
+  uint64_t A = Sim.allocGlobal(N * 4), B = Sim.allocGlobal(N * 4),
+           C = Sim.allocGlobal(N * 4);
+  std::vector<float> Bv(N), Cv(N);
+  for (int I = 0; I < N; ++I) {
+    Bv[I] = 0.5f * I;
+    Cv[I] = 100.0f - I;
+  }
+  writeBuffer(Sim, B, Bv);
+  writeBuffer(Sim, C, Cv);
+
+  KernelLaunch L;
+  L.Kernel = K.get();
+  L.GridDim = 8;
+  L.BlockDim = 128;
+  L.Params = {A, B, C, static_cast<uint64_t>(N)};
+  SimResult R = Sim.run({L});
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  auto Av = readBuffer<float>(Sim, A, N);
+  for (int I = 0; I < N; ++I)
+    ASSERT_FLOAT_EQ(Av[I], Bv[I] + Cv[I]) << "at " << I;
+  EXPECT_GT(R.TotalCycles, 0u);
+}
+
+TEST(Sim, GridStrideLoopIntegerOps) {
+  auto K = compile(
+      "__global__ void k(unsigned int *out, int n) {\n"
+      "  for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < n;\n"
+      "       i += blockDim.x * gridDim.x) {\n"
+      "    unsigned int x = (unsigned int)i;\n"
+      "    x = (x ^ 61u) ^ (x >> 16);\n"
+      "    x = x + (x << 3);\n"
+      "    x = x ^ (x >> 4);\n"
+      "    x = x * 668265261u;\n"
+      "    x = x ^ (x >> 15);\n"
+      "    out[i] = x % 1000u + (unsigned int)(i / 7) - (x & 15u);\n"
+      "  }\n"
+      "}\n");
+  ASSERT_NE(K, nullptr);
+
+  const int N = 3000; // not a multiple of total threads: tail handling
+  Simulator Sim(testConfig());
+  uint64_t Out = Sim.allocGlobal(N * 4);
+  KernelLaunch L;
+  L.Kernel = K.get();
+  L.GridDim = 4;
+  L.BlockDim = 256;
+  L.Params = {Out, static_cast<uint64_t>(N)};
+  SimResult R = Sim.run({L});
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  auto Got = readBuffer<uint32_t>(Sim, Out, N);
+  for (int I = 0; I < N; ++I) {
+    uint32_t X = static_cast<uint32_t>(I);
+    X = (X ^ 61u) ^ (X >> 16);
+    X = X + (X << 3);
+    X = X ^ (X >> 4);
+    X = X * 668265261u;
+    X = X ^ (X >> 15);
+    uint32_t Want = X % 1000u + static_cast<uint32_t>(I / 7) - (X & 15u);
+    ASSERT_EQ(Got[I], Want) << "at " << I;
+  }
+}
+
+TEST(Sim, SharedMemoryReverse) {
+  auto K = compile("__global__ void rev(int *a) {\n"
+                   "  __shared__ int s[256];\n"
+                   "  int base = blockIdx.x * blockDim.x;\n"
+                   "  s[threadIdx.x] = a[base + threadIdx.x];\n"
+                   "  __syncthreads();\n"
+                   "  a[base + threadIdx.x] = s[blockDim.x - 1 - "
+                   "threadIdx.x];\n"
+                   "}\n");
+  ASSERT_NE(K, nullptr);
+
+  const int N = 1024;
+  Simulator Sim(testConfig());
+  uint64_t A = Sim.allocGlobal(N * 4);
+  std::vector<int32_t> In(N);
+  std::iota(In.begin(), In.end(), 0);
+  writeBuffer(Sim, A, In);
+
+  KernelLaunch L;
+  L.Kernel = K.get();
+  L.GridDim = 4;
+  L.BlockDim = 256;
+  L.Params = {A};
+  SimResult R = Sim.run({L});
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  auto Got = readBuffer<int32_t>(Sim, A, N);
+  for (int Blk = 0; Blk < 4; ++Blk)
+    for (int T = 0; T < 256; ++T)
+      ASSERT_EQ(Got[Blk * 256 + T], In[Blk * 256 + 255 - T]);
+}
+
+TEST(Sim, WarpShuffleReduction) {
+  auto K = compile(
+      "__global__ void wsum(int *out, const int *in) {\n"
+      "  int v = in[blockIdx.x * blockDim.x + threadIdx.x];\n"
+      "  for (int i = 0; i < 5; i++)\n"
+      "    v += __shfl_xor_sync(0xffffffffu, v, 1 << i);\n"
+      "  if (threadIdx.x % 32 == 0)\n"
+      "    out[(blockIdx.x * blockDim.x + threadIdx.x) / 32] = v;\n"
+      "}\n");
+  ASSERT_NE(K, nullptr);
+
+  const int N = 256;
+  Simulator Sim(testConfig());
+  uint64_t Out = Sim.allocGlobal(N / 32 * 4), In = Sim.allocGlobal(N * 4);
+  std::vector<int32_t> Iv(N);
+  std::mt19937 Rng(7);
+  for (auto &V : Iv)
+    V = static_cast<int32_t>(Rng() % 100);
+  writeBuffer(Sim, In, Iv);
+
+  KernelLaunch L;
+  L.Kernel = K.get();
+  L.GridDim = 2;
+  L.BlockDim = 128;
+  L.Params = {Out, In};
+  SimResult R = Sim.run({L});
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  auto Got = readBuffer<int32_t>(Sim, Out, N / 32);
+  for (int W = 0; W < N / 32; ++W) {
+    int32_t Want = 0;
+    for (int I = 0; I < 32; ++I)
+      Want += Iv[W * 32 + I];
+    ASSERT_EQ(Got[W], Want) << "warp " << W;
+  }
+}
+
+TEST(Sim, AtomicsGlobalAndShared) {
+  auto K = compile(
+      "__global__ void hist(unsigned int *out, const int *in, int n) {\n"
+      "  __shared__ unsigned int s[16];\n"
+      "  if (threadIdx.x < 16u) s[threadIdx.x] = 0u;\n"
+      "  __syncthreads();\n"
+      "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+      "  if (i < n) atomicAdd(&s[in[i] & 15], 1u);\n"
+      "  __syncthreads();\n"
+      "  if (threadIdx.x < 16u) atomicAdd(&out[threadIdx.x], "
+      "s[threadIdx.x]);\n"
+      "}\n");
+  ASSERT_NE(K, nullptr);
+
+  const int N = 2048;
+  Simulator Sim(testConfig());
+  uint64_t Out = Sim.allocGlobal(16 * 4), In = Sim.allocGlobal(N * 4);
+  std::vector<int32_t> Iv(N);
+  std::mt19937 Rng(13);
+  for (auto &V : Iv)
+    V = static_cast<int32_t>(Rng());
+  writeBuffer(Sim, In, Iv);
+  writeBuffer(Sim, Out, std::vector<uint32_t>(16, 0));
+
+  KernelLaunch L;
+  L.Kernel = K.get();
+  L.GridDim = 8;
+  L.BlockDim = 256;
+  L.Params = {Out, In, static_cast<uint64_t>(N)};
+  SimResult R = Sim.run({L});
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  std::vector<uint32_t> Want(16, 0);
+  for (int32_t V : Iv)
+    ++Want[V & 15];
+  auto Got = readBuffer<uint32_t>(Sim, Out, 16);
+  for (int B = 0; B < 16; ++B)
+    ASSERT_EQ(Got[B], Want[B]) << "bin " << B;
+}
+
+TEST(Sim, Int64Arithmetic) {
+  auto K = compile(
+      "__global__ void k64(unsigned long long *out, int n) {\n"
+      "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+      "  if (i >= n) return;\n"
+      "  unsigned long long v = (unsigned long long)i * "
+      "0x9E3779B97F4A7C15ull;\n"
+      "  v ^= v >> 30;\n"
+      "  v *= 0xBF58476D1CE4E5B9ull;\n"
+      "  v ^= v >> 27;\n"
+      "  out[i] = v;\n"
+      "}\n");
+  ASSERT_NE(K, nullptr);
+
+  const int N = 512;
+  Simulator Sim(testConfig());
+  uint64_t Out = Sim.allocGlobal(N * 8);
+  KernelLaunch L;
+  L.Kernel = K.get();
+  L.GridDim = 4;
+  L.BlockDim = 128;
+  L.Params = {Out, static_cast<uint64_t>(N)};
+  SimResult R = Sim.run({L});
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  auto Got = readBuffer<uint64_t>(Sim, Out, N);
+  for (int I = 0; I < N; ++I) {
+    uint64_t V = static_cast<uint64_t>(I) * 0x9E3779B97F4A7C15ull;
+    V ^= V >> 30;
+    V *= 0xBF58476D1CE4E5B9ull;
+    V ^= V >> 27;
+    ASSERT_EQ(Got[I], V) << "at " << I;
+  }
+}
+
+TEST(Sim, DivergentBranchesReconverge) {
+  auto K = compile("__global__ void div(int *a) {\n"
+                   "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+                   "  int v;\n"
+                   "  if (i % 3 == 0) v = i * 2;\n"
+                   "  else if (i % 3 == 1) v = -i;\n"
+                   "  else { v = 0; for (int j = 0; j < i % 7; j++) v += j; }\n"
+                   "  a[i] = v;\n"
+                   "}\n");
+  ASSERT_NE(K, nullptr);
+
+  const int N = 256;
+  Simulator Sim(testConfig());
+  uint64_t A = Sim.allocGlobal(N * 4);
+  KernelLaunch L;
+  L.Kernel = K.get();
+  L.GridDim = 2;
+  L.BlockDim = 128;
+  L.Params = {A};
+  SimResult R = Sim.run({L});
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  auto Got = readBuffer<int32_t>(Sim, A, N);
+  for (int I = 0; I < N; ++I) {
+    int32_t Want;
+    if (I % 3 == 0)
+      Want = I * 2;
+    else if (I % 3 == 1)
+      Want = -I;
+    else {
+      Want = 0;
+      for (int J = 0; J < I % 7; ++J)
+        Want += J;
+    }
+    ASSERT_EQ(Got[I], Want) << "at " << I;
+  }
+}
+
+TEST(Sim, GotoGuardsLikeFusedKernels) {
+  // The exact control-flow shape HFuse generates.
+  auto K = compile("__global__ void g(int *a, int *b) {\n"
+                   "  if (threadIdx.x >= 64u) goto k1_end;\n"
+                   "  a[blockIdx.x * 64 + threadIdx.x] = 1;\n"
+                   "k1_end:\n"
+                   "  if (threadIdx.x < 64u) goto k2_end;\n"
+                   "  b[blockIdx.x * 64 + (threadIdx.x - 64)] = 2;\n"
+                   "k2_end:\n"
+                   "}\n");
+  ASSERT_NE(K, nullptr);
+
+  Simulator Sim(testConfig());
+  uint64_t A = Sim.allocGlobal(128 * 4), B = Sim.allocGlobal(128 * 4);
+  KernelLaunch L;
+  L.Kernel = K.get();
+  L.GridDim = 2;
+  L.BlockDim = 128;
+  L.Params = {A, B};
+  SimResult R = Sim.run({L});
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  auto Av = readBuffer<int32_t>(Sim, A, 128);
+  auto Bv = readBuffer<int32_t>(Sim, B, 128);
+  for (int I = 0; I < 128; ++I) {
+    ASSERT_EQ(Av[I], 1) << I;
+    ASSERT_EQ(Bv[I], 2) << I;
+  }
+}
+
+TEST(Sim, PartialBarrierSynchronizesSubsetOnly) {
+  // Two independent groups in one block, each with its own named
+  // barrier (the HFuse pattern). Group 1 (threads 0..63) ping-pongs
+  // through shared memory with bar.sync 1; group 2 (threads 64..127)
+  // does the same with bar.sync 2. If either barrier synchronized the
+  // whole block, this would deadlock (the groups arrive different
+  // numbers of times).
+  auto K = compile(
+      "__global__ void pb(int *a, int *b) {\n"
+      "  __shared__ int s1[64];\n"
+      "  __shared__ int s2[64];\n"
+      "  int tid_1 = (int)threadIdx.x;\n"
+      "  int tid_2 = (int)threadIdx.x - 64;\n"
+      "  if (threadIdx.x >= 64u) goto k1_end;\n"
+      "  s1[tid_1] = tid_1;\n"
+      "  asm(\"bar.sync 1, 64;\");\n"
+      "  a[blockIdx.x * 64 + tid_1] = s1[63 - tid_1];\n"
+      "k1_end:\n"
+      "  if (threadIdx.x < 64u) goto k2_end;\n"
+      "  s2[tid_2] = tid_2 * 10;\n"
+      "  asm(\"bar.sync 2, 64;\");\n"
+      "  s2[tid_2] = s2[63 - tid_2] + 1;\n"
+      "  asm(\"bar.sync 2, 64;\");\n"
+      "  b[blockIdx.x * 64 + tid_2] = s2[63 - tid_2];\n"
+      "k2_end:\n"
+      "}\n");
+  ASSERT_NE(K, nullptr);
+
+  Simulator Sim(testConfig());
+  uint64_t A = Sim.allocGlobal(128 * 4), B = Sim.allocGlobal(128 * 4);
+  KernelLaunch L;
+  L.Kernel = K.get();
+  L.GridDim = 2;
+  L.BlockDim = 128;
+  L.Params = {A, B};
+  SimResult R = Sim.run({L});
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  auto Av = readBuffer<int32_t>(Sim, A, 128);
+  auto Bv = readBuffer<int32_t>(Sim, B, 128);
+  for (int Blk = 0; Blk < 2; ++Blk) {
+    for (int T = 0; T < 64; ++T) {
+      ASSERT_EQ(Av[Blk * 64 + T], 63 - T);
+      // s2[t] = t*10; s2[t] = s2[63-t]+1 = (63-t)*10+1;
+      // b[t] = s2[63-t] = t*10+1.
+      ASSERT_EQ(Bv[Blk * 64 + T], T * 10 + 1);
+    }
+  }
+}
+
+TEST(Sim, FloatMathIntrinsics) {
+  auto K = compile("__global__ void fm(float *a, const float *in) {\n"
+                   "  int i = threadIdx.x;\n"
+                   "  float v = in[i];\n"
+                   "  a[i] = sqrtf(v) + fminf(v, 2.0f) * fmaxf(v, 0.5f) -\n"
+                   "         fabsf(0.0f - v) + floorf(v);\n"
+                   "}\n");
+  ASSERT_NE(K, nullptr);
+
+  const int N = 64;
+  Simulator Sim(testConfig());
+  uint64_t A = Sim.allocGlobal(N * 4), In = Sim.allocGlobal(N * 4);
+  std::vector<float> Iv(N);
+  for (int I = 0; I < N; ++I)
+    Iv[I] = 0.25f * I + 0.1f;
+  writeBuffer(Sim, In, Iv);
+
+  KernelLaunch L;
+  L.Kernel = K.get();
+  L.GridDim = 1;
+  L.BlockDim = 64;
+  L.Params = {A, In};
+  SimResult R = Sim.run({L});
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  auto Got = readBuffer<float>(Sim, A, N);
+  for (int I = 0; I < N; ++I) {
+    float V = Iv[I];
+    float Want = std::sqrt(V) + std::fmin(V, 2.0f) * std::fmax(V, 0.5f) -
+                 std::fabs(0.0f - V) + std::floor(V);
+    ASSERT_FLOAT_EQ(Got[I], Want) << "at " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Register bounds and spilling
+//===----------------------------------------------------------------------===//
+
+const char *RegHeavySource =
+    "__global__ void heavy(int *out, const int *in, int n) {\n"
+    "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+    "  if (i >= n) return;\n"
+    "  int a0 = in[i]; int a1 = a0 * 3 + 1; int a2 = a1 ^ a0;\n"
+    "  int a3 = a2 + a1; int a4 = a3 * a0; int a5 = a4 - a2;\n"
+    "  int a6 = a5 ^ a3; int a7 = a6 + a4; int a8 = a7 * 5;\n"
+    "  int a9 = a8 - a6; int b0 = a9 ^ a7; int b1 = b0 + a8;\n"
+    "  int b2 = b1 * a9; int b3 = b2 - b0; int b4 = b3 ^ b1;\n"
+    "  int b5 = b4 + b2; int b6 = b5 * 7; int b7 = b6 - b4;\n"
+    "  int b8 = b7 ^ b5; int b9 = b8 + b6;\n"
+    "  out[i] = a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7 + a8 + a9 +\n"
+    "           b0 + b1 + b2 + b3 + b4 + b5 + b6 + b7 + b8 + b9;\n"
+    "}\n";
+
+int32_t regHeavyExpected(int32_t A0) {
+  int32_t A1 = A0 * 3 + 1, A2 = A1 ^ A0, A3 = A2 + A1, A4 = A3 * A0,
+          A5 = A4 - A2, A6 = A5 ^ A3, A7 = A6 + A4, A8 = A7 * 5,
+          A9 = A8 - A6, B0 = A9 ^ A7, B1 = B0 + A8, B2 = B1 * A9,
+          B3 = B2 - B0, B4 = B3 ^ B1, B5 = B4 + B2, B6 = B5 * 7,
+          B7 = B6 - B4, B8 = B7 ^ B5, B9 = B8 + B6;
+  return A0 + A1 + A2 + A3 + A4 + A5 + A6 + A7 + A8 + A9 + B0 + B1 + B2 +
+         B3 + B4 + B5 + B6 + B7 + B8 + B9;
+}
+
+TEST(RegAlloc, SpillingPreservesSemantics) {
+  auto Unbounded = compile(RegHeavySource);
+  ASSERT_NE(Unbounded, nullptr);
+  auto Bounded = compile(RegHeavySource, /*RegBound=*/24);
+  ASSERT_NE(Bounded, nullptr);
+  EXPECT_GT(Unbounded->ArchRegsPerThread, Bounded->ArchRegsPerThread);
+  EXPECT_LE(Bounded->ArchRegsPerThread, 24u);
+  EXPECT_GT(Bounded->LocalBytes, 0u) << "bound must force spills";
+
+  const int N = 512;
+  std::vector<int32_t> In(N);
+  std::mt19937 Rng(23);
+  for (auto &V : In)
+    V = static_cast<int32_t>(Rng() % 1000);
+
+  for (ir::IRKernel *K : {Unbounded.get(), Bounded.get()}) {
+    Simulator Sim(testConfig());
+    uint64_t Out = Sim.allocGlobal(N * 4), InB = Sim.allocGlobal(N * 4);
+    writeBuffer(Sim, InB, In);
+    KernelLaunch L;
+    L.Kernel = K;
+    L.GridDim = 4;
+    L.BlockDim = 128;
+    L.Params = {Out, InB, static_cast<uint64_t>(N)};
+    SimResult R = Sim.run({L});
+    ASSERT_TRUE(R.Ok) << R.Error;
+    auto Got = readBuffer<int32_t>(Sim, Out, N);
+    for (int I = 0; I < N; ++I)
+      ASSERT_EQ(Got[I], regHeavyExpected(In[I]))
+          << "kernel " << K->Name << " at " << I;
+  }
+}
+
+TEST(RegAlloc, BoundedIsSlowerButHigherOccupancy) {
+  auto Unbounded = compile(RegHeavySource);
+  auto Bounded = compile(RegHeavySource, 24);
+  ASSERT_NE(Unbounded, nullptr);
+  ASSERT_NE(Bounded, nullptr);
+
+  const GpuArch Arch = makeGTX1080Ti();
+  OccupancyResult OccU = computeOccupancy(
+      Arch, 256, static_cast<int>(Unbounded->ArchRegsPerThread), 0);
+  OccupancyResult OccB = computeOccupancy(
+      Arch, 256, static_cast<int>(Bounded->ArchRegsPerThread), 0);
+  EXPECT_GE(OccB.BlocksPerSM, OccU.BlocksPerSM);
+}
+
+//===----------------------------------------------------------------------===//
+// Timing model sanity
+//===----------------------------------------------------------------------===//
+
+TEST(SimTiming, MemoryBoundSlowerThanComputeBound) {
+  // Same instruction count; one kernel streams DRAM, one loops in regs.
+  auto MemK = compile("__global__ void mem(float *a, const float *b, int n) "
+                      "{\n"
+                      "  for (int i = blockIdx.x * blockDim.x + threadIdx.x;"
+                      " i < n; i += blockDim.x * gridDim.x)\n"
+                      "    a[i] = b[i] * 2.0f;\n"
+                      "}\n");
+  auto CompK = compile("__global__ void comp(float *a, int n) {\n"
+                       "  float v = (float)threadIdx.x;\n"
+                       "  for (int i = 0; i < n; i++) v = v * 1.0001f + "
+                       "0.5f;\n"
+                       "  a[threadIdx.x + blockIdx.x * blockDim.x] = v;\n"
+                       "}\n");
+  ASSERT_NE(MemK, nullptr);
+  ASSERT_NE(CompK, nullptr);
+
+  const int N = 1 << 18;
+  Simulator Sim(testConfig());
+  uint64_t A = Sim.allocGlobal(N * 4), B = Sim.allocGlobal(N * 4);
+
+  KernelLaunch LM;
+  LM.Kernel = MemK.get();
+  LM.GridDim = 8;
+  LM.BlockDim = 256;
+  LM.Params = {A, B, static_cast<uint64_t>(N)};
+  SimResult RM = Sim.run({LM});
+  ASSERT_TRUE(RM.Ok) << RM.Error;
+
+  KernelLaunch LC;
+  LC.Kernel = CompK.get();
+  LC.GridDim = 8;
+  LC.BlockDim = 256;
+  LC.Params = {A, 128};
+  SimResult RC = Sim.run({LC});
+  ASSERT_TRUE(RC.Ok) << RC.Error;
+
+  // The streaming kernel must show dominantly memory stalls; the
+  // arithmetic kernel dominantly not.
+  EXPECT_GT(RM.DeviceMemStallPct, 50.0);
+  EXPECT_LT(RC.DeviceMemStallPct, 30.0);
+}
+
+TEST(SimTiming, ConcurrentKernelsOverlapAtMostSum) {
+  auto K = compile("__global__ void c(float *a, int n) {\n"
+                   "  float v = (float)threadIdx.x;\n"
+                   "  for (int i = 0; i < n; i++) v = v * 1.0001f + 0.5f;\n"
+                   "  a[threadIdx.x + blockIdx.x * blockDim.x] = v;\n"
+                   "}\n");
+  ASSERT_NE(K, nullptr);
+
+  Simulator Sim(testConfig());
+  uint64_t A = Sim.allocGlobal(1 << 16);
+
+  KernelLaunch L;
+  L.Kernel = K.get();
+  L.GridDim = 16;
+  L.BlockDim = 256;
+  L.Params = {A, 256};
+
+  SimResult Solo = Sim.run({L});
+  ASSERT_TRUE(Solo.Ok) << Solo.Error;
+  SimResult Both = Sim.run({L, L});
+  ASSERT_TRUE(Both.Ok) << Both.Error;
+
+  EXPECT_GE(Both.TotalCycles, Solo.TotalCycles);
+  EXPECT_LE(Both.TotalCycles, 2 * Solo.TotalCycles + 10000);
+}
+
+TEST(SimTiming, OccupancyMetricTracksResidency) {
+  auto K = compile("__global__ void o(float *a, int n) {\n"
+                   "  float v = 0.0f;\n"
+                   "  for (int i = 0; i < n; i++) v += 1.0f;\n"
+                   "  a[threadIdx.x] = v;\n"
+                   "}\n");
+  ASSERT_NE(K, nullptr);
+
+  Simulator Sim(testConfig());
+  uint64_t A = Sim.allocGlobal(4096);
+  // Plenty of blocks: occupancy should be substantial.
+  KernelLaunch L;
+  L.Kernel = K.get();
+  L.GridDim = 64;
+  L.BlockDim = 256;
+  L.Params = {A, 200};
+  SimResult R = Sim.run({L});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(R.DeviceOccupancyPct, 40.0);
+  EXPECT_LE(R.DeviceOccupancyPct, 100.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Occupancy calculator
+//===----------------------------------------------------------------------===//
+
+TEST(Occupancy, PaperExampleFromSectionIIA) {
+  // Paper §II-A: 24K shared, 512 threads, 64 regs/thread -> 2 blocks
+  // (registers limit); at 32 regs/thread -> 4 blocks.
+  GpuArch A = makeGTX1080Ti();
+  OccupancyResult R1 = computeOccupancy(A, 512, 64, 24 * 1024);
+  EXPECT_EQ(R1.BlocksPerSM, 2);
+  EXPECT_EQ(R1.Limiter, OccupancyLimiter::Registers);
+  OccupancyResult R2 = computeOccupancy(A, 512, 32, 24 * 1024);
+  EXPECT_EQ(R2.BlocksPerSM, 4);
+}
+
+TEST(Occupancy, Limits) {
+  GpuArch A = makeGTX1080Ti();
+  // Thread-limited.
+  EXPECT_EQ(computeOccupancy(A, 1024, 16, 0).BlocksPerSM, 2);
+  // Shared-memory-limited.
+  EXPECT_EQ(computeOccupancy(A, 128, 16, 48 * 1024).BlocksPerSM, 2);
+  // Too big to launch.
+  EXPECT_EQ(computeOccupancy(A, 2048, 16, 0).BlocksPerSM, 0);
+  EXPECT_EQ(computeOccupancy(A, 256, 300, 0).BlocksPerSM, 0);
+  // Register granularity: 33 regs/thread rounds up per warp.
+  int PerWarp = regsPerWarpAllocated(A, 33);
+  EXPECT_EQ(PerWarp % A.RegAllocUnit, 0);
+  EXPECT_GE(PerWarp, 33 * 32);
+}
+
+} // namespace

@@ -1,0 +1,414 @@
+//===-- tests/FrontendTest.cpp - Lexer/Parser/Sema/Printer tests ----------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cudalang/ASTPrinter.h"
+#include "cudalang/ConstEval.h"
+#include "cudalang/Lexer.h"
+#include "cudalang/Parser.h"
+#include "cudalang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+
+namespace {
+
+/// Parses and runs Sema; asserts no diagnostics.
+struct ParsedUnit {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  bool Ok = false;
+
+  explicit ParsedUnit(std::string_view Source) {
+    Parser P(Source, Ctx, Diags);
+    Ok = P.parseTranslationUnit();
+    if (Ok)
+      Ok = Sema(Ctx, Diags).run();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+std::vector<Token> lexAll(std::string_view Source, DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  std::vector<Token> Toks;
+  while (true) {
+    Token T = L.next();
+    if (T.is(TokenKind::Eof))
+      break;
+    Toks.push_back(T);
+  }
+  return Toks;
+}
+
+TEST(Lexer, Punctuation) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("+ ++ += << <<= <= < == = != !", Diags);
+  ASSERT_EQ(Toks.size(), 11u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Plus);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::PlusPlus);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::PlusEqual);
+  EXPECT_EQ(Toks[3].Kind, TokenKind::LessLess);
+  EXPECT_EQ(Toks[4].Kind, TokenKind::LessLessEqual);
+  EXPECT_EQ(Toks[5].Kind, TokenKind::LessEqual);
+  EXPECT_EQ(Toks[6].Kind, TokenKind::Less);
+  EXPECT_EQ(Toks[7].Kind, TokenKind::EqualEqual);
+  EXPECT_EQ(Toks[8].Kind, TokenKind::Equal);
+  EXPECT_EQ(Toks[9].Kind, TokenKind::ExclaimEqual);
+  EXPECT_EQ(Toks[10].Kind, TokenKind::Exclaim);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(Lexer, IntegerLiterals) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("42 0x1F 7u 9ull 1000000000000", Diags);
+  ASSERT_EQ(Toks.size(), 5u);
+  EXPECT_EQ(Toks[0].IntValue, 42u);
+  EXPECT_EQ(Toks[1].IntValue, 31u);
+  EXPECT_TRUE(Toks[2].IntIsUnsigned);
+  EXPECT_TRUE(Toks[3].IntIsUnsigned);
+  EXPECT_TRUE(Toks[3].IntIs64);
+  EXPECT_TRUE(Toks[4].IntIs64) << "literal too large for 32 bits";
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(Lexer, FloatLiterals) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("1.0 1.0f .5f 2e3 1e-5f", Diags);
+  ASSERT_EQ(Toks.size(), 5u);
+  for (const Token &T : Toks)
+    EXPECT_EQ(T.Kind, TokenKind::FloatLiteral);
+  EXPECT_TRUE(Toks[0].FloatIsDouble);
+  EXPECT_FALSE(Toks[1].FloatIsDouble);
+  EXPECT_DOUBLE_EQ(Toks[2].FloatValue, 0.5);
+  EXPECT_DOUBLE_EQ(Toks[3].FloatValue, 2000.0);
+  EXPECT_DOUBLE_EQ(Toks[4].FloatValue, 1e-5);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(Lexer, CommentsAndKeywords) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("// line\n__global__ /* blk */ void x", Diags);
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::KwGlobalAttr);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::KwVoid);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::Identifier);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(Lexer, StringLiteral) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("asm(\"bar.sync 1, 896;\")", Diags);
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Toks[2].StringValue, "bar.sync 1, 896;");
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(Lexer, SourceLocations) {
+  DiagnosticEngine Diags;
+  auto Toks = lexAll("a\n  b", Diags);
+  ASSERT_EQ(Toks.size(), 2u);
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[0].Loc.Column, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[1].Loc.Column, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser + Sema
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, SimpleKernel) {
+  ParsedUnit U("__global__ void k(float *out, int n) {\n"
+               "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+               "  if (i < n) out[i] = 1.0f;\n"
+               "}\n");
+  ASSERT_TRUE(U.Ok) << U.Diags.str();
+  FunctionDecl *F = U.Ctx.translationUnit().findFunction("k");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->isKernel());
+  ASSERT_EQ(F->params().size(), 2u);
+  EXPECT_TRUE(F->params()[0]->type()->isPointer());
+  EXPECT_EQ(F->params()[1]->type(), U.Ctx.types().intTy());
+}
+
+TEST(Parser, SharedArraysAndConstFold) {
+  ParsedUnit U("__global__ void k(int *o) {\n"
+               "  __shared__ int s[2 * 2 * 32 + 32];\n"
+               "  extern __shared__ unsigned char dyn[];\n"
+               "  s[threadIdx.x] = 0;\n"
+               "  o[0] = s[0];\n"
+               "}\n");
+  ASSERT_TRUE(U.Ok) << U.Diags.str();
+  FunctionDecl *F = U.Ctx.translationUnit().findFunction("k");
+  auto *DS = cast<DeclStmt>(F->body()->body()[0]);
+  EXPECT_EQ(DS->decls()[0]->type()->arraySize(), 160u);
+  EXPECT_TRUE(DS->decls()[0]->isShared());
+  auto *DynDS = cast<DeclStmt>(F->body()->body()[1]);
+  EXPECT_TRUE(DynDS->decls()[0]->isExternShared());
+  EXPECT_TRUE(DynDS->decls()[0]->type()->isUnsizedArray());
+}
+
+TEST(Parser, ForLoopGridStride) {
+  ParsedUnit U("__global__ void k(float *a, int n) {\n"
+               "  for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < n;\n"
+               "       i += blockDim.x * gridDim.x) {\n"
+               "    a[i] = a[i] * 2.0f;\n"
+               "  }\n"
+               "}\n");
+  ASSERT_TRUE(U.Ok) << U.Diags.str();
+}
+
+TEST(Parser, GotoAndLabels) {
+  ParsedUnit U("__global__ void k(int *a) {\n"
+               "  if (threadIdx.x >= 128) goto k1_end;\n"
+               "  a[threadIdx.x] = 1;\n"
+               "k1_end:\n"
+               "  ;\n"
+               "}\n");
+  ASSERT_TRUE(U.Ok) << U.Diags.str();
+}
+
+TEST(Parser, TrailingLabelBeforeBrace) {
+  ParsedUnit U("__global__ void k(int *a) {\n"
+               "  goto done;\n"
+               "  a[0] = 1;\n"
+               "done:\n"
+               "}\n");
+  ASSERT_TRUE(U.Ok) << U.Diags.str();
+}
+
+TEST(Parser, AsmStatement) {
+  ParsedUnit U("__global__ void k(int *a) {\n"
+               "  asm(\"bar.sync 1, 896;\");\n"
+               "  asm volatile(\"bar.sync 2, 128;\");\n"
+               "  a[0] = 0;\n"
+               "}\n");
+  ASSERT_TRUE(U.Ok) << U.Diags.str();
+  auto *A = dyn_cast<AsmStmt>(
+      U.Ctx.translationUnit().findFunction("k")->body()->body()[0]);
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->text(), "bar.sync 1, 896;");
+}
+
+TEST(Parser, DeviceFunctionCall) {
+  ParsedUnit U("__device__ int twice(int v) { return v * 2; }\n"
+               "__global__ void k(int *a) { a[0] = twice(21); }\n");
+  ASSERT_TRUE(U.Ok) << U.Diags.str();
+  auto *K = U.Ctx.translationUnit().findFunction("k");
+  auto *ES = cast<ExprStmt>(K->body()->body()[0]);
+  auto *Assign = cast<BinaryExpr>(ES->expr());
+  auto *Call = dyn_cast<CallExpr>(ignoreParensAndImplicitCasts(Assign->rhs()));
+  ASSERT_NE(Call, nullptr);
+  EXPECT_NE(Call->calleeDecl(), nullptr);
+}
+
+TEST(Parser, CastVsParen) {
+  ParsedUnit U("__global__ void k(float *a, unsigned char *m) {\n"
+               "  float *p = (float *)m;\n"
+               "  int x = (int)(a[0] + 1.0f);\n"
+               "  int y = (x + 1) * 2;\n"
+               "  a[0] = p[0] + (float)y;\n"
+               "}\n");
+  ASSERT_TRUE(U.Ok) << U.Diags.str();
+}
+
+TEST(Parser, TernaryAndShuffles) {
+  ParsedUnit U(
+      "__global__ void k(float *a, int n) {\n"
+      "  float avg = threadIdx.x < 32 ? a[threadIdx.x] : 0.0f;\n"
+      "  avg += __shfl_xor_sync(0xffffffffu, avg, 16);\n"
+      "  if (threadIdx.x == 0) a[0] = avg;\n"
+      "}\n");
+  ASSERT_TRUE(U.Ok) << U.Diags.str();
+}
+
+TEST(Parser, CommaInForIncrement) {
+  ParsedUnit U("__global__ void k(int *a, int n) {\n"
+               "  int j = 0;\n"
+               "  for (int i = 0; i < n; i++, j += 2) a[i] = j;\n"
+               "}\n");
+  ASSERT_TRUE(U.Ok) << U.Diags.str();
+}
+
+TEST(Parser, MultiDeclarators) {
+  ParsedUnit U("__global__ void k(int *a) {\n"
+               "  int x = 1, y = 2, *p = a;\n"
+               "  p[x] = y;\n"
+               "}\n");
+  ASSERT_TRUE(U.Ok) << U.Diags.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Sema diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, UndeclaredIdentifier) {
+  ParsedUnit U("__global__ void k(int *a) { a[0] = missing; }\n");
+  EXPECT_FALSE(U.Ok);
+  EXPECT_NE(U.Diags.str().find("undeclared identifier"), std::string::npos);
+}
+
+TEST(Sema, UndeclaredLabel) {
+  ParsedUnit U("__global__ void k(int *a) { goto nowhere; a[0] = 1; }\n");
+  EXPECT_FALSE(U.Ok);
+  EXPECT_NE(U.Diags.str().find("undeclared label"), std::string::npos);
+}
+
+TEST(Sema, KernelMustReturnVoid) {
+  ParsedUnit U("__global__ int k(int *a) { return 1; }\n");
+  EXPECT_FALSE(U.Ok);
+}
+
+TEST(Sema, RecursionRejected) {
+  ParsedUnit U("__device__ int f(int v) { return f(v - 1); }\n");
+  EXPECT_FALSE(U.Ok);
+  EXPECT_NE(U.Diags.str().find("recursive"), std::string::npos);
+}
+
+TEST(Sema, AssignToRValueRejected) {
+  ParsedUnit U("__global__ void k(int *a) { a[0] + 1 = 2; }\n");
+  EXPECT_FALSE(U.Ok);
+}
+
+TEST(Sema, BreakOutsideLoopRejected) {
+  ParsedUnit U("__global__ void k(int *a) { a[0] = 1; break; }\n");
+  EXPECT_FALSE(U.Ok);
+}
+
+TEST(Sema, RedefinitionRejected) {
+  ParsedUnit U("__global__ void k(int *a) { int x = 1; int x = 2; a[0] = x; }\n");
+  EXPECT_FALSE(U.Ok);
+}
+
+TEST(Sema, ShadowingInNestedScopeAllowed) {
+  ParsedUnit U("__global__ void k(int *a) {\n"
+               "  int x = 1;\n"
+               "  { int x = 2; a[1] = x; }\n"
+               "  a[0] = x;\n"
+               "}\n");
+  EXPECT_TRUE(U.Ok) << U.Diags.str();
+}
+
+TEST(Sema, UsualArithmeticConversions) {
+  ParsedUnit U("__global__ void k(float *a, int n) {\n"
+               "  float f = n / 2 + a[0];\n"
+               "  a[1] = f;\n"
+               "}\n");
+  ASSERT_TRUE(U.Ok) << U.Diags.str();
+  // `n / 2` is int arithmetic; `+ a[0]` promotes to float.
+  auto *F = U.Ctx.translationUnit().findFunction("k");
+  auto *DS = cast<DeclStmt>(F->body()->body()[0]);
+  const Expr *Init = DS->decls()[0]->init();
+  EXPECT_EQ(Init->type(), U.Ctx.types().floatTy());
+}
+
+TEST(Sema, AtomicAddTyping) {
+  ParsedUnit U("__global__ void k(unsigned int *hist, float *f) {\n"
+               "  atomicAdd(&hist[threadIdx.x], 1u);\n"
+               "  atomicAdd(&f[0], 2.0f);\n"
+               "}\n");
+  ASSERT_TRUE(U.Ok) << U.Diags.str();
+}
+
+//===----------------------------------------------------------------------===//
+// ConstEval
+//===----------------------------------------------------------------------===//
+
+TEST(ConstEval, Expressions) {
+  ParsedUnit U("__global__ void k(int *a) {\n"
+               "  __shared__ int s[(1 << 4) + 2 * 3 - 8 / 2];\n"
+               "  s[0] = 0; a[0] = s[0];\n"
+               "}\n");
+  ASSERT_TRUE(U.Ok) << U.Diags.str();
+  auto *F = U.Ctx.translationUnit().findFunction("k");
+  auto *DS = cast<DeclStmt>(F->body()->body()[0]);
+  EXPECT_EQ(DS->decls()[0]->type()->arraySize(), 18u);
+}
+
+//===----------------------------------------------------------------------===//
+// Printer round trips
+//===----------------------------------------------------------------------===//
+
+/// Parse -> print -> parse -> print must be a fixpoint.
+void expectRoundTrip(const std::string &Source) {
+  ParsedUnit U1(Source);
+  ASSERT_TRUE(U1.Ok) << U1.Diags.str();
+  std::string Printed1 = printTranslationUnit(U1.Ctx.translationUnit());
+
+  ParsedUnit U2(Printed1);
+  ASSERT_TRUE(U2.Ok) << "printed source failed to re-parse:\n"
+                     << Printed1 << "\n"
+                     << U2.Diags.str();
+  std::string Printed2 = printTranslationUnit(U2.Ctx.translationUnit());
+  EXPECT_EQ(Printed1, Printed2);
+}
+
+TEST(Printer, RoundTripSimple) {
+  expectRoundTrip("__global__ void k(float *out, int n) {\n"
+                  "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+                  "  if (i < n) { out[i] = (float)i * 0.5f; }\n"
+                  "}\n");
+}
+
+TEST(Printer, RoundTripControlFlow) {
+  expectRoundTrip(
+      "__global__ void k(int *a, int n) {\n"
+      "  for (int i = threadIdx.x; i < n; i += blockDim.x) {\n"
+      "    int v = i;\n"
+      "    while (v > 0) { v = v >> 1; a[i] += 1; }\n"
+      "    if (v == 0) continue;\n"
+      "    if (i > 100) break;\n"
+      "  }\n"
+      "  if (threadIdx.x >= 64) goto skip;\n"
+      "  a[threadIdx.x] *= 2;\n"
+      "skip:\n"
+      "  ;\n"
+      "}\n");
+}
+
+TEST(Printer, RoundTripBarriersAndAsm) {
+  expectRoundTrip("__global__ void k(int *a) {\n"
+                  "  __shared__ int s[128];\n"
+                  "  s[threadIdx.x] = a[threadIdx.x];\n"
+                  "  __syncthreads();\n"
+                  "  asm(\"bar.sync 1, 896;\");\n"
+                  "  a[threadIdx.x] = s[127 - threadIdx.x];\n"
+                  "}\n");
+}
+
+TEST(Printer, PrecedencePreserved) {
+  // (a + b) * c must not print as a + b * c.
+  ParsedUnit U("__global__ void k(int *a) {\n"
+               "  a[0] = (a[1] + a[2]) * a[3];\n"
+               "  a[1] = a[1] + a[2] * a[3];\n"
+               "}\n");
+  ASSERT_TRUE(U.Ok) << U.Diags.str();
+  std::string Printed =
+      printTranslationUnit(U.Ctx.translationUnit());
+  EXPECT_NE(Printed.find("(a[1] + a[2]) * a[3]"), std::string::npos);
+  EXPECT_NE(Printed.find("a[1] + a[2] * a[3]"), std::string::npos);
+}
+
+TEST(Printer, ImplicitCastsNotPrinted) {
+  ParsedUnit U("__global__ void k(float *a, int n) { a[0] = n; }\n");
+  ASSERT_TRUE(U.Ok) << U.Diags.str();
+  std::string Printed = printTranslationUnit(U.Ctx.translationUnit());
+  EXPECT_EQ(Printed.find("(float)"), std::string::npos) << Printed;
+}
+
+TEST(Printer, RoundTripLiteralSuffixes) {
+  expectRoundTrip("__global__ void k(unsigned long long *a) {\n"
+                  "  a[0] = 0x9ddfea08eb382d69ull + 7u + 1ll;\n"
+                  "  a[1] = 1e-5f + 0.5;\n"
+                  "}\n");
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+//===-- tests/FusionEquivalenceTest.cpp - Fused == native property --------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's core correctness claim, as a parameterized property test:
+/// for every benchmark pair, the horizontally fused kernel (any thread
+/// partition, with or without a register bound) and the vertically fused
+/// kernel compute the same results as native execution — all verified
+/// against CPU references. Exercises partial barriers, thread-space
+/// remapping, extern-shared forwarding, and spilled fused kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#include "profile/PairRunner.h"
+
+#include <gtest/gtest.h>
+
+using namespace hfuse;
+using namespace hfuse::gpusim;
+using namespace hfuse::kernels;
+using namespace hfuse::profile;
+
+namespace {
+
+struct PairCase {
+  BenchKernelId A;
+  BenchKernelId B;
+};
+
+std::vector<PairCase> allPairs() {
+  std::vector<PairCase> Pairs;
+  const auto &DL = deepLearningKernels();
+  for (size_t I = 0; I < DL.size(); ++I)
+    for (size_t J = I + 1; J < DL.size(); ++J)
+      Pairs.push_back({DL[I], DL[J]});
+  const auto &Crypto = cryptoKernels();
+  for (size_t I = 0; I < Crypto.size(); ++I)
+    for (size_t J = I + 1; J < Crypto.size(); ++J)
+      Pairs.push_back({Crypto[I], Crypto[J]});
+  return Pairs;
+}
+
+std::string pairName(const testing::TestParamInfo<PairCase> &Info) {
+  return std::string(kernelDisplayName(Info.param.A)) + "_" +
+         kernelDisplayName(Info.param.B);
+}
+
+PairRunner::Options fastOptions() {
+  PairRunner::Options Opts;
+  Opts.Arch = makeGTX1080Ti();
+  Opts.SimSMs = 2;
+  Opts.Scale1 = 0.25;
+  Opts.Scale2 = 0.25;
+  Opts.Verify = true;
+  return Opts;
+}
+
+class FusionEquivalence : public testing::TestWithParam<PairCase> {};
+
+TEST_P(FusionEquivalence, NativeBaselineVerifies) {
+  const PairCase &P = GetParam();
+  PairRunner R(P.A, P.B, fastOptions());
+  ASSERT_TRUE(R.ok()) << R.error();
+  SimResult Native = R.runNative();
+  EXPECT_TRUE(Native.Ok) << Native.Error;
+}
+
+TEST_P(FusionEquivalence, VerticalFusionVerifies) {
+  const PairCase &P = GetParam();
+  PairRunner R(P.A, P.B, fastOptions());
+  ASSERT_TRUE(R.ok()) << R.error();
+  SimResult V = R.runVFused();
+  EXPECT_TRUE(V.Ok) << V.Error;
+}
+
+TEST_P(FusionEquivalence, HorizontalFusionVerifies) {
+  const PairCase &P = GetParam();
+  PairRunner R(P.A, P.B, fastOptions());
+  ASSERT_TRUE(R.ok()) << R.error();
+
+  bool Tunable =
+      kernelHasTunableBlockDim(P.A) && kernelHasTunableBlockDim(P.B);
+  std::vector<std::pair<int, int>> Partitions;
+  if (Tunable) {
+    Partitions = {{512, 512}, {768, 256}, {128, 896}};
+  } else {
+    Partitions = {{256, 256}};
+  }
+  for (auto [D1, D2] : Partitions) {
+    SimResult H = R.runHFused(D1, D2, /*RegBound=*/0);
+    EXPECT_TRUE(H.Ok) << "partition " << D1 << "/" << D2 << ": " << H.Error;
+  }
+}
+
+TEST_P(FusionEquivalence, HorizontalFusionWithRegBoundVerifies) {
+  const PairCase &P = GetParam();
+  PairRunner R(P.A, P.B, fastOptions());
+  ASSERT_TRUE(R.ok()) << R.error();
+
+  bool Tunable =
+      kernelHasTunableBlockDim(P.A) && kernelHasTunableBlockDim(P.B);
+  int D1 = Tunable ? 512 : 256;
+  int D2 = D1;
+  std::optional<unsigned> R0 = R.figure6RegBound(D1, D2);
+  if (!R0)
+    GTEST_SKIP() << "no useful register bound for this pair";
+  SimResult H = R.runHFused(D1, D2, *R0);
+  EXPECT_TRUE(H.Ok) << "bound " << *R0 << ": " << H.Error;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, FusionEquivalence,
+                         testing::ValuesIn(allPairs()), pairName);
+
+//===----------------------------------------------------------------------===//
+// Figure 6 search smoke test
+//===----------------------------------------------------------------------===//
+
+TEST(ConfigSearch, FindsFeasibleBestForDLPair) {
+  PairRunner R(BenchKernelId::Batchnorm, BenchKernelId::Hist,
+               fastOptions());
+  ASSERT_TRUE(R.ok()) << R.error();
+  SearchResult SR = R.searchBestConfig();
+  ASSERT_TRUE(SR.Ok) << SR.Error;
+  // 7 partitions, each possibly with a register-bound variant.
+  EXPECT_GE(SR.All.size(), 7u);
+  EXPECT_GT(SR.Best.Cycles, 0u);
+  for (const FusionCandidate &C : SR.All) {
+    EXPECT_EQ(C.D1 + C.D2, 1024);
+    EXPECT_EQ(C.D1 % 128, 0);
+    EXPECT_GE(C.Cycles, SR.Best.Cycles);
+  }
+}
+
+TEST(ConfigSearch, CryptoPairsUseEvenSplit) {
+  PairRunner R(BenchKernelId::Blake256, BenchKernelId::Blake2B,
+               fastOptions());
+  ASSERT_TRUE(R.ok()) << R.error();
+  SearchResult SR = R.searchBestConfig();
+  ASSERT_TRUE(SR.Ok) << SR.Error;
+  for (const FusionCandidate &C : SR.All) {
+    EXPECT_EQ(C.D1, 256);
+    EXPECT_EQ(C.D2, 256);
+  }
+}
+
+TEST(ConfigSearch, NaiveModeSkipsProfiling) {
+  PairRunner R(BenchKernelId::Hist, BenchKernelId::Upsample,
+               fastOptions());
+  ASSERT_TRUE(R.ok()) << R.error();
+  SearchResult SR = R.searchBestConfig(/*NaiveEvenSplit=*/true);
+  ASSERT_TRUE(SR.Ok) << SR.Error;
+  ASSERT_EQ(SR.All.size(), 1u);
+  EXPECT_EQ(SR.All[0].D1, 512);
+  EXPECT_EQ(SR.All[0].RegBound, 0u);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+//===-- tests/SupportTest.cpp - Support library tests ---------------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the support layer: string utilities, diagnostics
+/// formatting, LLVM-style casting, and source locations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cudalang/AST.h"
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace hfuse;
+using namespace hfuse::cuda;
+
+namespace {
+
+TEST(StringUtils, Split) {
+  auto Parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(Parts[3], "c");
+  EXPECT_EQ(splitString("", ',').size(), 1u);
+  EXPECT_EQ(splitString("nosep", ',')[0], "nosep");
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trimString("  x y  "), "x y");
+  EXPECT_EQ(trimString("\t\n"), "");
+  EXPECT_EQ(trimString("solid"), "solid");
+}
+
+TEST(StringUtils, Format) {
+  EXPECT_EQ(formatString("%d-%s", 42, "ok"), "42-ok");
+  // Long output exceeding any small internal buffer.
+  std::string Long = formatString("%0512d", 7);
+  EXPECT_EQ(Long.size(), 512u);
+  EXPECT_EQ(Long.back(), '7');
+}
+
+TEST(StringUtils, IdentifierValidation) {
+  EXPECT_TRUE(isValidIdentifier("tid_1"));
+  EXPECT_TRUE(isValidIdentifier("_x9"));
+  EXPECT_FALSE(isValidIdentifier("9x"));
+  EXPECT_FALSE(isValidIdentifier(""));
+  EXPECT_FALSE(isValidIdentifier("a-b"));
+}
+
+TEST(Diagnostics, FormattingAndCounts) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning(SourceLocation(1, 2), "something odd");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error(SourceLocation(3, 7), "bad thing");
+  Diags.note(SourceLocation(), "context");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+
+  std::string Text = Diags.str();
+  EXPECT_NE(Text.find("warning: 1:2: something odd"), std::string::npos);
+  EXPECT_NE(Text.find("error: 3:7: bad thing"), std::string::npos);
+  EXPECT_NE(Text.find("note: context"), std::string::npos)
+      << "invalid locations are omitted, not printed as 0:0";
+
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.str().empty());
+}
+
+TEST(Casting, IsaCastDynCast) {
+  ASTContext Ctx;
+  Stmt *S = Ctx.create<BreakStmt>(SourceLocation());
+  EXPECT_TRUE(isa<BreakStmt>(S));
+  EXPECT_FALSE(isa<ContinueStmt>(S));
+  EXPECT_NE(cast<BreakStmt>(S), nullptr);
+  EXPECT_EQ(dyn_cast<ContinueStmt>(S), nullptr);
+  EXPECT_NE(dyn_cast<BreakStmt>(S), nullptr);
+
+  Stmt *Null = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<BreakStmt>(Null), nullptr);
+
+  // Expr is a Stmt subclass range check.
+  Expr *E = Ctx.intLit(5);
+  Stmt *AsStmt = E;
+  EXPECT_TRUE(isa<Expr>(AsStmt));
+  EXPECT_TRUE(isa<IntLiteralExpr>(AsStmt));
+  EXPECT_FALSE(isa<FloatLiteralExpr>(AsStmt));
+}
+
+TEST(SourceLocationTest, Rendering) {
+  EXPECT_EQ(SourceLocation().str(), "<unknown>");
+  EXPECT_EQ(SourceLocation(12, 3).str(), "12:3");
+  EXPECT_TRUE(SourceLocation(1, 1).isValid());
+  EXPECT_FALSE(SourceLocation().isValid());
+}
+
+TEST(TypesTest, InterningAndProperties) {
+  TypeContext Types;
+  EXPECT_EQ(Types.pointerTo(Types.floatTy()),
+            Types.pointerTo(Types.floatTy()));
+  EXPECT_EQ(Types.arrayOf(Types.intTy(), 8), Types.arrayOf(Types.intTy(), 8));
+  EXPECT_NE(Types.arrayOf(Types.intTy(), 8), Types.arrayOf(Types.intTy(), 9));
+
+  EXPECT_TRUE(Types.ulongTy()->isUnsignedInteger());
+  EXPECT_TRUE(Types.charTy()->isSignedInteger());
+  EXPECT_EQ(Types.doubleTy()->bitWidth(), 64u);
+  EXPECT_EQ(Types.pointerTo(Types.intTy())->storeSize(), 8u);
+  EXPECT_EQ(Types.arrayOf(Types.floatTy(), 10)->storeSize(), 40u);
+  EXPECT_TRUE(Types.arrayOf(Types.ucharTy(), 0)->isUnsizedArray());
+  EXPECT_EQ(Types.pointerTo(Types.floatTy())->str(), "float *");
+  EXPECT_EQ(Types.arrayOf(Types.uintTy(), 4)->str(), "unsigned int [4]");
+}
+
+} // namespace
