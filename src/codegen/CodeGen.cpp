@@ -286,7 +286,7 @@ private:
       // Should not happen on Sema-checked input.
       error(Loc, formatString("codegen: unknown variable '%s'",
                               V->name().c_str()));
-      static VarSlot Dummy;
+      thread_local VarSlot Dummy;
       return Dummy;
     }
     return It->second;

@@ -16,14 +16,23 @@
 /// lowering, and --report prints resource/occupancy facts for both
 /// simulated GPUs.
 ///
+/// With --search PAIR (e.g. `hfusec --search batchnorm+hist`) it runs
+/// the paper's Figure 6 configuration search over a named benchmark
+/// pair on the simulator instead: --search-jobs N evaluates candidates
+/// on N worker threads, --no-prune disables occupancy-dominance
+/// pruning, and --no-cache disables the compilation/simulation caches
+/// (the seed cost profile, for A/B measurements).
+///
 //===----------------------------------------------------------------------===//
 
 #include "cudalang/ASTPrinter.h"
 #include "gpusim/Occupancy.h"
 #include "profile/Compile.h"
+#include "profile/PairRunner.h"
 #include "transform/Fusion.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -44,6 +53,13 @@ struct CliOptions {
   bool PrintIR = false;
   bool Report = false;
   bool FullBarriers = false;
+  // Figure 6 search mode.
+  std::string SearchPair;
+  int SearchJobs = 1;
+  int PruneLevel = 1;
+  bool UseCache = true;
+  bool Volta = false;
+  bool Quick = false;
 };
 
 void printUsage() {
@@ -68,7 +84,21 @@ void printUsage() {
       "  --full-barriers  keep __syncthreads() (unsound ablation)\n"
       "  --print-ir       also dump the SASS-lite lowering\n"
       "  --report         print registers/shared/occupancy for both GPUs\n"
-      "  --out FILE       write the fused source here (default stdout)\n");
+      "  --out FILE       write the fused source here (default stdout)\n"
+      "\n"
+      "search mode (paper Figure 6, on the simulator):\n"
+      "  --search A+B     sweep fusion configs for a benchmark pair,\n"
+      "                   e.g. --search batchnorm+hist (names as in the\n"
+      "                   paper; case-insensitive)\n"
+      "  --search-jobs N  evaluate candidates on N worker threads\n"
+      "                   (0 = all hardware threads; default 1)\n"
+      "  --no-prune       disable occupancy pruning\n"
+      "  --prune-aggressive  also skip candidates dominated across\n"
+      "                   partitions (faster sweep, Best may differ)\n"
+      "  --no-cache       disable compile/simulation caching (seed cost\n"
+      "                   profile, for A/B measurement)\n"
+      "  --volta          search for the V100 instead of the GTX 1080 Ti\n"
+      "  --quick          small workloads (smoke-test scale)\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -135,6 +165,34 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.OutFile = V;
+    } else if (Arg == "--search") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.SearchPair = V;
+    } else if (Arg == "--search-jobs") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      char *End = nullptr;
+      long N = std::strtol(V, &End, 10);
+      if (End == V || *End != '\0') {
+        std::fprintf(stderr,
+                     "error: --search-jobs expects an integer, got '%s'\n",
+                     V);
+        return false;
+      }
+      Opts.SearchJobs = static_cast<int>(N);
+    } else if (Arg == "--no-prune") {
+      Opts.PruneLevel = 0;
+    } else if (Arg == "--prune-aggressive") {
+      Opts.PruneLevel = 2;
+    } else if (Arg == "--no-cache") {
+      Opts.UseCache = false;
+    } else if (Arg == "--volta") {
+      Opts.Volta = true;
+    } else if (Arg == "--quick") {
+      Opts.Quick = true;
     } else if (Arg == "--vertical") {
       Opts.Vertical = true;
     } else if (Arg == "--full-barriers") {
@@ -151,7 +209,7 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       return false;
     }
   }
-  if (Opts.File1.empty() || Opts.File2.empty()) {
+  if (Opts.SearchPair.empty() && (Opts.File1.empty() || Opts.File2.empty())) {
     printUsage();
     return false;
   }
@@ -187,12 +245,95 @@ void printReport(const ir::IRKernel &IR, int BlockDim) {
   }
 }
 
+int runSearch(const CliOptions &Opts) {
+  size_t Plus = Opts.SearchPair.find('+');
+  if (Plus == std::string::npos) {
+    std::fprintf(stderr,
+                 "error: --search expects KERNEL+KERNEL, e.g. "
+                 "batchnorm+hist\n");
+    return 1;
+  }
+  auto IdA = kernels::kernelIdByName(Opts.SearchPair.substr(0, Plus));
+  auto IdB = kernels::kernelIdByName(Opts.SearchPair.substr(Plus + 1));
+  if (!IdA || !IdB) {
+    std::fprintf(stderr, "error: unknown kernel in pair '%s'\n",
+                 Opts.SearchPair.c_str());
+    std::fprintf(stderr, "known kernels:");
+    for (kernels::BenchKernelId Id : kernels::allKernels())
+      std::fprintf(stderr, " %s", kernels::kernelDisplayName(Id));
+    for (kernels::BenchKernelId Id : kernels::extensionKernels())
+      std::fprintf(stderr, " %s", kernels::kernelDisplayName(Id));
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  profile::PairRunner::Options RO;
+  RO.Arch = Opts.Volta ? gpusim::makeV100() : gpusim::makeGTX1080Ti();
+  RO.SimSMs = Opts.Quick ? 2 : 3;
+  RO.Scale1 = RO.Scale2 = Opts.Quick ? 0.25 : 1.0;
+  RO.Verify = false;
+  RO.SearchJobs = Opts.SearchJobs;
+  RO.PruneLevel = Opts.PruneLevel;
+  RO.UseCompileCache = Opts.UseCache;
+  RO.Cache = std::make_shared<profile::CompileCache>();
+
+  profile::PairRunner Runner(*IdA, *IdB, RO);
+  if (!Runner.ok()) {
+    std::fprintf(stderr, "%s\n", Runner.error().c_str());
+    return 1;
+  }
+  profile::SearchResult SR = Runner.searchBestConfig();
+  if (!SR.Ok) {
+    std::fprintf(stderr, "search failed: %s\n", SR.Error.c_str());
+    return 1;
+  }
+
+  std::printf("Figure 6 search: %s + %s on %s\n",
+              kernels::kernelDisplayName(*IdA),
+              kernels::kernelDisplayName(*IdB), RO.Arch.Name.c_str());
+  std::printf("%8s %8s %8s %14s %10s %9s\n", "d1", "d2", "bound", "cycles",
+              "time(ms)", "blk/SM");
+  for (const profile::FusionCandidate &C : SR.All)
+    std::printf("%8d %8d %8u %14llu %10.3f %9d%s\n", C.D1, C.D2, C.RegBound,
+                static_cast<unsigned long long>(C.Cycles), C.TimeMs,
+                C.Result.Kernels.empty()
+                    ? 0
+                    : C.Result.Kernels[0].TheoreticalBlocksPerSM,
+                C.D1 == SR.Best.D1 && C.RegBound == SR.Best.RegBound
+                    ? "  <-- best"
+                    : "");
+  for (const profile::PrunedCandidate &P : SR.Pruned)
+    std::printf("%8d %8d %8u         pruned: %s\n", P.D1, P.D2, P.RegBound,
+                P.Reason.c_str());
+
+  profile::CompileCache::Stats CS = Runner.cache().stats();
+  std::printf("\n%u candidates, %u simulated, %u memoized, %u pruned in "
+              "%.1f ms (%s jobs)\n",
+              SR.Stats.Candidates, SR.Stats.Simulations, SR.Stats.MemoHits,
+              SR.Stats.Pruned, SR.Stats.WallMs,
+              Opts.SearchJobs <= 0
+                  ? "auto"
+                  : std::to_string(Opts.SearchJobs).c_str());
+  std::printf("cache: %llu kernel compiles (%llu hits), %llu fusions "
+              "(%llu hits), %llu lowerings (%llu hits)\n",
+              static_cast<unsigned long long>(CS.KernelCompiles),
+              static_cast<unsigned long long>(CS.KernelHits),
+              static_cast<unsigned long long>(CS.FusionRuns),
+              static_cast<unsigned long long>(CS.FusionHits),
+              static_cast<unsigned long long>(CS.Lowerings),
+              static_cast<unsigned long long>(CS.LoweringHits));
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return 1;
+
+  if (!Opts.SearchPair.empty())
+    return runSearch(Opts);
 
   std::string Src1, Src2;
   if (!readFile(Opts.File1, Src1) || !readFile(Opts.File2, Src2))

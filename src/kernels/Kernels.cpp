@@ -10,7 +10,9 @@
 #include "support/StringUtils.h"
 
 #include <cassert>
+#include <cctype>
 #include <map>
+#include <mutex>
 
 using namespace hfuse;
 using namespace hfuse::kernels;
@@ -76,6 +78,26 @@ const char *hfuse::kernels::kernelDisplayName(BenchKernelId Id) {
     return "Batchnorm2D";
   }
   return "?";
+}
+
+std::optional<BenchKernelId>
+hfuse::kernels::kernelIdByName(std::string_view Name) {
+  auto Lower = [](std::string_view S) {
+    std::string Out(S);
+    for (char &C : Out)
+      C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    return Out;
+  };
+  std::string Want = Lower(Name);
+  for (BenchKernelId Id : allKernels())
+    if (Lower(kernelDisplayName(Id)) == Want ||
+        Lower(kernelFunctionName(Id)) == Want)
+      return Id;
+  for (BenchKernelId Id : extensionKernels())
+    if (Lower(kernelDisplayName(Id)) == Want ||
+        Lower(kernelFunctionName(Id)) == Want)
+      return Id;
+  return std::nullopt;
 }
 
 const char *hfuse::kernels::kernelFunctionName(BenchKernelId Id) {
@@ -578,7 +600,11 @@ std::string generateBlake2B() {
 } // namespace
 
 const std::string &hfuse::kernels::kernelSource(BenchKernelId Id) {
+  // Concurrent search workers compile kernels in parallel; the source
+  // cache is the one process-wide mutable map on that path.
+  static std::mutex CacheMu;
   static std::map<BenchKernelId, std::string> Cache;
+  std::lock_guard<std::mutex> Lock(CacheMu);
   auto It = Cache.find(Id);
   if (It != Cache.end())
     return It->second;

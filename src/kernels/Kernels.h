@@ -27,7 +27,9 @@
 #ifndef HFUSE_KERNELS_KERNELS_H
 #define HFUSE_KERNELS_KERNELS_H
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace hfuse::kernels {
@@ -64,6 +66,11 @@ const char *kernelDisplayName(BenchKernelId Id);
 
 /// The __global__ function name inside the source.
 const char *kernelFunctionName(BenchKernelId Id);
+
+/// Case-insensitive lookup by display or function name ("batchnorm",
+/// "kernel_histogram1d", ...); nullopt when unknown. Used by the hfusec
+/// `--search` mode to name benchmark pairs on the command line.
+std::optional<BenchKernelId> kernelIdByName(std::string_view Name);
 
 /// The CuLite source of the kernel (generated on first use, cached).
 const std::string &kernelSource(BenchKernelId Id);

@@ -43,13 +43,7 @@ hfuse::profile::compileBenchKernel(kernels::BenchKernelId Id,
 std::unique_ptr<ir::IRKernel>
 hfuse::profile::lowerFunction(cuda::ASTContext &Ctx, cuda::FunctionDecl *Fn,
                               unsigned RegBound, DiagnosticEngine &Diags) {
-  // The function may have been analyzed before (e.g. when lowering the
-  // same fusion twice with different register bounds).
-  transform::stripImplicitCasts(Fn->body());
-  cuda::Sema S(Ctx, Diags);
-  if (!S.runOnFunction(Fn))
-    return nullptr;
-  auto IR = codegen::compileKernel(Fn, Diags);
+  auto IR = lowerFunctionNoRegAlloc(Ctx, Fn, Diags);
   if (!IR)
     return nullptr;
   ir::RegAllocResult RA = ir::allocateRegisters(*IR, RegBound);
@@ -58,4 +52,82 @@ hfuse::profile::lowerFunction(cuda::ASTContext &Ctx, cuda::FunctionDecl *Fn,
     return nullptr;
   }
   return IR;
+}
+
+std::unique_ptr<ir::IRKernel>
+hfuse::profile::lowerFunctionNoRegAlloc(cuda::ASTContext &Ctx,
+                                        cuda::FunctionDecl *Fn,
+                                        DiagnosticEngine &Diags) {
+  // The function may have been analyzed before (e.g. when lowering the
+  // same fusion twice with different register bounds).
+  transform::stripImplicitCasts(Fn->body());
+  cuda::Sema S(Ctx, Diags);
+  if (!S.runOnFunction(Fn))
+    return nullptr;
+  return codegen::compileKernel(Fn, Diags);
+}
+
+std::shared_ptr<const CompiledKernel>
+CompileCache::getKernel(std::string_view Source, const std::string &Name,
+                        unsigned RegBound, DiagnosticEngine &Diags) {
+  Key K{std::hash<std::string_view>{}(Source), Source.size(), Name,
+        RegBound};
+
+  std::shared_future<Compiled> Fut;
+  std::promise<Compiled> Promise;
+  bool IsCompiler = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Map.find(K);
+    if (It != Map.end()) {
+      ++S.KernelHits;
+      Fut = It->second;
+    } else {
+      IsCompiler = true;
+      ++S.KernelCompiles;
+      Fut = Map.emplace(K, Promise.get_future().share()).first->second;
+    }
+  }
+
+  if (IsCompiler) {
+    Compiled C;
+    DiagnosticEngine Local;
+    C.Kernel = compileSource(Source, Name, RegBound, Local);
+    if (!C.Kernel)
+      C.DiagText = Local.str();
+    Promise.set_value(std::move(C));
+  }
+
+  const Compiled &C = Fut.get();
+  if (!C.Kernel)
+    Diags.error(SourceLocation(), "cached compilation failed:\n" +
+                                      C.DiagText);
+  return C.Kernel;
+}
+
+std::shared_ptr<const CompiledKernel>
+CompileCache::getBenchKernel(kernels::BenchKernelId Id, unsigned RegBound,
+                             DiagnosticEngine &Diags) {
+  return getKernel(kernels::kernelSource(Id), kernels::kernelFunctionName(Id),
+                   RegBound, Diags);
+}
+
+CompileCache::Stats CompileCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return S;
+}
+
+void CompileCache::resetStats() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  S = Stats();
+}
+
+void CompileCache::count(uint64_t Stats::*Counter, uint64_t N) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  S.*Counter += N;
+}
+
+CompileCache &hfuse::profile::globalCompileCache() {
+  static CompileCache Cache;
+  return Cache;
 }

@@ -21,7 +21,11 @@
 #include "support/Diagnostics.h"
 #include "transform/Pipeline.h"
 
+#include <cstdint>
+#include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string_view>
 
 namespace hfuse::profile {
@@ -53,6 +57,88 @@ std::unique_ptr<ir::IRKernel> lowerFunction(cuda::ASTContext &Ctx,
                                             cuda::FunctionDecl *Fn,
                                             unsigned RegBound,
                                             DiagnosticEngine &Diags);
+
+/// Lowers \p Fn through Sema + codegen only, leaving virtual registers
+/// unallocated. The result can be copied and fed to
+/// ir::allocateRegisters once per register bound, so the AST work of a
+/// Figure 6 partition is done once while its bounded/unbounded variants
+/// still get independent allocations.
+std::unique_ptr<ir::IRKernel> lowerFunctionNoRegAlloc(
+    cuda::ASTContext &Ctx, cuda::FunctionDecl *Fn, DiagnosticEngine &Diags);
+
+/// A process-wide, thread-safe compilation cache for the search pipeline.
+///
+/// Full front-end compilations (CuLite source -> executable IR) are
+/// keyed on (source hash, source length, kernel name, register bound),
+/// so the constant per-candidate recompilation of the two input kernels
+/// — and the recompilation across PairRunner instances in the bench
+/// loops — happens once per distinct key. Entries are immutable after
+/// insertion and shared as shared_ptr<const CompiledKernel>; concurrent
+/// requests for the same key block on a shared_future instead of
+/// compiling twice.
+///
+/// The cache also owns the search-wide statistics counters. Fused-kernel
+/// fusion/lowering and simulator memoization live in PairRunner (they
+/// need per-pair context), but report their hit/miss counts here so one
+/// object tells the whole caching story of a run.
+class CompileCache {
+public:
+  struct Stats {
+    uint64_t KernelCompiles = 0; ///< front-end compilations executed
+    uint64_t KernelHits = 0;     ///< compilations served from cache
+    uint64_t FusionRuns = 0;     ///< fuseHorizontal invocations
+    uint64_t FusionHits = 0;     ///< fusions reused across reg variants
+    uint64_t Lowerings = 0;      ///< fused codegen+regalloc executed
+    uint64_t LoweringHits = 0;   ///< fused lowerings served from cache
+    uint64_t SimRuns = 0;        ///< candidate simulations executed
+    uint64_t SimMemoHits = 0;    ///< simulations served by memoization
+  };
+
+  /// Compiles (or fetches) CuLite \p Source. On failure returns null and
+  /// appends the recorded diagnostics to \p Diags.
+  std::shared_ptr<const CompiledKernel> getKernel(std::string_view Source,
+                                                  const std::string &Name,
+                                                  unsigned RegBound,
+                                                  DiagnosticEngine &Diags);
+
+  /// Compiles (or fetches) one of the paper's benchmark kernels.
+  std::shared_ptr<const CompiledKernel>
+  getBenchKernel(kernels::BenchKernelId Id, unsigned RegBound,
+                 DiagnosticEngine &Diags);
+
+  Stats stats() const;
+  void resetStats();
+
+  /// Bumps one statistics counter (used by PairRunner for the fusion,
+  /// lowering, and simulation layers).
+  void count(uint64_t Stats::*Counter, uint64_t N = 1);
+
+private:
+  struct Key {
+    size_t SourceHash;
+    size_t SourceLen;
+    std::string Name;
+    unsigned RegBound;
+    bool operator<(const Key &O) const {
+      return std::tie(SourceHash, SourceLen, Name, RegBound) <
+             std::tie(O.SourceHash, O.SourceLen, O.Name, O.RegBound);
+    }
+  };
+  struct Compiled {
+    std::shared_ptr<const CompiledKernel> Kernel;
+    std::string DiagText; ///< rendered diagnostics of a failed compile
+  };
+
+  mutable std::mutex Mu;
+  std::map<Key, std::shared_future<Compiled>> Map;
+  Stats S;
+};
+
+/// The default process-wide cache instance: PairRunner falls back to
+/// it when Options::Cache is null, so independent runners in one
+/// process share kernel compilations. Tests and benches that count
+/// compilations pass their own instance instead.
+CompileCache &globalCompileCache();
 
 } // namespace hfuse::profile
 

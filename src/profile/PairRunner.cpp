@@ -7,13 +7,15 @@
 #include "profile/PairRunner.h"
 
 #include "cudalang/ASTPrinter.h"
-#include "support/StringUtils.h"
+#include "gpusim/Occupancy.h"
 #include "ir/RegAlloc.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 #include "transform/Fusion.h"
 
-#include <climits>
-
 #include <algorithm>
+#include <chrono>
+#include <climits>
 
 using namespace hfuse;
 using namespace hfuse::gpusim;
@@ -22,32 +24,88 @@ using namespace hfuse::profile;
 
 PairRunner::PairRunner(BenchKernelId A, BenchKernelId B, Options Opts)
     : IdA(A), IdB(B), Opts(std::move(Opts)) {
+  // Null means the process-wide default cache, so independent runners
+  // (e.g. the bench loops over all 16 pairs) share kernel compiles.
+  Cache = this->Opts.Cache
+              ? this->Opts.Cache
+              : std::shared_ptr<CompileCache>(&globalCompileCache(),
+                                              [](CompileCache *) {});
+
   DiagnosticEngine Diags;
-  K1 = compileBenchKernel(A, /*RegBound=*/0, Diags);
-  K2 = compileBenchKernel(B, /*RegBound=*/0, Diags);
+  if (this->Opts.UseCompileCache) {
+    K1 = Cache->getBenchKernel(A, /*RegBound=*/0, Diags);
+    K2 = Cache->getBenchKernel(B, /*RegBound=*/0, Diags);
+  } else {
+    // Seed cost profile: compile both inputs from scratch.
+    Cache->count(&CompileCache::Stats::KernelCompiles, 2);
+    K1 = compileBenchKernel(A, /*RegBound=*/0, Diags);
+    K2 = compileBenchKernel(B, /*RegBound=*/0, Diags);
+  }
   if (!K1 || !K2) {
     Err = "kernel compilation failed:\n" + Diags.str();
     return;
   }
 
+  std::string CtxErr;
+  std::unique_ptr<SimContext> C = makeContext(CtxErr);
+  if (!C) {
+    Err = CtxErr;
+    return;
+  }
+  Primary = std::move(*C);
+  FreeContexts.push_back(&Primary);
+  Ready = true;
+}
+
+std::unique_ptr<PairRunner::SimContext>
+PairRunner::makeContext(std::string &Error) const {
+  auto C = std::make_unique<SimContext>();
+
   WorkloadConfig C1;
-  C1.SizeScale = this->Opts.Scale1;
-  C1.SimSMs = this->Opts.SimSMs;
-  C1.Seed = this->Opts.Seed;
+  C1.SizeScale = Opts.Scale1;
+  C1.SimSMs = Opts.SimSMs;
+  C1.Seed = Opts.Seed;
   WorkloadConfig C2 = C1;
-  C2.SizeScale = this->Opts.Scale2;
-  C2.Seed = this->Opts.Seed + 1;
-  W1 = makeWorkload(A, C1);
-  W2 = makeWorkload(B, C2);
+  C2.SizeScale = Opts.Scale2;
+  C2.Seed = Opts.Seed + 1;
+  C->W1 = makeWorkload(IdA, C1);
+  C->W2 = makeWorkload(IdB, C2);
+  if (!C->W1 || !C->W2) {
+    Error = "workload construction failed";
+    return nullptr;
+  }
 
   SimConfig SC;
-  SC.Arch = this->Opts.Arch;
-  SC.SimSMs = this->Opts.SimSMs;
-  SC.ModelL2 = this->Opts.ModelL2;
-  Sim = std::make_unique<Simulator>(SC);
-  W1->setup(*Sim);
-  W2->setup(*Sim);
-  Ready = true;
+  SC.Arch = Opts.Arch;
+  SC.SimSMs = Opts.SimSMs;
+  SC.ModelL2 = Opts.ModelL2;
+  C->Sim = std::make_unique<Simulator>(SC);
+  C->W1->setup(*C->Sim);
+  C->W2->setup(*C->Sim);
+  return C;
+}
+
+PairRunner::SimContext *PairRunner::acquireContext(std::string &Error) {
+  {
+    std::lock_guard<std::mutex> Lock(ContextMu);
+    if (!FreeContexts.empty()) {
+      SimContext *C = FreeContexts.back();
+      FreeContexts.pop_back();
+      return C;
+    }
+  }
+  // Build a fresh context outside the lock; setup is the expensive part.
+  std::unique_ptr<SimContext> C = makeContext(Error);
+  if (!C)
+    return nullptr;
+  std::lock_guard<std::mutex> Lock(ContextMu);
+  ExtraContexts.push_back(std::move(C));
+  return ExtraContexts.back().get();
+}
+
+void PairRunner::releaseContext(SimContext *C) {
+  std::lock_guard<std::mutex> Lock(ContextMu);
+  FreeContexts.push_back(C);
 }
 
 unsigned PairRunner::soloRegs(int Which) const {
@@ -55,7 +113,7 @@ unsigned PairRunner::soloRegs(int Which) const {
 }
 
 int PairRunner::commonGrid() const {
-  return std::max(W1->preferredGrid(), W2->preferredGrid());
+  return std::max(Primary.W1->preferredGrid(), Primary.W2->preferredGrid());
 }
 
 SimResult PairRunner::fail(const std::string &Message) const {
@@ -65,20 +123,21 @@ SimResult PairRunner::fail(const std::string &Message) const {
 }
 
 SimResult PairRunner::runLaunches(
-    const std::vector<KernelLaunch> &Launches, int Threads1, int Threads2) {
-  W1->clearOutputs(*Sim);
-  W2->clearOutputs(*Sim);
-  SimResult R = Sim->run(Launches);
+    SimContext &C, const std::vector<KernelLaunch> &Launches, int Threads1,
+    int Threads2) {
+  C.W1->clearOutputs(*C.Sim);
+  C.W2->clearOutputs(*C.Sim);
+  SimResult R = C.Sim->run(Launches);
   if (!R.Ok)
     return R;
   if (Opts.Verify) {
     std::string VerifyErr;
-    if (Threads1 > 0 && !W1->verify(*Sim, Threads1, VerifyErr)) {
+    if (Threads1 > 0 && !C.W1->verify(*C.Sim, Threads1, VerifyErr)) {
       R.Ok = false;
       R.Error = "verification failed: " + VerifyErr;
       return R;
     }
-    if (Threads2 > 0 && !W2->verify(*Sim, Threads2, VerifyErr)) {
+    if (Threads2 > 0 && !C.W2->verify(*C.Sim, Threads2, VerifyErr)) {
       R.Ok = false;
       R.Error = "verification failed: " + VerifyErr;
       return R;
@@ -90,6 +149,7 @@ SimResult PairRunner::runLaunches(
 SimResult PairRunner::runNative() {
   if (!Ready)
     return fail(Err);
+  Workload *W1 = Primary.W1.get(), *W2 = Primary.W2.get();
   KernelLaunch L1;
   L1.Kernel = K1->IR.get();
   L1.GridDim = W1->preferredGrid();
@@ -106,15 +166,16 @@ SimResult PairRunner::runNative() {
   L2.DynSharedBytes = W2->dynSharedBytes();
   L2.Params = W2->params();
   L2.Label = kernelDisplayName(IdB);
-  return runLaunches({L1, L2}, L1.GridDim * W1->preferredBlockThreads(),
+  return runLaunches(Primary, {L1, L2},
+                     L1.GridDim * W1->preferredBlockThreads(),
                      L2.GridDim * W2->preferredBlockThreads());
 }
 
 SimResult PairRunner::runSolo(int Which) {
   if (!Ready)
     return fail(Err);
-  Workload *W = Which == 0 ? W1.get() : W2.get();
-  CompiledKernel *K = Which == 0 ? K1.get() : K2.get();
+  Workload *W = Which == 0 ? Primary.W1.get() : Primary.W2.get();
+  const CompiledKernel *K = Which == 0 ? K1.get() : K2.get();
   KernelLaunch L;
   L.Kernel = K->IR.get();
   L.GridDim = W->preferredGrid();
@@ -124,7 +185,8 @@ SimResult PairRunner::runSolo(int Which) {
   L.Params = W->params();
   L.Label = kernelDisplayName(Which == 0 ? IdA : IdB);
   int Total = L.GridDim * W->preferredBlockThreads();
-  return runLaunches({L}, Which == 0 ? Total : 0, Which == 1 ? Total : 0);
+  return runLaunches(Primary, {L}, Which == 0 ? Total : 0,
+                     Which == 1 ? Total : 0);
 }
 
 SimResult PairRunner::runVFused() {
@@ -132,7 +194,6 @@ SimResult PairRunner::runVFused() {
     return fail(Err);
   if (!VFused) {
     DiagnosticEngine Diags;
-    auto Entry = std::make_unique<CompiledKernel>();
     auto Ctx = std::make_unique<cuda::ASTContext>();
     transform::FusionResult FR = transform::fuseVertical(
         *Ctx, K1->fn(), K2->fn(), /*FusedName=*/"", Diags);
@@ -146,7 +207,8 @@ SimResult PairRunner::runVFused() {
     VFused->Pre->Ctx = std::move(Ctx);
     VFused->Pre->Kernel = FR.Fused;
     VFused->IR = std::move(IR);
-    VFusedDynShared = W1->dynSharedBytes() + W2->dynSharedBytes();
+    VFusedDynShared =
+        Primary.W1->dynSharedBytes() + Primary.W2->dynSharedBytes();
   }
   KernelLaunch L;
   L.Kernel = VFused->IR.get();
@@ -154,66 +216,169 @@ SimResult PairRunner::runVFused() {
   L.GridDim = Grid;
   L.BlockDim = 256;
   L.DynSharedBytes = VFusedDynShared;
-  L.Params = W1->params();
-  L.Params.insert(L.Params.end(), W2->params().begin(), W2->params().end());
+  L.Params = Primary.W1->params();
+  L.Params.insert(L.Params.end(), Primary.W2->params().begin(),
+                  Primary.W2->params().end());
   L.Label = formatString("VFuse(%s+%s)", kernelDisplayName(IdA),
                          kernelDisplayName(IdB));
-  return runLaunches({L}, Grid * 256, Grid * 256);
+  return runLaunches(Primary, {L}, Grid * 256, Grid * 256);
 }
 
-PairRunner::FusedEntry *PairRunner::getFused(int D1, int D2,
-                                             unsigned RegBound) {
-  auto Key = std::make_tuple(D1, D2, RegBound);
-  auto It = FusedCache.find(Key);
-  if (It != FusedCache.end())
-    return It->second.IR ? &It->second : nullptr;
+std::shared_ptr<ir::IRKernel>
+PairRunner::getFusedIR(int D1, int D2, unsigned RegBound,
+                       uint32_t &DynShared, std::string &Error) {
+  // With the cache on, one entry per partition serves every register
+  // bound; with it off, each (partition, bound) redoes the pipeline.
+  auto Key = std::make_tuple(D1, D2,
+                             Opts.UseCompileCache ? 0u : RegBound);
+  FusionEntry *Entry;
+  {
+    std::lock_guard<std::mutex> Lock(FusionCacheMu);
+    std::unique_ptr<FusionEntry> &Slot = FusionCache[Key];
+    if (!Slot)
+      Slot = std::make_unique<FusionEntry>();
+    Entry = Slot.get();
+  }
 
-  FusedEntry &Entry = FusedCache[Key];
-  DiagnosticEngine Diags;
-  Entry.Ctx = std::make_unique<cuda::ASTContext>();
-  transform::HorizontalFusionOptions HO;
-  HO.D1 = D1;
-  HO.D2 = D2;
-  HO.Y1 = W1->preferredBlockY();
-  HO.Y2 = W2->preferredBlockY();
-  HO.UsePartialBarriers = Opts.UsePartialBarriers;
-  transform::FusionResult FR =
-      transform::fuseHorizontal(*Entry.Ctx, K1->fn(), K2->fn(), HO, Diags);
-  if (!FR.Ok) {
-    Err = "horizontal fusion failed:\n" + Diags.str();
+  std::lock_guard<std::mutex> Lock(Entry->Mu);
+  if (!Entry->Attempted) {
+    Entry->Attempted = true;
+    Cache->count(&CompileCache::Stats::FusionRuns);
+    DiagnosticEngine Diags;
+    Entry->Ctx = std::make_unique<cuda::ASTContext>();
+    transform::HorizontalFusionOptions HO;
+    HO.D1 = D1;
+    HO.D2 = D2;
+    HO.Y1 = Primary.W1->preferredBlockY();
+    HO.Y2 = Primary.W2->preferredBlockY();
+    HO.UsePartialBarriers = Opts.UsePartialBarriers;
+    transform::FusionResult FR =
+        transform::fuseHorizontal(*Entry->Ctx, K1->fn(), K2->fn(), HO,
+                                  Diags);
+    if (!FR.Ok) {
+      Entry->Error = "horizontal fusion failed:\n" + Diags.str();
+    } else {
+      Entry->Fused = FR.Fused;
+      Entry->BaseIR = lowerFunctionNoRegAlloc(*Entry->Ctx, FR.Fused, Diags);
+      if (!Entry->BaseIR)
+        Entry->Error = "fused kernel lowering failed:\n" + Diags.str();
+      Entry->DynShared =
+          Primary.W1->dynSharedBytes() + Primary.W2->dynSharedBytes();
+    }
+  } else if (Entry->ByBound.find(RegBound) == Entry->ByBound.end()) {
+    // The AST-level work of this partition is being reused for a new
+    // register variant (or a fresh query of a known failure).
+    if (!Entry->Error.empty() || Entry->BaseIR)
+      Cache->count(&CompileCache::Stats::FusionHits);
+  }
+  if (!Entry->Error.empty()) {
+    Error = Entry->Error;
     return nullptr;
   }
-  Entry.IR = lowerFunction(*Entry.Ctx, FR.Fused, RegBound, Diags);
-  if (!Entry.IR) {
-    Err = "fused kernel lowering failed:\n" + Diags.str();
+  DynShared = Entry->DynShared;
+
+  auto It = Entry->ByBound.find(RegBound);
+  if (It != Entry->ByBound.end()) {
+    Cache->count(&CompileCache::Stats::LoweringHits);
+    return It->second;
+  }
+
+  // A bound at or above the natural allocation is a no-op: alias the
+  // unbounded IR so the simulation memo recognizes the identical launch.
+  if (Opts.UseCompileCache && RegBound != 0 && Entry->UnboundedRegs != 0 &&
+      RegBound >= Entry->UnboundedRegs) {
+    auto U = Entry->ByBound.find(0u);
+    if (U != Entry->ByBound.end()) {
+      Cache->count(&CompileCache::Stats::LoweringHits);
+      Entry->ByBound.emplace(RegBound, U->second);
+      return U->second;
+    }
+  }
+
+  Cache->count(&CompileCache::Stats::Lowerings);
+  auto IR = std::make_shared<ir::IRKernel>(*Entry->BaseIR);
+  ir::RegAllocResult RA = ir::allocateRegisters(*IR, RegBound);
+  if (!RA.Ok) {
+    Error = "fused register allocation failed: " + RA.Error;
     return nullptr;
   }
-  Entry.DynShared = W1->dynSharedBytes() + W2->dynSharedBytes();
-  return &Entry;
+  if (RegBound == 0)
+    Entry->UnboundedRegs = IR->ArchRegsPerThread;
+  Entry->ByBound.emplace(RegBound, IR);
+  return IR;
+}
+
+SimResult PairRunner::runHFusedIn(SimContext &C, int D1, int D2,
+                                  unsigned RegBound, std::string &Error,
+                                  SearchStats *Stats) {
+  uint32_t DynShared = 0;
+  std::shared_ptr<ir::IRKernel> IR =
+      getFusedIR(D1, D2, RegBound, DynShared, Error);
+  if (!IR)
+    return fail(Error);
+
+  int Grid = commonGrid();
+  int BlockDim = D1 + D2;
+  auto MemoKey = std::make_tuple(
+      static_cast<const ir::IRKernel *>(IR.get()), Grid, BlockDim,
+      DynShared);
+  std::promise<SimResult> MemoPromise;
+  bool IsMemoRunner = false;
+  if (Opts.UseCompileCache) {
+    std::shared_future<SimResult> Fut;
+    {
+      std::lock_guard<std::mutex> Lock(SimMemoMu);
+      auto It = SimMemo.find(MemoKey);
+      if (It != SimMemo.end()) {
+        Fut = It->second;
+      } else {
+        IsMemoRunner = true;
+        SimMemo.emplace(MemoKey, MemoPromise.get_future().share());
+      }
+    }
+    if (!IsMemoRunner) {
+      // Served by a completed — or currently running — identical
+      // launch; failures replay too (the simulator is deterministic).
+      Cache->count(&CompileCache::Stats::SimMemoHits);
+      if (Stats)
+        ++Stats->MemoHits;
+      return Fut.get();
+    }
+  }
+
+  KernelLaunch L;
+  L.Kernel = IR.get();
+  L.GridDim = Grid;
+  L.BlockDim = BlockDim;
+  L.DynSharedBytes = DynShared;
+  L.Params = C.W1->params();
+  L.Params.insert(L.Params.end(), C.W2->params().begin(),
+                  C.W2->params().end());
+  L.Label = formatString("HFuse(%s+%s,%d/%d%s)", kernelDisplayName(IdA),
+                         kernelDisplayName(IdB), D1, D2,
+                         RegBound ? formatString(",r%u", RegBound).c_str()
+                                  : "");
+  Cache->count(&CompileCache::Stats::SimRuns);
+  if (Stats)
+    ++Stats->Simulations;
+  SimResult R = runLaunches(C, {L}, Grid * D1, Grid * D2);
+  if (IsMemoRunner)
+    MemoPromise.set_value(R);
+  return R;
 }
 
 SimResult PairRunner::runHFused(int D1, int D2, unsigned RegBound) {
   if (!Ready)
     return fail(Err);
-  FusedEntry *Entry = getFused(D1, D2, RegBound);
-  if (!Entry)
-    return fail(Err);
-  KernelLaunch L;
-  L.Kernel = Entry->IR.get();
-  int Grid = commonGrid();
-  L.GridDim = Grid;
-  L.BlockDim = D1 + D2;
-  L.DynSharedBytes = Entry->DynShared;
-  L.Params = W1->params();
-  L.Params.insert(L.Params.end(), W2->params().begin(), W2->params().end());
-  L.Label = formatString("HFuse(%s+%s,%d/%d%s)", kernelDisplayName(IdA),
-                         kernelDisplayName(IdB), D1, D2,
-                         RegBound ? formatString(",r%u", RegBound).c_str()
-                                  : "");
-  return runLaunches({L}, Grid * D1, Grid * D2);
+  std::string Error;
+  SimResult R = runHFusedIn(Primary, D1, D2, RegBound, Error, nullptr);
+  if (!R.Ok && !Error.empty())
+    Err = Error;
+  return R;
 }
 
-std::optional<unsigned> PairRunner::figure6RegBound(int D1, int D2) {
+std::optional<unsigned> PairRunner::figure6RegBoundImpl(int D1, int D2,
+                                                        std::string &Error) {
   const GpuArch &A = Opts.Arch;
   unsigned NRegs1 = K1->IR->ArchRegsPerThread;
   unsigned NRegs2 = K2->IR->ArchRegsPerThread;
@@ -226,10 +391,12 @@ std::optional<unsigned> PairRunner::figure6RegBound(int D1, int D2) {
     return std::nullopt;
 
   // Shared memory of the fused kernel.
-  FusedEntry *Entry = getFused(D1, D2, /*RegBound=*/0);
-  if (!Entry)
+  uint32_t DynShared = 0;
+  std::shared_ptr<ir::IRKernel> IR =
+      getFusedIR(D1, D2, /*RegBound=*/0, DynShared, Error);
+  if (!IR)
     return std::nullopt;
-  uint32_t ShMem = Entry->IR->StaticSharedBytes + Entry->DynShared;
+  uint32_t ShMem = IR->StaticSharedBytes + DynShared;
   long BShMem = ShMem > 0 ? A.SharedMemPerSM / ShMem : LONG_MAX;
   long BThreads = A.MaxThreadsPerSM / D0;
 
@@ -246,7 +413,18 @@ std::optional<unsigned> PairRunner::figure6RegBound(int D1, int D2) {
   return static_cast<unsigned>(R0);
 }
 
+std::optional<unsigned> PairRunner::figure6RegBound(int D1, int D2) {
+  if (!Ready)
+    return std::nullopt;
+  std::string Error;
+  std::optional<unsigned> R0 = figure6RegBoundImpl(D1, D2, Error);
+  if (!Error.empty())
+    Err = Error;
+  return R0;
+}
+
 SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
+  auto Start = std::chrono::steady_clock::now();
   SearchResult SR;
   if (!Ready) {
     SR.Error = Err;
@@ -257,13 +435,14 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
                  kernelHasTunableBlockDim(IdB);
   int D0 = Tunable
                ? 1024
-               : W1->preferredBlockThreads() + W2->preferredBlockThreads();
+               : Primary.W1->preferredBlockThreads() +
+                     Primary.W2->preferredBlockThreads();
 
   // A partition must be divisible by the kernel's fixed .y extent so its
   // threads form whole rows of the original block shape.
   auto Feasible = [&](int D1) {
-    return D1 % W1->preferredBlockY() == 0 &&
-           (D0 - D1) % W2->preferredBlockY() == 0;
+    return D1 % Primary.W1->preferredBlockY() == 0 &&
+           (D0 - D1) % Primary.W2->preferredBlockY() == 0;
   };
 
   std::vector<int> Partitions;
@@ -276,38 +455,199 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
         Partitions.push_back(D1);
   }
 
-  for (int D1 : Partitions) {
-    int D2 = D0 - D1;
-    FusionCandidate Cand;
-    Cand.D1 = D1;
-    Cand.D2 = D2;
-    Cand.RegBound = 0;
-    Cand.Result = runHFused(D1, D2, 0);
-    if (Cand.Result.Ok) {
-      Cand.TimeMs = Cand.Result.TotalMs;
-      Cand.Cycles = Cand.Result.TotalCycles;
-      SR.All.push_back(Cand);
-    }
+  // The search proper runs in three phases so that pruning decisions
+  // are a deterministic function of the candidate list, never of
+  // worker timing:
+  //   1. compile: fuse + lower every candidate (parallel, CPU-bound,
+  //      no simulator state needed);
+  //   2. prune: walk candidates in canonical measurement order
+  //      (partition ascending, unbounded before bounded) and drop the
+  //      dominated ones (serial, occupancy arithmetic only);
+  //   3. profile: simulate the kept candidates (parallel, one private
+  //      simulator context per worker).
 
-    if (NaiveEvenSplit)
-      continue;
-    std::optional<unsigned> R0 = figure6RegBound(D1, D2);
-    if (!R0)
-      continue;
-    FusionCandidate CandB;
-    CandB.D1 = D1;
-    CandB.D2 = D2;
-    CandB.RegBound = *R0;
-    CandB.Result = runHFused(D1, D2, *R0);
-    if (CandB.Result.Ok) {
-      CandB.TimeMs = CandB.Result.TotalMs;
-      CandB.Cycles = CandB.Result.TotalCycles;
-      SR.All.push_back(CandB);
+  /// One enumerated candidate of the sweep.
+  struct Candidate {
+    int D1 = 0, D2 = 0;
+    unsigned RegBound = 0;
+    std::shared_ptr<ir::IRKernel> IR;
+    uint32_t DynShared = 0;
+    int BlocksPerSM = 0;
+    /// Index of this partition's unbounded sibling (bounded only).
+    int Sibling = -1;
+    bool Pruned = false;
+    std::string PruneReason;
+    int DominatorBlocksPerSM = 0;
+    std::string Error;
+    std::optional<FusionCandidate> Measured;
+    bool MemoHit = false;
+  };
+  std::vector<Candidate> Cands;
+  Cands.reserve(2 * Partitions.size());
+  for (int D1 : Partitions) {
+    Candidate C;
+    C.D1 = D1;
+    C.D2 = D0 - D1;
+    C.RegBound = 0;
+    Cands.push_back(C);
+    if (!NaiveEvenSplit) {
+      C.Sibling = static_cast<int>(Cands.size()) - 1;
+      // RegBound filled during phase 1 (it needs the fused kernel's
+      // shared-memory size); a placeholder marks the slot.
+      C.RegBound = UINT_MAX;
+      Cands.push_back(C);
     }
   }
 
+  int Jobs = Opts.SearchJobs <= 0
+                 ? static_cast<int>(ThreadPool::defaultConcurrency())
+                 : Opts.SearchJobs;
+  // Phase 3 has up to two candidates per partition in flight.
+  Jobs = std::min(Jobs,
+                  static_cast<int>(std::max<size_t>(1, Cands.size())));
+  std::unique_ptr<ThreadPool> Pool;
+  if (Jobs > 1)
+    Pool = std::make_unique<ThreadPool>(static_cast<unsigned>(Jobs));
+
+  // Phase 1: one task per partition lowers the unbounded variant,
+  // derives r0, and lowers the bounded variant (sharing the fusion).
+  size_t PerPart = NaiveEvenSplit ? 1 : 2;
+  parallelFor(Pool.get(), Partitions.size(), [&](size_t I) {
+    Candidate &U = Cands[I * PerPart];
+    U.IR = getFusedIR(U.D1, U.D2, 0, U.DynShared, U.Error);
+    if (U.IR)
+      U.BlocksPerSM =
+          computeOccupancy(Opts.Arch, D0,
+                           static_cast<int>(U.IR->ArchRegsPerThread),
+                           U.IR->StaticSharedBytes + U.DynShared)
+              .BlocksPerSM;
+    if (NaiveEvenSplit)
+      return;
+    Candidate &B = Cands[I * PerPart + 1];
+    std::string BoundErr;
+    std::optional<unsigned> R0 = figure6RegBoundImpl(B.D1, B.D2, BoundErr);
+    if (!R0)
+      return; // no bounded trial for this partition (seed behavior)
+    B.RegBound = *R0;
+    B.IR = getFusedIR(B.D1, B.D2, *R0, B.DynShared, B.Error);
+    if (B.IR)
+      B.BlocksPerSM =
+          computeOccupancy(Opts.Arch, D0,
+                           static_cast<int>(B.IR->ArchRegsPerThread),
+                           B.IR->StaticSharedBytes + B.DynShared)
+              .BlocksPerSM;
+  });
+
+  // Phase 2: occupancy pruning over the canonical order. Level 1 rules
+  // preserve results: a candidate that cannot launch, or a bounded
+  // variant whose bound fails to raise blocks/SM over its partition's
+  // unbounded sibling (same code plus spill traffic at no occupancy
+  // gain), cannot be the winner. Level 2 adds strict cross-partition
+  // dominance: MaxSeen tracks the best blocks/SM among candidates kept
+  // so far, and later candidates strictly below it are skipped — a
+  // heuristic that typically halves the sweep but may miss a
+  // low-occupancy winner by a few percent. Identical-IR variants
+  // (bound at/above the natural allocation) are exempt from pruning —
+  // they replay the sibling's memoized result for free.
+  int MaxSeen = 0;
+  for (Candidate &C : Cands) {
+    if (!C.IR || C.RegBound == UINT_MAX)
+      continue;
+    if (Opts.PruneLevel <= 0) {
+      MaxSeen = std::max(MaxSeen, C.BlocksPerSM);
+      continue;
+    }
+    const bool IsBounded = C.RegBound != 0;
+    Candidate *Sib =
+        IsBounded && C.Sibling >= 0 ? &Cands[C.Sibling] : nullptr;
+    bool AliasOfSibling = Sib && Sib->IR == C.IR;
+    if (C.BlocksPerSM <= 0) {
+      C.Pruned = true;
+      C.PruneReason = "cannot launch: 0 blocks/SM";
+    } else if (AliasOfSibling && !Sib->Pruned) {
+      // Free via memoization; never prune.
+    } else if (Sib && Sib->IR && !Sib->Pruned && !AliasOfSibling &&
+               C.BlocksPerSM <= Sib->BlocksPerSM) {
+      C.Pruned = true;
+      C.DominatorBlocksPerSM = Sib->BlocksPerSM;
+      C.PruneReason = formatString(
+          "r%u gives %d blocks/SM, no gain over the unbounded variant's "
+          "%d: same code plus spills cannot win",
+          C.RegBound, C.BlocksPerSM, Sib->BlocksPerSM);
+    } else if (Opts.PruneLevel >= 2 && C.BlocksPerSM < MaxSeen) {
+      C.Pruned = true;
+      C.DominatorBlocksPerSM = MaxSeen;
+      C.PruneReason = formatString(
+          "%d blocks/SM strictly dominated by a measured candidate "
+          "with %d",
+          C.BlocksPerSM, MaxSeen);
+    }
+    if (!C.Pruned)
+      MaxSeen = std::max(MaxSeen, C.BlocksPerSM);
+  }
+
+  // Phase 3: simulate the kept candidates.
+  std::vector<size_t> Kept;
+  for (size_t I = 0; I < Cands.size(); ++I)
+    if (Cands[I].IR && Cands[I].RegBound != UINT_MAX && !Cands[I].Pruned)
+      Kept.push_back(I);
+  std::vector<SearchStats> KeptStats(Kept.size());
+  parallelFor(Pool.get(), Kept.size(), [&](size_t K) {
+    Candidate &C = Cands[Kept[K]];
+    std::string CtxErr;
+    SimContext *Ctx = acquireContext(CtxErr);
+    if (!Ctx) {
+      C.Error = CtxErr;
+      return;
+    }
+    FusionCandidate FC;
+    FC.D1 = C.D1;
+    FC.D2 = C.D2;
+    FC.RegBound = C.RegBound;
+    std::string E;
+    FC.Result = runHFusedIn(*Ctx, C.D1, C.D2, C.RegBound, E, &KeptStats[K]);
+    if (FC.Result.Ok) {
+      FC.TimeMs = FC.Result.TotalMs;
+      FC.Cycles = FC.Result.TotalCycles;
+      C.Measured = std::move(FC);
+    } else if (C.Error.empty())
+      C.Error = E;
+    releaseContext(Ctx);
+  });
+
+  std::string FirstError;
+  for (Candidate &C : Cands) {
+    if (C.RegBound == UINT_MAX)
+      continue; // partition without a bounded trial
+    if (FirstError.empty() && !C.Error.empty())
+      FirstError = C.Error;
+    ++SR.Stats.Candidates;
+    if (C.Pruned) {
+      PrunedCandidate P;
+      P.D1 = C.D1;
+      P.D2 = C.D2;
+      P.RegBound = C.RegBound;
+      P.BlocksPerSM = C.BlocksPerSM;
+      P.DominatorBlocksPerSM = C.DominatorBlocksPerSM;
+      P.Reason = std::move(C.PruneReason);
+      SR.Pruned.push_back(std::move(P));
+      ++SR.Stats.Pruned;
+    } else if (C.Measured)
+      SR.All.push_back(std::move(*C.Measured));
+  }
+  for (const SearchStats &S : KeptStats) {
+    SR.Stats.Simulations += S.Simulations;
+    SR.Stats.MemoHits += S.MemoHits;
+  }
+  SR.Stats.WallMs =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - Start)
+          .count();
+
   if (SR.All.empty()) {
-    SR.Error = Err.empty() ? "no feasible fusion configuration" : Err;
+    SR.Error = !FirstError.empty() ? FirstError
+               : Err.empty() ? "no feasible fusion configuration"
+                             : Err;
     return SR;
   }
   SR.Best = *std::min_element(
@@ -327,8 +667,8 @@ std::string PairRunner::fusedSource(int D1, int D2) {
   transform::HorizontalFusionOptions HO;
   HO.D1 = D1;
   HO.D2 = D2;
-  HO.Y1 = W1->preferredBlockY();
-  HO.Y2 = W2->preferredBlockY();
+  HO.Y1 = Primary.W1->preferredBlockY();
+  HO.Y2 = Primary.W2->preferredBlockY();
   transform::FusionResult FR =
       transform::fuseHorizontal(Ctx, K1->fn(), K2->fn(), HO, Diags);
   if (!FR.Ok)

@@ -22,6 +22,35 @@
 /// fastest. All runs verify kernel outputs against the CPU references
 /// unless disabled.
 ///
+/// The search is a parallel, cached, pruned pipeline:
+///
+///  - candidates are evaluated by Options::SearchJobs worker threads,
+///    each owning a private Simulator + workload context (the simulator
+///    is single-threaded; determinism comes from identical contexts);
+///  - fusion and AST->IR codegen run once per partition (D1, D2) and are
+///    shared by the bounded/unbounded register variants, which only
+///    differ in register allocation; input-kernel compilations go
+///    through a process-wide CompileCache;
+///  - identical launches (e.g. a register bound at or above the natural
+///    allocation, which lowers to the very same IR) reuse the memoized
+///    simulation result instead of re-running the simulator;
+///  - occupancy pruning (Options::PruneLevel) skips candidates before
+///    they reach the simulator. Level 1 (default) applies only
+///    result-preserving rules: candidates that cannot launch (0
+///    blocks/SM), and bounded variants whose register bound fails to
+///    raise theoretical blocks/SM over their partition's unbounded
+///    variant — same code plus spill traffic at no occupancy gain
+///    cannot win. Level 2 additionally drops any candidate whose
+///    blocks/SM is strictly dominated by an already-measured
+///    candidate (canonical measurement order); it typically halves
+///    the sweep but is a heuristic — a low-occupancy candidate can
+///    win by a small margin, so level 2 may return a slightly
+///    sub-optimal Best. Pruned candidates are always logged in
+///    SearchResult::Pruned with the dominating occupancy.
+///
+/// Results are assembled in partition order regardless of worker timing,
+/// so Best and All are bit-identical across SearchJobs values.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HFUSE_PROFILE_PAIRRUNNER_H
@@ -33,7 +62,10 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <tuple>
+#include <vector>
 
 namespace hfuse::profile {
 
@@ -47,12 +79,35 @@ struct FusionCandidate {
   gpusim::SimResult Result;
 };
 
+/// A candidate skipped by occupancy-dominance pruning.
+struct PrunedCandidate {
+  int D1 = 0;
+  int D2 = 0;
+  unsigned RegBound = 0;
+  /// Theoretical blocks/SM of the pruned candidate.
+  int BlocksPerSM = 0;
+  /// Blocks/SM of the measured candidate that dominates it.
+  int DominatorBlocksPerSM = 0;
+  std::string Reason;
+};
+
+/// Cost accounting for one search.
+struct SearchStats {
+  unsigned Candidates = 0;  ///< enumerated, including pruned ones
+  unsigned Simulations = 0; ///< simulator executions
+  unsigned MemoHits = 0;    ///< results served by simulation memoization
+  unsigned Pruned = 0;      ///< candidates skipped by pruning
+  double WallMs = 0.0;      ///< wall-clock time of searchBestConfig
+};
+
 /// Result of the Figure 6 search.
 struct SearchResult {
   bool Ok = false;
   std::string Error;
   FusionCandidate Best;
   std::vector<FusionCandidate> All;
+  std::vector<PrunedCandidate> Pruned;
+  SearchStats Stats;
 };
 
 class PairRunner {
@@ -70,6 +125,23 @@ public:
     /// Fidelity study: model the device L2 cache (bench_ablation_cache).
     bool ModelL2 = false;
     uint32_t Seed = 42;
+    /// Worker threads for searchBestConfig; <= 0 picks the host's
+    /// hardware concurrency, 1 is the serial reference path.
+    int SearchJobs = 1;
+    /// Occupancy pruning: 0 = off, 1 = safe rules only (default;
+    /// never changes Best), 2 = also skip candidates strictly
+    /// dominated in blocks/SM by an earlier-measured one (heuristic,
+    /// may trade a few percent of Best quality for a ~2x smaller
+    /// sweep).
+    int PruneLevel = 1;
+    /// Master switch for the caching layers: fusion/codegen reuse
+    /// across register variants, the shared kernel CompileCache, and
+    /// simulation memoization. Off reproduces the seed cost profile
+    /// (one full fuse+lower per (D1, D2, RegBound), one simulation per
+    /// candidate); results are identical either way.
+    bool UseCompileCache = true;
+    /// Shared compilation cache; null gives the runner a private one.
+    std::shared_ptr<CompileCache> Cache;
   };
 
   PairRunner(kernels::BenchKernelId A, kernels::BenchKernelId B,
@@ -108,18 +180,61 @@ public:
   /// Fused-kernel source text for a partition (for inspection/driver).
   std::string fusedSource(int D1, int D2);
 
+  /// The cache backing this runner (for statistics reporting).
+  CompileCache &cache() { return *Cache; }
+
 private:
-  struct FusedEntry {
+  /// One simulator with both workloads resident. The primary context
+  /// serves the public run* methods; the search lends it to a worker
+  /// and builds additional contexts on demand, one per concurrent
+  /// worker. Contexts are interchangeable: identical seeds and
+  /// allocation order make every simulation bit-deterministic.
+  struct SimContext {
+    std::unique_ptr<gpusim::Simulator> Sim;
+    std::unique_ptr<kernels::Workload> W1, W2;
+  };
+
+  /// The fusion + lowering pipeline state of one partition. With the
+  /// compile cache enabled the key is (D1, D2) and ByBound holds one
+  /// allocation per register bound over the shared codegen output;
+  /// without it the key carries the bound, so every candidate redoes
+  /// the whole pipeline (the seed behavior).
+  struct FusionEntry {
+    std::mutex Mu;
+    bool Attempted = false;
+    std::string Error;
     std::unique_ptr<cuda::ASTContext> Ctx;
-    std::unique_ptr<ir::IRKernel> IR;
+    cuda::FunctionDecl *Fused = nullptr;
     uint32_t DynShared = 0;
+    /// Codegen output before register allocation; copied per bound.
+    std::unique_ptr<ir::IRKernel> BaseIR;
+    /// Registers of the unbounded allocation (0 until computed); bounds
+    /// at or above it alias the unbounded IR.
+    unsigned UnboundedRegs = 0;
+    std::map<unsigned, std::shared_ptr<ir::IRKernel>> ByBound;
   };
 
   gpusim::SimResult fail(const std::string &Message) const;
-  FusedEntry *getFused(int D1, int D2, unsigned RegBound);
-  gpusim::SimResult runLaunches(
-      const std::vector<gpusim::KernelLaunch> &Launches, int Threads1,
-      int Threads2);
+
+  std::unique_ptr<SimContext> makeContext(std::string &Error) const;
+  SimContext *acquireContext(std::string &Error);
+  void releaseContext(SimContext *C);
+
+  /// Fused IR for (D1, D2, RegBound) through the caches; null on error
+  /// (with \p Error set). \p DynShared receives the dynamic shared size.
+  std::shared_ptr<ir::IRKernel> getFusedIR(int D1, int D2,
+                                           unsigned RegBound,
+                                           uint32_t &DynShared,
+                                           std::string &Error);
+
+  gpusim::SimResult runHFusedIn(SimContext &C, int D1, int D2,
+                                unsigned RegBound, std::string &Error,
+                                SearchStats *Stats);
+  gpusim::SimResult runLaunches(SimContext &C,
+                                const std::vector<gpusim::KernelLaunch> &L,
+                                int Threads1, int Threads2);
+  std::optional<unsigned> figure6RegBoundImpl(int D1, int D2,
+                                              std::string &Error);
   int commonGrid() const;
 
   kernels::BenchKernelId IdA, IdB;
@@ -127,12 +242,29 @@ private:
   bool Ready = false;
   std::string Err;
 
-  std::unique_ptr<gpusim::Simulator> Sim;
-  std::unique_ptr<kernels::Workload> W1, W2;
-  std::unique_ptr<CompiledKernel> K1, K2;
+  std::shared_ptr<CompileCache> Cache;
+  std::shared_ptr<const CompiledKernel> K1, K2;
   std::unique_ptr<CompiledKernel> VFused;
   uint32_t VFusedDynShared = 0;
-  std::map<std::tuple<int, int, unsigned>, FusedEntry> FusedCache;
+
+  SimContext Primary;
+  /// Contexts not currently lent to a search worker (includes Primary).
+  std::vector<SimContext *> FreeContexts;
+  std::vector<std::unique_ptr<SimContext>> ExtraContexts;
+  std::mutex ContextMu;
+
+  std::map<std::tuple<int, int, unsigned>, std::unique_ptr<FusionEntry>>
+      FusionCache;
+  std::mutex FusionCacheMu;
+
+  /// Memoized simulation results keyed on the exact launch: same IR
+  /// object, grid, and block shape replay the stored result. Entries
+  /// are shared futures so concurrent workers requesting the same
+  /// launch block on the first runner instead of simulating twice.
+  std::map<std::tuple<const ir::IRKernel *, int, int, uint32_t>,
+           std::shared_future<gpusim::SimResult>>
+      SimMemo;
+  std::mutex SimMemoMu;
 };
 
 } // namespace hfuse::profile
