@@ -19,9 +19,14 @@
 
 #include "kernels/Kernels.h"
 #include "profile/PairRunner.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -66,6 +71,16 @@ inline bool quickMode() {
   return Env && Env[0] == '1';
 }
 
+/// One CompileCache shared by every PairRunner a bench constructs, so
+/// the per-pair loops stop recompiling the nine input kernels from
+/// scratch (each kernel appears in several pairs). Thread-safe; shared
+/// across the cross-pair worker threads of runOrderedTasks.
+inline std::shared_ptr<profile::CompileCache> sharedBenchCache() {
+  static std::shared_ptr<profile::CompileCache> Cache =
+      std::make_shared<profile::CompileCache>();
+  return Cache;
+}
+
 /// Default runner options for bench runs (both-GPU loops pass Volta).
 inline profile::PairRunner::Options benchOptions(bool Volta) {
   profile::PairRunner::Options Opts;
@@ -75,7 +90,77 @@ inline profile::PairRunner::Options benchOptions(bool Volta) {
   Opts.Scale1 = S;
   Opts.Scale2 = S;
   Opts.Verify = false; // benches measure; the test suite verifies
+  Opts.Cache = sharedBenchCache();
   return Opts;
+}
+
+/// printf into a per-task output buffer (see runOrderedTasks).
+inline void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+inline void appendf(std::string &Out, const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Sized;
+  va_copy(Sized, Args);
+  int N = std::vsnprintf(nullptr, 0, Fmt, Sized);
+  va_end(Sized);
+  if (N > 0) {
+    size_t Old = Out.size();
+    Out.resize(Old + static_cast<size_t>(N) + 1);
+    std::vsnprintf(Out.data() + Old, static_cast<size_t>(N) + 1, Fmt,
+                   Args);
+    Out.resize(Old + static_cast<size_t>(N));
+  }
+  va_end(Args);
+}
+
+/// Runs \p Body(I, Out) for every I in [0, N) on a shared thread pool
+/// (one pool above PairRunner — the pairs of a bench loop are
+/// independent), buffering each task's text and flushing buffers to
+/// stdout in index order as soon as every earlier task has finished.
+/// Output is therefore byte-identical to the serial loop. The pool size
+/// honours HFUSE_BENCH_JOBS (0/unset = hardware concurrency); results
+/// must not depend on it — PairRunner simulations are deterministic.
+inline void runOrderedTasks(
+    size_t N, const std::function<void(size_t, std::string &)> &Body) {
+  unsigned Jobs = ThreadPool::defaultConcurrency();
+  if (const char *Env = std::getenv("HFUSE_BENCH_JOBS"))
+    if (int V = std::atoi(Env); V > 0)
+      Jobs = static_cast<unsigned>(V);
+  Jobs = static_cast<unsigned>(
+      std::min<size_t>(Jobs, std::max<size_t>(N, 1)));
+
+  if (Jobs <= 1 || N <= 1) {
+    for (size_t I = 0; I < N; ++I) {
+      std::string Out;
+      Body(I, Out);
+      std::fputs(Out.c_str(), stdout);
+      std::fflush(stdout);
+    }
+    return;
+  }
+
+  std::vector<std::string> Outputs(N);
+  std::vector<char> Done(N, 0);
+  std::mutex Mu;
+  size_t NextFlush = 0;
+  ThreadPool Pool(Jobs);
+  for (size_t I = 0; I < N; ++I) {
+    Pool.submit([&, I] {
+      std::string Out;
+      Body(I, Out);
+      std::lock_guard<std::mutex> Lock(Mu);
+      Outputs[I] = std::move(Out);
+      Done[I] = 1;
+      while (NextFlush < N && Done[NextFlush]) {
+        std::fputs(Outputs[NextFlush].c_str(), stdout);
+        std::fflush(stdout);
+        Outputs[NextFlush].clear();
+        ++NextFlush;
+      }
+    });
+  }
+  Pool.wait();
 }
 
 /// "+12.3" helper.

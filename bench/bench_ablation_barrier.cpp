@@ -35,7 +35,8 @@ int main() {
   std::printf("%-20s %12s %14s %14s %9s %9s\n", "pair", "native",
               "partial(cy)", "full(cy)", "partial", "full");
 
-  for (const BenchPair &P : Pairs) {
+  runOrderedTasks(Pairs.size(), [&](size_t PairIdx, std::string &Out) {
+    const BenchPair &P = Pairs[PairIdx];
     PairRunner::Options Base = benchOptions(false);
     Base.Verify = true;
 
@@ -45,7 +46,7 @@ int main() {
     PairRunner Full(P.A, P.B, FullOpts);
     if (!Partial.ok() || !Full.ok()) {
       std::fprintf(stderr, "%s: setup failed\n", pairName(P).c_str());
-      continue;
+      return;
     }
 
     gpusim::SimResult Native = Partial.runNative();
@@ -59,13 +60,13 @@ int main() {
                    : "FAILED";
       return "ok";
     };
-    std::printf("%-20s %12llu %14llu %14llu %9s %9s\n",
-                pairName(P).c_str(),
-                static_cast<unsigned long long>(Native.TotalCycles),
-                static_cast<unsigned long long>(WithPartial.TotalCycles),
-                static_cast<unsigned long long>(WithFull.TotalCycles),
-                Verdict(WithPartial), Verdict(WithFull));
-  }
+    appendf(Out, "%-20s %12llu %14llu %14llu %9s %9s\n",
+            pairName(P).c_str(),
+            static_cast<unsigned long long>(Native.TotalCycles),
+            static_cast<unsigned long long>(WithPartial.TotalCycles),
+            static_cast<unsigned long long>(WithFull.TotalCycles),
+            Verdict(WithPartial), Verdict(WithFull));
+  });
 
   std::printf("\n'WRONG' means the fused kernel produced incorrect "
               "results; 'FAILED' typically means deadlock.\nEither way, "

@@ -31,23 +31,24 @@ int main() {
   std::printf("=== Ablation: profiled thread-space partition vs naive "
               "even split (1080Ti) ===\n");
 
-  for (const BenchPair &P : Pairs) {
+  runOrderedTasks(Pairs.size(), [&](size_t PairIdx, std::string &Out) {
+    const BenchPair &P = Pairs[PairIdx];
     PairRunner Runner(P.A, P.B, benchOptions(false));
     if (!Runner.ok()) {
       std::fprintf(stderr, "%s\n", Runner.error().c_str());
-      continue;
+      return;
     }
     gpusim::SimResult Native = Runner.runNative();
     SearchResult SR = Runner.searchBestConfig();
     if (!Native.Ok || !SR.Ok) {
       std::fprintf(stderr, "%s: run failed\n", pairName(P).c_str());
-      continue;
+      return;
     }
 
-    std::printf("\n%s (native %llu cycles)\n", pairName(P).c_str(),
-                static_cast<unsigned long long>(Native.TotalCycles));
-    std::printf("%6s %6s %6s %12s %9s\n", "d1", "d2", "bound", "cycles",
-                "speedup");
+    appendf(Out, "\n%s (native %llu cycles)\n", pairName(P).c_str(),
+            static_cast<unsigned long long>(Native.TotalCycles));
+    appendf(Out, "%6s %6s %6s %12s %9s\n", "d1", "d2", "bound", "cycles",
+            "speedup");
     uint64_t NaiveCycles = 0;
     for (const FusionCandidate &C : SR.All) {
       bool IsEven = C.D1 == C.D2 && C.RegBound == 0;
@@ -55,17 +56,16 @@ int main() {
                     C.RegBound == SR.Best.RegBound;
       if (IsEven)
         NaiveCycles = C.Cycles;
-      std::printf("%6d %6d %6u %12llu %+8.1f%%%s%s\n", C.D1, C.D2,
-                  C.RegBound, static_cast<unsigned long long>(C.Cycles),
-                  speedupPct(Native.TotalCycles, C.Cycles),
-                  IsEven ? "  <- naive even split" : "",
-                  IsBest ? "  <- chosen by the search" : "");
+      appendf(Out, "%6d %6d %6u %12llu %+8.1f%%%s%s\n", C.D1, C.D2,
+              C.RegBound, static_cast<unsigned long long>(C.Cycles),
+              speedupPct(Native.TotalCycles, C.Cycles),
+              IsEven ? "  <- naive even split" : "",
+              IsBest ? "  <- chosen by the search" : "");
     }
     if (NaiveCycles && SR.Best.Cycles < NaiveCycles)
-      std::printf("profiling gain over naive: %.1f%%\n",
-                  100.0 * (static_cast<double>(NaiveCycles) /
-                               SR.Best.Cycles -
-                           1.0));
-  }
+      appendf(Out, "profiling gain over naive: %.1f%%\n",
+              100.0 * (static_cast<double>(NaiveCycles) / SR.Best.Cycles -
+                       1.0));
+  });
   return 0;
 }

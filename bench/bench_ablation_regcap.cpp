@@ -34,12 +34,13 @@ int main() {
   std::printf("=== Ablation: register bound sweep on fused kernels "
               "(1080Ti) ===\n");
 
-  for (const BenchPair &P : Pairs) {
+  runOrderedTasks(Pairs.size(), [&](size_t PairIdx, std::string &Out) {
+    const BenchPair &P = Pairs[PairIdx];
     PairRunner::Options Opts = benchOptions(false);
     PairRunner Runner(P.A, P.B, Opts);
     if (!Runner.ok()) {
       std::fprintf(stderr, "%s\n", Runner.error().c_str());
-      continue;
+      return;
     }
     bool Tunable =
         kernelHasTunableBlockDim(P.A) && kernelHasTunableBlockDim(P.B);
@@ -48,11 +49,11 @@ int main() {
 
     gpusim::SimResult Native = Runner.runNative();
     auto R0 = Runner.figure6RegBound(D1, D2);
-    std::printf("\n%s (partition %d/%d, Figure 6 bound r0=%s)\n",
-                pairName(P).c_str(), D1, D2,
-                R0 ? std::to_string(*R0).c_str() : "none");
-    std::printf("%10s %12s %9s %8s %8s\n", "bound", "cycles", "speedup",
-                "occ%", "regs");
+    appendf(Out, "\n%s (partition %d/%d, Figure 6 bound r0=%s)\n",
+            pairName(P).c_str(), D1, D2,
+            R0 ? std::to_string(*R0).c_str() : "none");
+    appendf(Out, "%10s %12s %9s %8s %8s\n", "bound", "cycles", "speedup",
+            "occ%", "regs");
 
     std::vector<unsigned> Bounds = {0, 24, 32, 40, 48, 64, 96};
     if (R0 && std::find(Bounds.begin(), Bounds.end(), *R0) == Bounds.end())
@@ -60,17 +61,17 @@ int main() {
     for (unsigned Bound : Bounds) {
       gpusim::SimResult R = Runner.runHFused(D1, D2, Bound);
       if (!R.Ok) {
-        std::printf("%10u %12s   (%s)\n", Bound, "-", R.Error.c_str());
+        appendf(Out, "%10u %12s   (%s)\n", Bound, "-", R.Error.c_str());
         continue;
       }
-      std::printf("%10s %12llu %+8.1f%% %8.1f %8u%s\n",
-                  Bound ? std::to_string(Bound).c_str() : "none",
-                  static_cast<unsigned long long>(R.TotalCycles),
-                  speedupPct(Native.TotalCycles, R.TotalCycles),
-                  R.DeviceOccupancyPct,
-                  R.Kernels.empty() ? 0 : R.Kernels[0].RegsPerThread,
-                  R0 && Bound == *R0 ? "   <- r0" : "");
+      appendf(Out, "%10s %12llu %+8.1f%% %8.1f %8u%s\n",
+              Bound ? std::to_string(Bound).c_str() : "none",
+              static_cast<unsigned long long>(R.TotalCycles),
+              speedupPct(Native.TotalCycles, R.TotalCycles),
+              R.DeviceOccupancyPct,
+              R.Kernels.empty() ? 0 : R.Kernels[0].RegsPerThread,
+              R0 && Bound == *R0 ? "   <- r0" : "");
     }
-  }
+  });
   return 0;
 }

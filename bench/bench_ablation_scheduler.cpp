@@ -18,6 +18,8 @@
 
 #include "BenchCommon.h"
 
+#include <atomic>
+
 using namespace hfuse;
 using namespace hfuse::bench;
 using namespace hfuse::gpusim;
@@ -35,7 +37,9 @@ int main() {
   std::printf("%-20s %12s %12s %12s %12s\n", "pair", "GTO native",
               "GTO hfuse", "RR native", "RR hfuse");
 
-  for (const BenchPair &P : Pairs) {
+  std::atomic<bool> Failed{false};
+  runOrderedTasks(Pairs.size(), [&](size_t PairIdx, std::string &Out) {
+    const BenchPair &P = Pairs[PairIdx];
     uint64_t Native[2] = {0, 0}, Fused[2] = {0, 0};
     for (int Pol = 0; Pol < 2; ++Pol) {
       PairRunner::Options Opts = benchOptions(false);
@@ -44,7 +48,8 @@ int main() {
       PairRunner Runner(P.A, P.B, Opts);
       if (!Runner.ok()) {
         std::fprintf(stderr, "%s\n", Runner.error().c_str());
-        return 1;
+        Failed = true;
+        return;
       }
       SimResult N = Runner.runNative();
       bool Tunable = kernelHasTunableBlockDim(P.A) &&
@@ -56,20 +61,21 @@ int main() {
       if (!N.Ok || !F.Ok) {
         std::fprintf(stderr, "%s: %s%s\n", pairName(P).c_str(),
                      N.Error.c_str(), F.Error.c_str());
-        return 1;
+        Failed = true;
+        return;
       }
       Native[Pol] = N.TotalCycles;
       Fused[Pol] = F.TotalCycles;
     }
-    std::printf("%-20s %12llu %12llu %12llu %12llu\n",
-                pairName(P).c_str(),
-                static_cast<unsigned long long>(Native[0]),
-                static_cast<unsigned long long>(Fused[0]),
-                static_cast<unsigned long long>(Native[1]),
-                static_cast<unsigned long long>(Fused[1]));
-    std::printf("%-20s speedup GTO %+.1f%%   RR %+.1f%%\n", "",
-                speedupPct(Native[0], Fused[0]),
-                speedupPct(Native[1], Fused[1]));
-  }
-  return 0;
+    appendf(Out, "%-20s %12llu %12llu %12llu %12llu\n",
+            pairName(P).c_str(),
+            static_cast<unsigned long long>(Native[0]),
+            static_cast<unsigned long long>(Fused[0]),
+            static_cast<unsigned long long>(Native[1]),
+            static_cast<unsigned long long>(Fused[1]));
+    appendf(Out, "%-20s speedup GTO %+.1f%%   RR %+.1f%%\n", "",
+            speedupPct(Native[0], Fused[0]),
+            speedupPct(Native[1], Fused[1]));
+  });
+  return Failed ? 1 : 0;
 }

@@ -18,6 +18,10 @@
 /// per pair in the paper's layout — x: execution-time ratio (log2),
 /// y: speedup %, markers V/H/N for 1080Ti and v/h/n for V100.
 ///
+/// Pairs are independent and run one-per-task on a shared thread pool
+/// (runOrderedTasks); per-pair output is buffered and flushed in paper
+/// order, so the report is byte-identical to the serial loop.
+///
 //===----------------------------------------------------------------------===//
 
 #include "AsciiPlot.h"
@@ -45,11 +49,14 @@ int main() {
 
   // HFUSE_PAIR=<substring> restricts to matching pairs (smoke runs).
   const char *PairFilter = std::getenv("HFUSE_PAIR");
+  std::vector<BenchPair> Pairs;
+  for (const BenchPair &P : paperPairs())
+    if (!PairFilter || pairName(P).find(PairFilter) != std::string::npos)
+      Pairs.push_back(P);
 
-  for (const BenchPair &P : paperPairs()) {
-    if (PairFilter &&
-        pairName(P).find(PairFilter) == std::string::npos)
-      continue;
+  // One pair per task on the shared pool; outputs flush in paper order.
+  runOrderedTasks(Pairs.size(), [&](size_t PairIdx, std::string &Out) {
+    const BenchPair &P = Pairs[PairIdx];
     bool Tunable =
         kernelHasTunableBlockDim(P.A) && kernelHasTunableBlockDim(P.B);
     AsciiPlot Plot;
@@ -93,10 +100,10 @@ int main() {
         double SpN = speedupPct(Native.TotalCycles, Naive.Best.Cycles);
         if (!Tunable)
           SpN = SpH; // fixed dims: the even split is the search space
-        std::printf("%-20s %-9s %7.2f %+8.1f %+8.1f %+8.1f%s\n",
-                    pairName(P).c_str(), V ? "V100" : "1080Ti", Ratio,
-                    SpV, SpH, SpN,
-                    Tunable ? "" : "  (fixed dims: naive == hfuse)");
+        appendf(Out, "%-20s %-9s %7.2f %+8.1f %+8.1f %+8.1f%s\n",
+                pairName(P).c_str(), V ? "V100" : "1080Ti", Ratio, SpV,
+                SpH, SpN,
+                Tunable ? "" : "  (fixed dims: naive == hfuse)");
         double X = std::log2(Ratio);
         Plot.addPoint(X, SpV, MV);
         Plot.addPoint(X, SpH, MH);
@@ -108,17 +115,19 @@ int main() {
         ++Count;
       }
       if (Count > 0) {
-        std::printf("%-20s %-9s %7s %+8.1f %+8.1f %+8.1f   <- average\n",
-                    pairName(P).c_str(), V ? "V100" : "1080Ti", "avg",
-                    SumV / Count, SumH / Count, SumN / Count);
+        appendf(Out, "%-20s %-9s %7s %+8.1f %+8.1f %+8.1f   <- average\n",
+                pairName(P).c_str(), V ? "V100" : "1080Ti", "avg",
+                SumV / Count, SumH / Count, SumN / Count);
         Plot.addHLine(SumH / Count, V ? ':' : '.');
       }
     }
-    std::printf("\n%s\n", Plot.render(
+    appendf(Out, "\n");
+    Out += Plot.render(
         "  [" + pairName(P) +
             "]  V/H/N = VFuse/HFuse/Naive on 1080Ti, v/h/n on V100; "
             "HFuse avg: '.' (1080Ti) ':' (V100)",
-        "log2(time ratio K1/K2)").c_str());
-  }
+        "log2(time ratio K1/K2)");
+    Out += "\n";
+  });
   return 0;
 }

@@ -46,13 +46,21 @@ int main() {
               "Speedup (%)", "Fused util (%)", "Native util (%)",
               "MemStall (%)", "Occup (%)");
 
-  for (const BenchPair &P : paperPairs()) {
+  // One pair per task on the shared pool (both GPUs inside the task);
+  // rows flush in paper order.
+  const std::vector<BenchPair> Pairs = paperPairs();
+  runOrderedTasks(Pairs.size(), [&](size_t PairIdx, std::string &Out) {
+    const BenchPair &P = Pairs[PairIdx];
     ModeRow NR[2], RC[2]; // [volta]
     double NativeUtil[2] = {0, 0};
     bool Failed = false;
 
     for (int V = 0; V < 2 && !Failed; ++V) {
-      PairRunner Runner(P.A, P.B, benchOptions(V == 1));
+      PairRunner::Options Opts = benchOptions(V == 1);
+      // Figure 9 reads per-candidate metrics out of SearchResult::All,
+      // so the whole sweep must profile at full stats.
+      Opts.SearchStats = StatsLevel::Full;
+      PairRunner Runner(P.A, P.B, Opts);
       if (!Runner.ok()) {
         std::fprintf(stderr, "%s: %s\n", pairName(P).c_str(),
                      Runner.error().c_str());
@@ -98,25 +106,25 @@ int main() {
         RC[V] = NR[V];
     }
     if (Failed)
-      continue;
+      return;
 
     auto PrintRow = [&](const char *Type, ModeRow *Rows) {
-      std::printf("%-20s %-8s %6.1f / %-6.1f %6.1f / %-6.1f "
-                  "%9.1f / %-9.1f %6.1f / %-6.1f %6.1f / %-6.1f  "
-                  "[d1=%d%s]\n",
-                  Type == std::string("N-RegCap") ? pairName(P).c_str()
-                                                  : "",
-                  Type, Rows[0].Speedup, Rows[1].Speedup, Rows[0].Util,
-                  Rows[1].Util, NativeUtil[0], NativeUtil[1],
-                  Rows[0].MemStall, Rows[1].MemStall, Rows[0].Occ,
-                  Rows[1].Occ, Rows[0].D1,
-                  Rows[0].Bound
-                      ? (",r" + std::to_string(Rows[0].Bound)).c_str()
-                      : "");
+      appendf(Out,
+              "%-20s %-8s %6.1f / %-6.1f %6.1f / %-6.1f "
+              "%9.1f / %-9.1f %6.1f / %-6.1f %6.1f / %-6.1f  "
+              "[d1=%d%s]\n",
+              Type == std::string("N-RegCap") ? pairName(P).c_str() : "",
+              Type, Rows[0].Speedup, Rows[1].Speedup, Rows[0].Util,
+              Rows[1].Util, NativeUtil[0], NativeUtil[1],
+              Rows[0].MemStall, Rows[1].MemStall, Rows[0].Occ,
+              Rows[1].Occ, Rows[0].D1,
+              Rows[0].Bound
+                  ? (",r" + std::to_string(Rows[0].Bound)).c_str()
+                  : "");
     };
     PrintRow("N-RegCap", NR);
     PrintRow("RegCap", RC);
-  }
+  });
 
   std::printf("\nPaper reference points (1080Ti): Batchnorm+Hist RegCap "
               "+53.4; Hist+Maxpool RegCap +53.4;\nHist+Upsample RegCap "

@@ -60,6 +60,7 @@ struct CliOptions {
   bool UseCache = true;
   bool Volta = false;
   bool Quick = false;
+  bool FullStats = false;
 };
 
 void printUsage() {
@@ -98,7 +99,10 @@ void printUsage() {
       "  --no-cache       disable compile/simulation caching (seed cost\n"
       "                   profile, for A/B measurement)\n"
       "  --volta          search for the V100 instead of the GTX 1080 Ti\n"
-      "  --quick          small workloads (smoke-test scale)\n");
+      "  --quick          small workloads (smoke-test scale)\n"
+      "  --full-stats     profile every candidate with full nvprof-style\n"
+      "                   stats (default: timing-only sweep, full stats\n"
+      "                   for the winner; cycle counts are identical)\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -193,6 +197,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Volta = true;
     } else if (Arg == "--quick") {
       Opts.Quick = true;
+    } else if (Arg == "--full-stats") {
+      Opts.FullStats = true;
     } else if (Arg == "--vertical") {
       Opts.Vertical = true;
     } else if (Arg == "--full-barriers") {
@@ -275,6 +281,8 @@ int runSearch(const CliOptions &Opts) {
   RO.SearchJobs = Opts.SearchJobs;
   RO.PruneLevel = Opts.PruneLevel;
   RO.UseCompileCache = Opts.UseCache;
+  RO.SearchStats = Opts.FullStats ? gpusim::StatsLevel::Full
+                                  : gpusim::StatsLevel::Minimal;
   RO.Cache = std::make_shared<profile::CompileCache>();
 
   profile::PairRunner Runner(*IdA, *IdB, RO);

@@ -3,6 +3,42 @@
 // Part of the HFuse reproduction. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// The simulator core is event-driven. Every profile-guided search
+// candidate passes through here dozens of times, so the hot loop is
+// built around four ideas:
+//
+//  - Ready masks + wake times instead of scan-every-warp: each
+//    scheduler tracks which resident warps are examinable this cycle in
+//    a bitmask over its compact live list. A warp that blocks (register
+//    scoreboard, busy pipe, shared-atomic unit, memory throttle,
+//    barrier) leaves the mask and carries a wake cycle; it costs
+//    nothing until then. The main loop advances straight to the next
+//    wake when no scheduler can issue.
+//
+//  - Convergent-warp fast path: while all runnable lanes of a warp
+//    share one PC (the overwhelmingly common case), the min-PC /
+//    active-mask pair falls out of a flag instead of two 32-lane scans,
+//    and ALU execution runs dense over all lanes with no per-lane mask
+//    tests. Divergence flips the warp to the slow path; reconvergence
+//    is re-detected by the next slow scan.
+//
+//  - Flat, pooled state: warp register files, scoreboards, and local
+//    memory live in per-SM arenas; warp and block slots are recycled on
+//    retire, so steady-state dispatch allocates nothing.
+//
+//  - StatsLevel::Minimal compiles the profiling bookkeeping out of the
+//    issue path (stall-reason sampling, occupancy integration,
+//    per-launch traffic accounting) for search sweeps that only need
+//    completion cycles.
+//
+// Scheduling decisions replicate the historical scan-based core
+// bit-exactly — round-robin order is expressed over virtual append
+// positions so warp-slot recycling cannot perturb it, and
+// tests/GoldenSimTest.cpp pins cycle counts captured from the
+// pre-refactor simulator.
+//
+//===----------------------------------------------------------------------===//
 
 #include "gpusim/Simulator.h"
 
@@ -24,6 +60,9 @@ namespace {
 
 constexpr unsigned WarpSize = 32;
 constexpr uint32_t FullMask = 0xFFFFFFFFu;
+
+/// Zero source operand for dense ALU loops (NoReg reads as 0).
+constexpr uint64_t ZeroLanes[WarpSize] = {};
 
 /// Threads per block across all three block sub-dimensions.
 int totalBlockThreads(const KernelLaunch &L) {
@@ -48,21 +87,32 @@ constexpr size_t NumStalls = size_t(Stall::NumStallKinds);
 struct WarpState {
   uint16_t KernelIdx = 0;
   uint32_t BlockSlot = 0;
+  uint32_t WarpInBlock = 0; // index into the block's warp list
+  uint8_t SchedIdx = 0;
   bool Done = false;
   uint32_t LiveMask = 0; // not exited
   uint32_t WaitMask = 0; // waiting at a named barrier
   int8_t PendingBarId = -1;
   int PendingBarCount = 0; // explicit arrival count of that barrier
   std::array<uint32_t, WarpSize> PC{};
-  std::vector<uint64_t> Regs;     // slot-major: Regs[slot*32+lane]
-  std::vector<uint64_t> RegReady; // per slot
-  std::vector<uint8_t> RegMemSrc; // per slot: producer was DRAM
-  std::vector<uint8_t> Local;     // 32 * LocalBytes
 
-  // Scheduler fast path: the warp's current instruction (valid while
-  // CacheValid) and the earliest cycle at which a blocked warp should be
-  // re-examined, with the stall reason to report until then.
+  // Arena-backed storage; pointers are stable for the whole run (the
+  // per-SM arenas are sized up front and never reallocate mid-run).
+  uint64_t *Regs = nullptr;     // slot-major: Regs[slot*32+lane]
+  uint64_t *RegReady = nullptr; // per slot
+  uint8_t *RegMemSrc = nullptr; // per slot: producer was DRAM
+  uint8_t *Local = nullptr;     // 32 * LocalBytes
+  size_t LocalSize = 0;
+  // Extent bookkeeping for slot recycling (offsets into the arenas).
+  size_t U64Off = 0, U64Cap = 0;
+  size_t U8Off = 0, U8Cap = 0;
+
+  // Scheduler state: the warp's current instruction (valid while
+  // CacheValid), the earliest cycle at which a blocked warp should be
+  // re-examined, and the stall reason it samples until then.
   bool CacheValid = false;
+  /// All runnable lanes share one PC; minPC/mask need no lane scan.
+  bool Uniform = true;
   uint32_t CachedPC = 0;
   uint32_t CachedMask = 0;
   uint64_t WakeAt = 0;
@@ -76,6 +126,9 @@ struct WarpState {
   uint64_t &reg(Reg Slot, unsigned Lane) {
     return Regs[size_t(Slot) * WarpSize + Lane];
   }
+  uint64_t regv(Reg Slot, unsigned Lane) const {
+    return Regs[size_t(Slot) * WarpSize + Lane];
+  }
 };
 
 struct BlockState {
@@ -86,22 +139,49 @@ struct BlockState {
   int WarpsDone = 0;
   int NumWarps = 0;
   std::array<int, 16> BarArrived{};
+  /// Bit b set while BarArrived[b] > 0 — warp exits probe only these.
+  uint16_t BarPendingMask = 0;
   std::vector<uint8_t> Shared;
-  std::vector<uint32_t> WarpIds; // indices into SM warp vector
+  std::vector<uint32_t> WarpIds; // warp slots in SM.Warps
   // Resources to release on completion.
   int Threads = 0;
   int RegUnits = 0;
   uint32_t SharedBytes = 0;
 };
 
+/// One resident warp on a scheduler. Pos is the warp's virtual append
+/// index — the position it would occupy in an append-only warp list —
+/// which is what the historical round-robin order was defined over.
+/// Keeping Pos explicit makes slot recycling invisible to scheduling.
+struct SchedEntry {
+  uint64_t Pos = 0;
+  uint32_t WarpSlot = 0;
+};
+
 struct SchedState {
   std::array<uint64_t, NumPipes> PipeFree{};
-  uint32_t RRNext = 0;
-  std::vector<uint32_t> WarpIds;
+  /// Round-robin cursor in virtual-position space (always < NAppended).
+  uint64_t RRNext = 0;
+  /// Likely Live index of the entry at RRNext (greedy-then-oldest keeps
+  /// re-issuing one warp); validated by Pos equality before use.
+  uint32_t StartHint = 0;
+  /// Warps ever assigned to this scheduler (the virtual list length the
+  /// round-robin cursor wraps over).
+  uint64_t NAppended = 0;
+  /// Live (not Done) warps, sorted by Pos ascending.
+  std::vector<SchedEntry> Live;
+  /// Bit i set when Live[i] is examinable this cycle (WakeAt elapsed).
+  uint64_t ReadyMask = 0;
+  /// Earliest WakeAt among blocked entries (exact, recomputed on wake).
+  uint64_t NextWake = UINT64_MAX;
+  /// Blocked warps per stall reason; lets Full-stats sampling charge
+  /// every blocked warp each cycle without touching it.
+  uint32_t BlockedCounts[NumStalls] = {};
 };
 
 struct SMState {
-  std::vector<WarpState> Warps;
+  std::vector<WarpState> Warps; // slot-recycled, bounded by resident cap
+  std::vector<uint32_t> FreeWarpSlots;
   std::vector<BlockState> Blocks;
   std::vector<SchedState> Scheds;
   std::unique_ptr<InflightTracker> Inflight;
@@ -109,6 +189,15 @@ struct SMState {
   /// inside it without occupying scheduler issue slots, but the next
   /// shared atomic (from any warp) waits until it drains.
   uint64_t AtomUnitFree = 0;
+  /// Warps ever created on this SM; scheduler assignment round-robins
+  /// over it (the historical WId % NumScheds with an append-only list).
+  uint64_t WarpSeq = 0;
+  // Storage arenas for warp register files / scoreboards / local
+  // memory; sized once per run, extents recycled with warp slots.
+  std::vector<uint64_t> ArenaU64;
+  size_t ArenaU64Top = 0;
+  std::vector<uint8_t> ArenaU8;
+  size_t ArenaU8Top = 0;
   int UsedThreads = 0;
   int UsedRegs = 0;
   uint32_t UsedShared = 0;
@@ -124,12 +213,22 @@ struct LaunchState {
   uint64_t Issued = 0;
   int RegUnitsPerBlock = 0;
   uint32_t SharedPerBlock = 0;
-  // Global-memory sector traffic (L2 stats are zero without ModelL2).
+  // Global-memory sector traffic (L2 stats are zero without ModelL2;
+  // both stay zero under StatsLevel::Minimal).
   uint64_t GlobalSectors = 0;
   uint64_t L2HitSectors = 0;
 };
 
 uint32_t popcount(uint32_t V) { return static_cast<uint32_t>(std::popcount(V)); }
+
+/// Removes bit \p I from \p M, shifting higher bits down (mirrors an
+/// erase from the Live vector).
+inline uint64_t eraseMaskBit(uint64_t M, unsigned I) {
+  uint64_t Low = M & ((uint64_t(1) << I) - 1);
+  if (I >= 63)
+    return Low; // no higher bits to shift down
+  return Low | ((M >> (I + 1)) << I);
+}
 
 } // namespace
 
@@ -144,6 +243,7 @@ struct Simulator::Impl {
   std::unique_ptr<MemorySystem> Mem;
   std::unique_ptr<SectorCache> L2;
   uint64_t Cycle = 0;
+  bool StatsFull = true;
   std::string Error;
   // Stats.
   uint64_t IssuedSlots = 0;
@@ -154,6 +254,13 @@ struct Simulator::Impl {
   /// occupy the LSU pipe once per replay, modelling the serialization
   /// of conflicting atomic operations.
   unsigned LastAtomicReplay = 1;
+  /// Sector scratch: the issue pass computes each candidate access's
+  /// sector set once for the throttle check and hands it to execute()
+  /// for pricing, so no access collects its sectors twice.
+  uint64_t ScratchSectors[WarpSize * 2];
+  uint64_t CandSectors[WarpSize * 2];
+  unsigned CandSectorCount = 0;
+  bool CandSectorsValid = false;
 
   explicit Impl(SimConfig C) : Config(std::move(C)) {}
 
@@ -247,8 +354,33 @@ struct Simulator::Impl {
                  uint8_t AccessSize, bool Signed, uint64_t &Out) {
     if (Addr + AccessSize > Size)
       return false;
-    uint64_t V = 0;
-    std::memcpy(&V, Base + Addr, AccessSize);
+    // Fixed-size copies compile to single loads; this runs per lane of
+    // every memory instruction.
+    uint64_t V;
+    switch (AccessSize) {
+    case 4: {
+      uint32_t T;
+      std::memcpy(&T, Base + Addr, 4);
+      V = T;
+      break;
+    }
+    case 8:
+      std::memcpy(&V, Base + Addr, 8);
+      break;
+    case 1:
+      V = Base[Addr];
+      break;
+    case 2: {
+      uint16_t T;
+      std::memcpy(&T, Base + Addr, 2);
+      V = T;
+      break;
+    }
+    default:
+      V = 0;
+      std::memcpy(&V, Base + Addr, AccessSize);
+      break;
+    }
     if (Signed && AccessSize < 8) {
       unsigned Shift = 64 - AccessSize * 8;
       V = static_cast<uint64_t>(static_cast<int64_t>(V << Shift) >> Shift);
@@ -261,47 +393,78 @@ struct Simulator::Impl {
                   uint8_t AccessSize, uint64_t V) {
     if (Addr + AccessSize > Size)
       return false;
-    std::memcpy(Base + Addr, &V, AccessSize);
+    switch (AccessSize) {
+    case 4: {
+      uint32_t T = static_cast<uint32_t>(V);
+      std::memcpy(Base + Addr, &T, 4);
+      break;
+    }
+    case 8:
+      std::memcpy(Base + Addr, &V, 8);
+      break;
+    case 1:
+      Base[Addr] = static_cast<uint8_t>(V);
+      break;
+    case 2: {
+      uint16_t T = static_cast<uint16_t>(V);
+      std::memcpy(Base + Addr, &T, 2);
+      break;
+    }
+    default:
+      std::memcpy(Base + Addr, &V, AccessSize);
+      break;
+    }
     return true;
   }
 
   /// Collects the distinct 32B sector addresses touched by the masked
-  /// lanes into \p Out (capacity WarpSize * 2) and returns their count
-  /// (at least 1, so an access is never free).
+  /// lanes into \p Out (capacity WarpSize * 2) in first-touch order and
+  /// returns their count (at least 1, so an access is never free).
+  /// First-touch order is what the L2 model sees, so it must match the
+  /// historical lane-order walk. Dedup runs over a sorted shadow copy:
+  /// repeats of the previous sector (coalesced neighbours) are caught by
+  /// a one-compare fast path, ascending streams append without a
+  /// search, and everything else binary-searches the shadow.
   unsigned collectSectors(const WarpState &W, Reg AddrReg, int64_t Imm,
                           uint8_t AccessSize, uint32_t Mask,
                           uint64_t *Out) {
+    uint64_t Sorted[WarpSize * 2];
     unsigned N = 0;
-    unsigned SectorShift = 5; // 32B sectors
-    for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
-      if (!(Mask & (1u << Lane)))
-        continue;
-      uint64_t Addr =
-          const_cast<WarpState &>(W).reg(AddrReg, Lane) + Imm;
-      for (uint64_t S = Addr >> SectorShift,
-                    E = (Addr + AccessSize - 1) >> SectorShift;
-           S <= E; ++S) {
-        bool Seen = false;
-        for (unsigned I = 0; I < N; ++I) {
-          if (Out[I] == S) {
-            Seen = true;
-            break;
+    uint64_t Prev = 0;
+    bool HasPrev = false;
+    constexpr unsigned SectorShift = 5; // 32B sectors
+    for (uint32_t Rem = Mask; Rem;) {
+      unsigned Lane = static_cast<unsigned>(std::countr_zero(Rem));
+      Rem &= Rem - 1;
+      uint64_t Addr = W.regv(AddrReg, Lane) + Imm;
+      uint64_t S = Addr >> SectorShift;
+      uint64_t E = (Addr + AccessSize - 1) >> SectorShift;
+      for (; S <= E; ++S) {
+        if (HasPrev && S == Prev)
+          continue; // coalesced neighbour: same sector as last touch
+        Prev = S;
+        HasPrev = true;
+        if (N > 0 && S > Sorted[N - 1]) {
+          // Ascending stream: strictly above everything seen.
+          if (N < WarpSize * 2) {
+            Sorted[N] = S;
+            Out[N++] = S;
           }
+          continue;
         }
-        if (!Seen && N < WarpSize * 2)
+        uint64_t *P = std::lower_bound(Sorted, Sorted + N, S);
+        if (P != Sorted + N && *P == S)
+          continue; // seen before
+        if (N < WarpSize * 2) {
+          std::memmove(P + 1, P, (Sorted + N - P) * sizeof(uint64_t));
+          *P = S;
           Out[N++] = S;
+        }
       }
     }
     if (N == 0)
       Out[N++] = 0;
     return N;
-  }
-
-  /// Number of distinct 32B sectors touched by the masked lanes.
-  unsigned countSectors(const WarpState &W, Reg AddrReg, int64_t Imm,
-                        uint8_t AccessSize, uint32_t Mask) {
-    uint64_t Sectors[WarpSize * 2];
-    return collectSectors(W, AddrReg, Imm, AccessSize, Mask, Sectors);
   }
 
   /// Prices a global access through the memory system (L2 + DRAM),
@@ -315,10 +478,99 @@ struct Simulator::Impl {
     // modelling only miss traffic keeps the tracker a DRAM-pressure
     // valve, which is its role.
     SM.Inflight->issue(Completion, NumMisses > 0 ? NumMisses : 1);
-    LaunchState &LS = Launches[W.KernelIdx];
-    LS.GlobalSectors += N;
-    LS.L2HitSectors += N - NumMisses;
+    if (StatsFull) {
+      LaunchState &LS = Launches[W.KernelIdx];
+      LS.GlobalSectors += N;
+      LS.L2HitSectors += N - NumMisses;
+    }
     return Completion;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Scheduler bookkeeping
+  //===--------------------------------------------------------------------===//
+
+  /// Marks Live[Idx] blocked until \p WakeAt with \p Reason.
+  void blockEntry(SchedState &S, unsigned Idx, WarpState &W,
+                  uint64_t WakeAt, Stall Reason) {
+    S.ReadyMask &= ~(uint64_t(1) << Idx);
+    W.WakeAt = WakeAt;
+    W.CachedReason = Reason;
+    if (StatsFull)
+      ++S.BlockedCounts[size_t(Reason)];
+    if (WakeAt < S.NextWake)
+      S.NextWake = WakeAt;
+  }
+
+  /// Moves entries whose wake cycle has arrived back into the ready
+  /// mask. O(1) until the scheduler's earliest wake is due.
+  void popDue(SMState &SM, SchedState &S) {
+    if (S.NextWake > Cycle)
+      return;
+    uint64_t NewNext = UINT64_MAX;
+    const size_t L = S.Live.size();
+    for (size_t I = 0; I < L; ++I) {
+      if (S.ReadyMask & (uint64_t(1) << I))
+        continue;
+      WarpState &W = SM.Warps[S.Live[I].WarpSlot];
+      if (W.WakeAt <= Cycle) {
+        S.ReadyMask |= uint64_t(1) << I;
+        if (StatsFull)
+          --S.BlockedCounts[size_t(W.CachedReason)];
+      } else if (W.WakeAt < NewNext) {
+        NewNext = W.WakeAt;
+      }
+    }
+    S.NextWake = NewNext;
+  }
+
+  void recomputeNextWake(SMState &SM, SchedState &S) {
+    uint64_t NewNext = UINT64_MAX;
+    const size_t L = S.Live.size();
+    for (size_t I = 0; I < L; ++I) {
+      if (S.ReadyMask & (uint64_t(1) << I))
+        continue;
+      const WarpState &W = SM.Warps[S.Live[I].WarpSlot];
+      if (W.WakeAt < NewNext)
+        NewNext = W.WakeAt;
+    }
+    S.NextWake = NewNext;
+  }
+
+  /// Makes \p Slot's warp examinable now (barrier release or any other
+  /// asynchronous state change) and invalidates its instruction cache.
+  void wakeWarp(SMState &SM, uint32_t Slot) {
+    WarpState &W = SM.Warps[Slot];
+    SchedState &S = SM.Scheds[W.SchedIdx];
+    for (size_t I = 0, L = S.Live.size(); I < L; ++I) {
+      if (S.Live[I].WarpSlot != Slot)
+        continue;
+      if (!(S.ReadyMask & (uint64_t(1) << I))) {
+        S.ReadyMask |= uint64_t(1) << I;
+        if (StatsFull)
+          --S.BlockedCounts[size_t(W.CachedReason)];
+        if (W.WakeAt != UINT64_MAX) {
+          W.invalidateSchedCache();
+          recomputeNextWake(SM, S); // its wake may have been NextWake
+          return;
+        }
+      }
+      break;
+    }
+    W.invalidateSchedCache();
+  }
+
+  /// Removes \p Slot's (Done) warp from its scheduler's live list.
+  void dropWarp(SMState &SM, uint32_t Slot) {
+    WarpState &W = SM.Warps[Slot];
+    SchedState &S = SM.Scheds[W.SchedIdx];
+    for (size_t I = 0, L = S.Live.size(); I < L; ++I) {
+      if (S.Live[I].WarpSlot != Slot)
+        continue;
+      S.Live.erase(S.Live.begin() + static_cast<long>(I));
+      S.ReadyMask = eraseMaskBit(S.ReadyMask, static_cast<unsigned>(I));
+      return;
+    }
   }
 
   //===--------------------------------------------------------------------===//
@@ -341,12 +593,18 @@ struct Simulator::Impl {
     if (Target <= 0 || B.BarArrived[Id] < Target)
       return;
     B.BarArrived[Id] = 0;
+    B.BarPendingMask &= static_cast<uint16_t>(~(1u << Id));
     for (uint32_t WId : B.WarpIds) {
       WarpState &W = SM.Warps[WId];
       if (W.WaitMask && W.PendingBarId == Id) {
+        // Released lanes may rejoin at PCs different from each other
+        // (the same barrier id can be reached from several program
+        // points) or from lanes that kept running; the next min-PC scan
+        // re-detects convergence.
+        W.Uniform = false;
         W.WaitMask = 0;
         W.PendingBarId = -1;
-        W.invalidateSchedCache();
+        wakeWarp(SM, WId);
       }
     }
   }
@@ -370,6 +628,30 @@ struct Simulator::Impl {
     return true;
   }
 
+  /// Assigns arena extents to \p W for kernel \p K, recycling the
+  /// slot's previous extent when it is large enough.
+  void allocWarpStorage(SMState &SM, WarpState &W, const IRKernel *K) {
+    size_t Need64 = size_t(K->NumRegs) * (WarpSize + 1);
+    size_t Need8 = size_t(K->NumRegs) + size_t(K->LocalBytes) * WarpSize;
+    if (W.U64Cap < Need64) {
+      W.U64Off = SM.ArenaU64Top;
+      SM.ArenaU64Top += Need64;
+      W.U64Cap = Need64;
+    }
+    if (W.U8Cap < Need8) {
+      W.U8Off = SM.ArenaU8Top;
+      SM.ArenaU8Top += Need8;
+      W.U8Cap = Need8;
+    }
+    W.Regs = SM.ArenaU64.data() + W.U64Off;
+    W.RegReady = W.Regs + size_t(K->NumRegs) * WarpSize;
+    W.RegMemSrc = SM.ArenaU8.data() + W.U8Off;
+    W.Local = W.RegMemSrc + K->NumRegs;
+    W.LocalSize = size_t(K->LocalBytes) * WarpSize;
+    std::memset(W.Regs, 0, Need64 * sizeof(uint64_t));
+    std::memset(W.RegMemSrc, 0, Need8);
+  }
+
   void placeBlock(SMState &SM, unsigned SMIdx, uint16_t KernelIdx) {
     LaunchState &LS = Launches[KernelIdx];
     const KernelLaunch &L = *LS.L;
@@ -388,35 +670,49 @@ struct Simulator::Impl {
       SM.Blocks.emplace_back();
     }
     BlockState &B = SM.Blocks[Slot];
-    B = BlockState();
     B.Active = true;
     B.KernelIdx = KernelIdx;
     B.BlockId = static_cast<uint32_t>(LS.NextBlock++);
     B.LiveThreads = totalBlockThreads(L);
+    B.WarpsDone = 0;
     B.NumWarps = totalBlockThreads(L) / int(WarpSize);
+    B.BarArrived.fill(0);
+    B.BarPendingMask = 0;
     B.Threads = totalBlockThreads(L);
     B.RegUnits = LS.RegUnitsPerBlock;
     B.SharedBytes = LS.SharedPerBlock;
     B.Shared.assign(K->StaticSharedBytes + L.DynSharedBytes, 0);
+    B.WarpIds.clear();
 
     SM.UsedThreads += B.Threads;
     SM.UsedRegs += B.RegUnits;
     SM.UsedShared += B.SharedBytes;
     ++SM.NumBlocks;
 
-    // Create warps.
+    // Create warps on recycled slots.
     for (int WIdx = 0; WIdx < B.NumWarps; ++WIdx) {
-      uint32_t WId = static_cast<uint32_t>(SM.Warps.size());
-      SM.Warps.emplace_back();
-      WarpState &W = SM.Warps.back();
+      uint32_t WId;
+      if (!SM.FreeWarpSlots.empty()) {
+        WId = SM.FreeWarpSlots.back();
+        SM.FreeWarpSlots.pop_back();
+      } else {
+        WId = static_cast<uint32_t>(SM.Warps.size());
+        SM.Warps.emplace_back();
+      }
+      WarpState &W = SM.Warps[WId];
       W.KernelIdx = KernelIdx;
       W.BlockSlot = Slot;
+      W.WarpInBlock = static_cast<uint32_t>(WIdx);
+      W.Done = false;
       W.LiveMask = FullMask;
-      W.Regs.assign(size_t(K->NumRegs) * WarpSize, 0);
-      W.RegReady.assign(K->NumRegs, 0);
-      W.RegMemSrc.assign(K->NumRegs, 0);
-      if (K->LocalBytes > 0)
-        W.Local.assign(size_t(K->LocalBytes) * WarpSize, 0);
+      W.WaitMask = 0;
+      W.PendingBarId = -1;
+      W.PendingBarCount = 0;
+      W.CacheValid = false;
+      W.Uniform = true;
+      W.WakeAt = 0;
+      W.CachedReason = Stall::ExecDep;
+      allocWarpStorage(SM, W, K);
       W.PC.fill(K->BlockStart.empty() ? 0 : K->BlockStart[0]);
       // Parameters: registers, plus local memory for spilled ones.
       for (size_t P = 0; P < K->ParamRegs.size(); ++P) {
@@ -427,11 +723,18 @@ struct Simulator::Impl {
       }
       for (const IRKernel::ParamSpill &PS : K->SpilledParams)
         for (unsigned Lane = 0; Lane < WarpSize; ++Lane)
-          std::memcpy(W.Local.data() +
-                          size_t(K->LocalBytes) * Lane + PS.LocalOffset,
+          std::memcpy(W.Local + size_t(K->LocalBytes) * Lane +
+                          PS.LocalOffset,
                       &L.Params[PS.ParamIndex], 8);
       B.WarpIds.push_back(WId);
-      SM.Scheds[WId % SM.Scheds.size()].WarpIds.push_back(WId);
+
+      // Scheduler assignment round-robins over creation order.
+      unsigned SchedIdx =
+          static_cast<unsigned>(SM.WarpSeq++ % SM.Scheds.size());
+      W.SchedIdx = static_cast<uint8_t>(SchedIdx);
+      SchedState &S = SM.Scheds[SchedIdx];
+      S.Live.push_back({S.NAppended++, WId});
+      S.ReadyMask |= uint64_t(1) << (S.Live.size() - 1);
       ++SM.ActiveWarps;
     }
     (void)SMIdx;
@@ -466,8 +769,10 @@ struct Simulator::Impl {
     SM.UsedShared -= B.SharedBytes;
     --SM.NumBlocks;
     B.Active = false;
-    B.Shared.clear();
-    B.Shared.shrink_to_fit();
+    // Recycle warp slots (their sched entries were dropped on exit);
+    // storage extents stay with the slots for reuse.
+    for (uint32_t WId : B.WarpIds)
+      SM.FreeWarpSlots.push_back(WId);
 
     LaunchState &LS = Launches[B.KernelIdx];
     ++LS.BlocksDone;
@@ -485,14 +790,17 @@ struct Simulator::Impl {
   bool execute(SMState &SM, unsigned SMIdx, uint32_t WId, WarpState &W,
                const Instruction &I, uint32_t Mask);
 
-  /// Attempts to issue one instruction on scheduler \p Sched. Classifies
-  /// every resident warp's state into \p ReasonSamples (nvprof-style
-  /// per-warp stall sampling) and updates \p WakeHint. Returns true if an
-  /// instruction was issued.
+  /// Attempts to issue one instruction on scheduler \p Sched, examining
+  /// only ready warps; blocked warps are sampled in bulk through the
+  /// scheduler's per-reason counters. Returns true if an instruction
+  /// was issued.
+  template <bool FullStats>
   bool tryIssue(SMState &SM, unsigned SMIdx, SchedState &Sched,
-                uint64_t &WakeHint, uint64_t *ReasonSamples);
+                uint64_t *ReasonSamples);
 
-  SimResult run(const std::vector<KernelLaunch> &Launches);
+  template <bool FullStats> bool runLoop(SimResult &Res);
+
+  SimResult run(const std::vector<KernelLaunch> &Launches, StatsLevel S);
 };
 
 //===----------------------------------------------------------------------===//
@@ -702,6 +1010,166 @@ uint64_t evalAlu(const Instruction &I, uint64_t A, uint64_t B, uint64_t C) {
   }
 }
 
+/// Applies \p F to all 32 lanes — a branch-free loop the compiler can
+/// vectorize.
+template <typename F>
+inline void denseMap(uint64_t *D, const uint64_t *A, const uint64_t *B,
+                     const uint64_t *C, F Op) {
+  for (unsigned Lane = 0; Lane < WarpSize; ++Lane)
+    D[Lane] = Op(A[Lane], B[Lane], C[Lane]);
+}
+
+/// Convergent-warp ALU specialization: the hottest opcodes with the
+/// switch hoisted out of the lane loop. Semantics are copied verbatim
+/// from evalAlu (which remains the reference for the masked path and
+/// every other opcode); returns false to fall back to it.
+bool denseAlu(const Instruction &I, const uint64_t *A, const uint64_t *B,
+              const uint64_t *C, uint64_t *D) {
+  const bool W64 = I.W == Width::W64;
+  auto W32Of = [](uint64_t V) { return uint64_t(lo32(V)); };
+  switch (I.Op) {
+  case Opcode::Mov:
+    if (W64)
+      denseMap(D, A, B, C, [](uint64_t a, uint64_t, uint64_t) { return a; });
+    else
+      denseMap(D, A, B, C, [&](uint64_t a, uint64_t, uint64_t) {
+        return W32Of(a);
+      });
+    return true;
+  case Opcode::IAdd:
+    if (W64)
+      denseMap(D, A, B, C,
+               [](uint64_t a, uint64_t b, uint64_t) { return a + b; });
+    else
+      denseMap(D, A, B, C, [&](uint64_t a, uint64_t b, uint64_t) {
+        return W32Of(a + b);
+      });
+    return true;
+  case Opcode::ISub:
+    if (W64)
+      denseMap(D, A, B, C,
+               [](uint64_t a, uint64_t b, uint64_t) { return a - b; });
+    else
+      denseMap(D, A, B, C, [&](uint64_t a, uint64_t b, uint64_t) {
+        return W32Of(a - b);
+      });
+    return true;
+  case Opcode::IMul:
+    if (W64)
+      denseMap(D, A, B, C,
+               [](uint64_t a, uint64_t b, uint64_t) { return a * b; });
+    else
+      denseMap(D, A, B, C, [&](uint64_t a, uint64_t b, uint64_t) {
+        return W32Of(a * b);
+      });
+    return true;
+  case Opcode::And:
+    if (W64)
+      denseMap(D, A, B, C,
+               [](uint64_t a, uint64_t b, uint64_t) { return a & b; });
+    else
+      denseMap(D, A, B, C, [&](uint64_t a, uint64_t b, uint64_t) {
+        return W32Of(a & b);
+      });
+    return true;
+  case Opcode::Or:
+    if (W64)
+      denseMap(D, A, B, C,
+               [](uint64_t a, uint64_t b, uint64_t) { return a | b; });
+    else
+      denseMap(D, A, B, C, [&](uint64_t a, uint64_t b, uint64_t) {
+        return W32Of(a | b);
+      });
+    return true;
+  case Opcode::Xor:
+    if (W64)
+      denseMap(D, A, B, C,
+               [](uint64_t a, uint64_t b, uint64_t) { return a ^ b; });
+    else
+      denseMap(D, A, B, C, [&](uint64_t a, uint64_t b, uint64_t) {
+        return W32Of(a ^ b);
+      });
+    return true;
+  case Opcode::Not:
+    if (W64)
+      denseMap(D, A, B, C,
+               [](uint64_t a, uint64_t, uint64_t) { return ~a; });
+    else
+      denseMap(D, A, B, C, [&](uint64_t a, uint64_t, uint64_t) {
+        return W32Of(~a);
+      });
+    return true;
+  case Opcode::Shl:
+    if (W64)
+      denseMap(D, A, B, C, [](uint64_t a, uint64_t b, uint64_t) {
+        return a << (b & 63);
+      });
+    else
+      denseMap(D, A, B, C, [&](uint64_t a, uint64_t b, uint64_t) {
+        return W32Of(W32Of(a) << (b & 31));
+      });
+    return true;
+  case Opcode::ShrU:
+    if (W64)
+      denseMap(D, A, B, C, [](uint64_t a, uint64_t b, uint64_t) {
+        return a >> (b & 63);
+      });
+    else
+      denseMap(D, A, B, C, [&](uint64_t a, uint64_t b, uint64_t) {
+        return W32Of(W32Of(a) >> (b & 31));
+      });
+    return true;
+  case Opcode::ShrS:
+    if (W64)
+      denseMap(D, A, B, C, [](uint64_t a, uint64_t b, uint64_t) {
+        return static_cast<uint64_t>(static_cast<int64_t>(a) >> (b & 63));
+      });
+    else
+      denseMap(D, A, B, C, [&](uint64_t a, uint64_t b, uint64_t) {
+        return W32Of(static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int32_t>(lo32(a))) >>
+            (b & 31)));
+      });
+    return true;
+  case Opcode::Sel:
+    if (W64)
+      denseMap(D, A, B, C, [](uint64_t a, uint64_t b, uint64_t c) {
+        return a != 0 ? b : c;
+      });
+    else
+      denseMap(D, A, B, C, [&](uint64_t a, uint64_t b, uint64_t c) {
+        return W32Of(a != 0 ? b : c);
+      });
+    return true;
+  case Opcode::FAdd:
+    if (!W64) {
+      denseMap(D, A, B, C, [](uint64_t a, uint64_t b, uint64_t) {
+        return fromF32(asF32(a) + asF32(b));
+      });
+      return true;
+    }
+    return false;
+  case Opcode::FSub:
+    if (!W64) {
+      denseMap(D, A, B, C, [](uint64_t a, uint64_t b, uint64_t) {
+        return fromF32(asF32(a) - asF32(b));
+      });
+      return true;
+    }
+    return false;
+  case Opcode::FMul:
+    if (!W64) {
+      denseMap(D, A, B, C, [](uint64_t a, uint64_t b, uint64_t) {
+        return fromF32(asF32(a) * asF32(b));
+      });
+      return true;
+    }
+    return false;
+  default:
+    return false;
+  }
+}
+
 } // namespace
 
 bool Simulator::Impl::execute(SMState &SM, unsigned SMIdx, uint32_t WId,
@@ -713,9 +1181,16 @@ bool Simulator::Impl::execute(SMState &SM, unsigned SMIdx, uint32_t WId,
   const GpuArch &A = Config.Arch;
 
   auto AdvancePC = [&]() {
-    for (unsigned Lane = 0; Lane < WarpSize; ++Lane)
-      if (Mask & (1u << Lane))
+    if (Mask == FullMask) {
+      for (unsigned Lane = 0; Lane < WarpSize; ++Lane)
         ++W.PC[Lane];
+      return;
+    }
+    for (uint32_t Rem = Mask; Rem;) {
+      unsigned Lane = static_cast<unsigned>(std::countr_zero(Rem));
+      Rem &= Rem - 1;
+      ++W.PC[Lane];
+    }
   };
   auto SetDstReady = [&](uint64_t ReadyCycle, bool FromMem) {
     if (I.Dst == NoReg)
@@ -734,19 +1209,37 @@ bool Simulator::Impl::execute(SMState &SM, unsigned SMIdx, uint32_t WId,
   //===---------------- Control flow ----------------===//
   case Opcode::Bra: {
     uint32_t Target = K->BlockStart[static_cast<size_t>(I.Imm)];
-    for (unsigned Lane = 0; Lane < WarpSize; ++Lane)
-      if (Mask & (1u << Lane))
-        W.PC[Lane] = Target;
+    for (uint32_t Rem = Mask; Rem;) {
+      unsigned Lane = static_cast<unsigned>(std::countr_zero(Rem));
+      Rem &= Rem - 1;
+      W.PC[Lane] = Target;
+    }
     return true;
   }
   case Opcode::CBra: {
     uint32_t TrueT = K->BlockStart[static_cast<size_t>(I.Imm)];
     uint32_t FalseT = K->BlockStart[static_cast<size_t>(I.Imm2)];
-    for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
-      if (!(Mask & (1u << Lane)))
-        continue;
-      W.PC[Lane] = W.reg(I.Src[0], Lane) != 0 ? TrueT : FalseT;
+    const uint64_t *P = W.Regs + size_t(I.Src[0]) * WarpSize;
+    uint32_t TakenMask = 0;
+    if (Mask == FullMask) {
+      for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
+        bool T = P[Lane] != 0;
+        W.PC[Lane] = T ? TrueT : FalseT;
+        TakenMask |= uint32_t(T) << Lane;
+      }
+    } else {
+      for (uint32_t Rem = Mask; Rem;) {
+        unsigned Lane = static_cast<unsigned>(std::countr_zero(Rem));
+        Rem &= Rem - 1;
+        bool T = P[Lane] != 0;
+        W.PC[Lane] = T ? TrueT : FalseT;
+        TakenMask |= uint32_t(T) << Lane;
+      }
     }
+    // A split vote diverges the warp; uniform warps re-converge only
+    // when the slow min-PC scan observes it.
+    if (TakenMask != 0 && TakenMask != Mask)
+      W.Uniform = false;
     return true;
   }
   case Opcode::Exit: {
@@ -756,11 +1249,15 @@ bool Simulator::Impl::execute(SMState &SM, unsigned SMIdx, uint32_t WId,
       W.Done = true;
       --SM.ActiveWarps;
       ++B.WarpsDone;
+      dropWarp(SM, WId);
     }
-    // Exits may satisfy a pending full-block barrier.
-    for (int Id = 0; Id < 16; ++Id)
-      if (B.BarArrived[Id] > 0)
-        checkBarrierRelease(SM, B, Id);
+    // Exits may satisfy a pending full-block barrier; only barriers
+    // with outstanding arrivals need a look.
+    for (uint16_t Pending = B.BarPendingMask; Pending;) {
+      int Id = std::countr_zero(Pending);
+      Pending &= static_cast<uint16_t>(Pending - 1);
+      checkBarrierRelease(SM, B, Id);
+    }
     if (B.LiveThreads == 0 && B.WarpsDone == B.NumWarps)
       retireBlock(SM, SMIdx, B);
     return true;
@@ -773,6 +1270,7 @@ bool Simulator::Impl::execute(SMState &SM, unsigned SMIdx, uint32_t WId,
     W.PendingBarId = static_cast<int8_t>(Id);
     W.PendingBarCount = I.Imm2;
     B.BarArrived[Id] += static_cast<int>(popcount(Mask));
+    B.BarPendingMask |= static_cast<uint16_t>(1u << Id);
     AdvancePC();
     checkBarrierRelease(SM, B, Id);
     return true;
@@ -781,16 +1279,10 @@ bool Simulator::Impl::execute(SMState &SM, unsigned SMIdx, uint32_t WId,
   //===---------------- Special registers ----------------===//
   case Opcode::SReg: {
     const KernelLaunch &L = *Launches[W.KernelIdx].L;
-    uint32_t WarpInBlock = 0;
-    for (size_t WI = 0; WI < B.WarpIds.size(); ++WI) {
-      if (B.WarpIds[WI] == WId) {
-        WarpInBlock = static_cast<uint32_t>(WI);
-        break;
-      }
-    }
-    for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
-      if (!(Mask & (1u << Lane)))
-        continue;
+    uint32_t WarpInBlock = W.WarpInBlock;
+    for (uint32_t Rem = Mask; Rem;) {
+      unsigned Lane = static_cast<unsigned>(std::countr_zero(Rem));
+      Rem &= Rem - 1;
       // CUDA's linear layout: tid = x + y*ntid.x + z*ntid.x*ntid.y.
       uint64_t Linear = WarpInBlock * WarpSize + Lane;
       uint64_t V = 0;
@@ -835,9 +1327,9 @@ bool Simulator::Impl::execute(SMState &SM, unsigned SMIdx, uint32_t WId,
     uint64_t Vals[WarpSize];
     for (unsigned Lane = 0; Lane < WarpSize; ++Lane)
       Vals[Lane] = W.reg(I.Src[0], Lane);
-    for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
-      if (!(Mask & (1u << Lane)))
-        continue;
+    for (uint32_t Rem = Mask; Rem;) {
+      unsigned Lane = static_cast<unsigned>(std::countr_zero(Rem));
+      Rem &= Rem - 1;
       uint32_t Operand = lo32(W.reg(I.Src[1], Lane));
       unsigned SrcLane =
           I.Imm == 0 ? (Lane ^ Operand) : (Lane + Operand); // xor / down
@@ -853,53 +1345,75 @@ bool Simulator::Impl::execute(SMState &SM, unsigned SMIdx, uint32_t WId,
   //===---------------- Memory ----------------===//
   case Opcode::LdGlobal:
   case Opcode::StGlobal: {
-    uint64_t Sectors[WarpSize * 2];
-    unsigned N = collectSectors(W, I.Src[0], I.Imm, I.MemSize, Mask,
-                                Sectors);
+    uint64_t LocalSectors[WarpSize * 2];
+    const uint64_t *Sectors;
+    unsigned N;
+    if (CandSectorsValid) {
+      // Collected once by the issue pass's throttle check.
+      Sectors = CandSectors;
+      N = CandSectorCount;
+      CandSectorsValid = false;
+    } else {
+      N = collectSectors(W, I.Src[0], I.Imm, I.MemSize, Mask,
+                         LocalSectors);
+      Sectors = LocalSectors;
+    }
     uint64_t Completion = priceGlobalAccess(SM, W, Cycle, Sectors, N);
-    for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
-      if (!(Mask & (1u << Lane)))
-        continue;
-      uint64_t Addr = W.reg(I.Src[0], Lane) + I.Imm;
-      if (I.Op == Opcode::LdGlobal) {
+    const uint64_t *AddrR = W.Regs + size_t(I.Src[0]) * WarpSize;
+    if (I.Op == Opcode::LdGlobal) {
+      uint64_t *Dst = W.Regs + size_t(I.Dst) * WarpSize;
+      for (uint32_t Rem = Mask; Rem;) {
+        unsigned Lane = static_cast<unsigned>(std::countr_zero(Rem));
+        Rem &= Rem - 1;
+        uint64_t Addr = AddrR[Lane] + I.Imm;
         uint64_t V;
         if (!loadBytes(Global.data(), GlobalTop, Addr, I.MemSize,
                        I.MemSigned, V))
           return Fatal(formatString("global load out of bounds at 0x%llx",
                                     static_cast<unsigned long long>(Addr)));
-        W.reg(I.Dst, Lane) = V;
-      } else {
+        Dst[Lane] = V;
+      }
+      SetDstReady(Completion, true);
+    } else {
+      const uint64_t *Val = W.Regs + size_t(I.Src[1]) * WarpSize;
+      for (uint32_t Rem = Mask; Rem;) {
+        unsigned Lane = static_cast<unsigned>(std::countr_zero(Rem));
+        Rem &= Rem - 1;
+        uint64_t Addr = AddrR[Lane] + I.Imm;
         if (!storeBytes(Global.data(), GlobalTop, Addr, I.MemSize,
-                        W.reg(I.Src[1], Lane)))
+                        Val[Lane]))
           return Fatal(formatString("global store out of bounds at 0x%llx",
                                     static_cast<unsigned long long>(Addr)));
       }
     }
-    if (I.Op == Opcode::LdGlobal)
-      SetDstReady(Completion, true);
     AdvancePC();
     return true;
   }
   case Opcode::LdShared:
   case Opcode::StShared: {
-    for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
-      if (!(Mask & (1u << Lane)))
-        continue;
-      uint64_t Addr = W.reg(I.Src[0], Lane) + I.Imm;
-      if (I.Op == Opcode::LdShared) {
+    const uint64_t *AddrR = W.Regs + size_t(I.Src[0]) * WarpSize;
+    if (I.Op == Opcode::LdShared) {
+      uint64_t *Dst = W.Regs + size_t(I.Dst) * WarpSize;
+      for (uint32_t Rem = Mask; Rem;) {
+        unsigned Lane = static_cast<unsigned>(std::countr_zero(Rem));
+        Rem &= Rem - 1;
         uint64_t V;
-        if (!loadBytes(B.Shared.data(), B.Shared.size(), Addr, I.MemSize,
-                       I.MemSigned, V))
+        if (!loadBytes(B.Shared.data(), B.Shared.size(),
+                       AddrR[Lane] + I.Imm, I.MemSize, I.MemSigned, V))
           return Fatal("shared load out of bounds");
-        W.reg(I.Dst, Lane) = V;
-      } else {
-        if (!storeBytes(B.Shared.data(), B.Shared.size(), Addr, I.MemSize,
-                        W.reg(I.Src[1], Lane)))
+        Dst[Lane] = V;
+      }
+      SetDstReady(Cycle + A.LatShared, false);
+    } else {
+      const uint64_t *Val = W.Regs + size_t(I.Src[1]) * WarpSize;
+      for (uint32_t Rem = Mask; Rem;) {
+        unsigned Lane = static_cast<unsigned>(std::countr_zero(Rem));
+        Rem &= Rem - 1;
+        if (!storeBytes(B.Shared.data(), B.Shared.size(),
+                        AddrR[Lane] + I.Imm, I.MemSize, Val[Lane]))
           return Fatal("shared store out of bounds");
       }
     }
-    if (I.Op == Opcode::LdShared)
-      SetDstReady(Cycle + A.LatShared, false);
     AdvancePC();
     return true;
   }
@@ -907,26 +1421,34 @@ bool Simulator::Impl::execute(SMState &SM, unsigned SMIdx, uint32_t WId,
   case Opcode::StLocal: {
     // Local memory (spills, local arrays) is interleaved per lane and
     // L1-resident at spill-sized footprints: fixed short latency, no
-    // DRAM bandwidth or MSHR pressure.
-    for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
-      if (!(Mask & (1u << Lane)))
-        continue;
-      uint64_t Base = I.Src[0] == NoReg ? 0 : W.reg(I.Src[0], Lane);
-      uint64_t Addr = size_t(K->LocalBytes) * Lane + Base + I.Imm;
-      if (I.Op == Opcode::LdLocal) {
+    // DRAM bandwidth or MSHR pressure. Spill traffic (Src[0] == NoReg,
+    // the register allocator's fixed offsets) dominates; it is in-bounds
+    // by construction but keeps the same checked path.
+    const uint64_t *BaseR =
+        I.Src[0] == NoReg ? ZeroLanes : W.Regs + size_t(I.Src[0]) * WarpSize;
+    if (I.Op == Opcode::LdLocal) {
+      uint64_t *Dst = W.Regs + size_t(I.Dst) * WarpSize;
+      for (uint32_t Rem = Mask; Rem;) {
+        unsigned Lane = static_cast<unsigned>(std::countr_zero(Rem));
+        Rem &= Rem - 1;
+        uint64_t Addr = size_t(K->LocalBytes) * Lane + BaseR[Lane] + I.Imm;
         uint64_t V;
-        if (!loadBytes(W.Local.data(), W.Local.size(), Addr, I.MemSize,
-                       I.MemSigned, V))
+        if (!loadBytes(W.Local, W.LocalSize, Addr, I.MemSize, I.MemSigned,
+                       V))
           return Fatal("local load out of bounds");
-        W.reg(I.Dst, Lane) = V;
-      } else {
-        if (!storeBytes(W.Local.data(), W.Local.size(), Addr, I.MemSize,
-                        W.reg(I.Src[1], Lane)))
+        Dst[Lane] = V;
+      }
+      SetDstReady(Cycle + A.LatLocal, false);
+    } else {
+      const uint64_t *Val = W.Regs + size_t(I.Src[1]) * WarpSize;
+      for (uint32_t Rem = Mask; Rem;) {
+        unsigned Lane = static_cast<unsigned>(std::countr_zero(Rem));
+        Rem &= Rem - 1;
+        uint64_t Addr = size_t(K->LocalBytes) * Lane + BaseR[Lane] + I.Imm;
+        if (!storeBytes(W.Local, W.LocalSize, Addr, I.MemSize, Val[Lane]))
           return Fatal("local store out of bounds");
       }
     }
-    if (I.Op == Opcode::LdLocal)
-      SetDstReady(Cycle + A.LatLocal, false);
     AdvancePC();
     return true;
   }
@@ -940,9 +1462,11 @@ bool Simulator::Impl::execute(SMState &SM, unsigned SMIdx, uint32_t WId,
     {
       uint64_t Addrs[WarpSize];
       unsigned N = 0;
-      for (unsigned Lane = 0; Lane < WarpSize; ++Lane)
-        if (Mask & (1u << Lane))
-          Addrs[N++] = W.reg(I.Src[0], Lane) + I.Imm;
+      for (uint32_t Rem = Mask; Rem;) {
+        unsigned Lane = static_cast<unsigned>(std::countr_zero(Rem));
+        Rem &= Rem - 1;
+        Addrs[N++] = W.reg(I.Src[0], Lane) + I.Imm;
+      }
       for (unsigned X = 0; X < N; ++X) {
         unsigned Mult = 0;
         for (unsigned Y = 0; Y < N; ++Y)
@@ -951,9 +1475,9 @@ bool Simulator::Impl::execute(SMState &SM, unsigned SMIdx, uint32_t WId,
         MaxMult = std::max(MaxMult, Mult);
       }
     }
-    for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
-      if (!(Mask & (1u << Lane)))
-        continue;
+    for (uint32_t Rem = Mask; Rem;) {
+      unsigned Lane = static_cast<unsigned>(std::countr_zero(Rem));
+      Rem &= Rem - 1;
       uint64_t Addr = W.reg(I.Src[0], Lane) + I.Imm;
       uint64_t Old;
       if (!loadBytes(Base, Size, Addr, I.MemSize, false, Old))
@@ -973,9 +1497,18 @@ bool Simulator::Impl::execute(SMState &SM, unsigned SMIdx, uint32_t WId,
     }
     uint64_t Ready;
     if (IsGlobal) {
-      uint64_t Sectors[WarpSize * 2];
-      unsigned N = collectSectors(W, I.Src[0], I.Imm, I.MemSize, Mask,
-                                  Sectors);
+      uint64_t LocalSectors[WarpSize * 2];
+      const uint64_t *Sectors;
+      unsigned N;
+      if (CandSectorsValid) {
+        Sectors = CandSectors;
+        N = CandSectorCount;
+        CandSectorsValid = false;
+      } else {
+        N = collectSectors(W, I.Src[0], I.Imm, I.MemSize, Mask,
+                           LocalSectors);
+        Sectors = LocalSectors;
+      }
       uint64_t Completion = priceGlobalAccess(SM, W, Cycle, Sectors, N);
       Ready = Completion + (A.LatAtomGlobal - A.LatGlobal) +
               (MaxMult - 1) * 4;
@@ -990,15 +1523,30 @@ bool Simulator::Impl::execute(SMState &SM, unsigned SMIdx, uint32_t WId,
 
   //===---------------- ALU ----------------===//
   default: {
-    for (unsigned Lane = 0; Lane < WarpSize; ++Lane) {
-      if (!(Mask & (1u << Lane)))
-        continue;
-      uint64_t SrcA = I.Src[0] != NoReg ? W.reg(I.Src[0], Lane) : 0;
-      uint64_t SrcB = I.Src[1] != NoReg ? W.reg(I.Src[1], Lane) : 0;
-      uint64_t SrcC = I.Src[2] != NoReg ? W.reg(I.Src[2], Lane) : 0;
-      uint64_t V = evalAlu(I, SrcA, SrcB, SrcC);
-      if (I.Dst != NoReg)
-        W.reg(I.Dst, Lane) = V;
+    const uint64_t *SrcA =
+        I.Src[0] != NoReg ? W.Regs + size_t(I.Src[0]) * WarpSize
+                          : ZeroLanes;
+    const uint64_t *SrcB =
+        I.Src[1] != NoReg ? W.Regs + size_t(I.Src[1]) * WarpSize
+                          : ZeroLanes;
+    const uint64_t *SrcC =
+        I.Src[2] != NoReg ? W.Regs + size_t(I.Src[2]) * WarpSize
+                          : ZeroLanes;
+    if (I.Dst != NoReg) {
+      uint64_t *Dst = W.Regs + size_t(I.Dst) * WarpSize;
+      if (Mask == FullMask) {
+        // Convergent fast path: dense over all lanes, no bit tests;
+        // hot opcodes get vectorizable op-hoisted loops.
+        if (!denseAlu(I, SrcA, SrcB, SrcC, Dst))
+          for (unsigned Lane = 0; Lane < WarpSize; ++Lane)
+            Dst[Lane] = evalAlu(I, SrcA[Lane], SrcB[Lane], SrcC[Lane]);
+      } else {
+        for (uint32_t Rem = Mask; Rem;) {
+          unsigned Lane = static_cast<unsigned>(std::countr_zero(Rem));
+          Rem &= Rem - 1;
+          Dst[Lane] = evalAlu(I, SrcA[Lane], SrcB[Lane], SrcC[Lane]);
+        }
+      }
     }
     SetDstReady(Cycle + latencyOf(Cls), false);
     AdvancePC();
@@ -1011,136 +1559,184 @@ bool Simulator::Impl::execute(SMState &SM, unsigned SMIdx, uint32_t WId,
 // Issue
 //===----------------------------------------------------------------------===//
 
+template <bool FullStats>
 bool Simulator::Impl::tryIssue(SMState &SM, unsigned SMIdx,
-                               SchedState &Sched, uint64_t &WakeHint,
+                               SchedState &Sched,
                                uint64_t *ReasonSamples) {
-  const size_t N = Sched.WarpIds.size();
-  if (N == 0)
-    return false;
+  const uint64_t N = Sched.NAppended;
+  const size_t L = Sched.Live.size();
 
-  // Pass 1: classify every resident warp; remember the first eligible
-  // one in round-robin order.
-  int CandidateStep = -1;
+  // Round-robin start: first live warp at or after the cursor's virtual
+  // position (the cursor may point at a since-retired warp). The hint
+  // from the previous issue usually answers directly.
+  size_t StartIdx;
+  if (Sched.StartHint < L && Sched.Live[Sched.StartHint].Pos == Sched.RRNext) {
+    StartIdx = Sched.StartHint;
+  } else {
+    StartIdx = 0;
+    while (StartIdx < L && Sched.Live[StartIdx].Pos < Sched.RRNext)
+      ++StartIdx;
+    if (StartIdx >= L)
+      StartIdx = 0;
+  }
+
+  int CandIdx = -1;
   uint32_t CandMask = 0;
   uint32_t CandPC = 0;
-  for (size_t Step = 0; Step < N; ++Step) {
-    uint32_t WId = Sched.WarpIds[(Sched.RRNext + Step) % N];
-    WarpState &W = SM.Warps[WId];
-    if (W.Done)
-      continue;
+  uint64_t CandPos = 0;
+  CandSectorsValid = false;
 
-    // Fast path: a warp known to be blocked until WakeAt keeps its
-    // cached stall reason without re-examination.
-    if (W.WakeAt > Cycle) {
-      ++ReasonSamples[size_t(W.CachedReason)];
-      WakeHint = std::min(WakeHint, W.WakeAt);
-      continue;
-    }
+  // Examine ready warps in round-robin order: indices >= StartIdx
+  // ascending, then the wrap. Blocked warps never enter the loop.
+  const uint64_t Snapshot = Sched.ReadyMask;
+  uint64_t Parts[2] = {
+      StartIdx ? Snapshot & ~((uint64_t(1) << StartIdx) - 1) : Snapshot,
+      StartIdx ? Snapshot & ((uint64_t(1) << StartIdx) - 1) : 0};
+  for (uint64_t Part : Parts) {
+    for (uint64_t Rem = Part; Rem;) {
+      unsigned Idx = static_cast<unsigned>(std::countr_zero(Rem));
+      Rem &= Rem - 1;
+      WarpState &W = SM.Warps[Sched.Live[Idx].WarpSlot];
 
-    uint32_t Runnable = W.LiveMask & ~W.WaitMask;
-    if (Runnable == 0) {
-      // Waiting at a barrier; woken explicitly by checkBarrierRelease.
-      W.WakeAt = UINT64_MAX;
-      W.CachedReason = Stall::Barrier;
-      ++ReasonSamples[size_t(Stall::Barrier)];
-      continue;
-    }
-
-    // The warp's current instruction only changes when it executes or a
-    // barrier releases lanes, both of which invalidate the cache.
-    uint32_t MinPC;
-    uint32_t Mask;
-    if (W.CacheValid) {
-      MinPC = W.CachedPC;
-      Mask = W.CachedMask;
-    } else {
-      MinPC = UINT32_MAX;
-      for (unsigned Lane = 0; Lane < WarpSize; ++Lane)
-        if ((Runnable & (1u << Lane)) && W.PC[Lane] < MinPC)
-          MinPC = W.PC[Lane];
-      Mask = 0;
-      for (unsigned Lane = 0; Lane < WarpSize; ++Lane)
-        if ((Runnable & (1u << Lane)) && W.PC[Lane] == MinPC)
-          Mask |= 1u << Lane;
-      W.CacheValid = true;
-      W.CachedPC = MinPC;
-      W.CachedMask = Mask;
-    }
-
-    const IRKernel *K = Launches[W.KernelIdx].L->Kernel;
-    const Instruction &I = K->Flat[MinPC];
-    InstrClass Cls = classify(I);
-
-    // Scoreboard.
-    bool Blocked = false;
-    bool BlockedByMem = false;
-    uint64_t ReadyAt = 0;
-    auto CheckReg = [&](Reg R) {
-      if (R == NoReg)
-        return;
-      if (W.RegReady[R] > Cycle) {
-        Blocked = true;
-        BlockedByMem |= W.RegMemSrc[R] != 0;
-        ReadyAt = std::max(ReadyAt, W.RegReady[R]);
-      }
-    };
-    for (Reg S : I.Src)
-      CheckReg(S);
-    CheckReg(I.Dst);
-    if (Blocked) {
-      W.WakeAt = ReadyAt;
-      W.CachedReason = BlockedByMem ? Stall::MemDep : Stall::ExecDep;
-      WakeHint = std::min(WakeHint, ReadyAt);
-      ++ReasonSamples[size_t(W.CachedReason)];
-      continue;
-    }
-
-    // Pipe availability.
-    Pipe P = pipeOf(Cls);
-    if (Cls != InstrClass::Barrier && Cls != InstrClass::Control &&
-        Sched.PipeFree[P] > Cycle) {
-      WakeHint = std::min(WakeHint, Sched.PipeFree[P]);
-      ++ReasonSamples[size_t(Stall::PipeBusy)];
-      continue;
-    }
-
-    // Shared-memory atomic unit back-pressure.
-    if (Cls == InstrClass::SharedAtomic && SM.AtomUnitFree > Cycle) {
-      W.WakeAt = SM.AtomUnitFree;
-      W.CachedReason = Stall::PipeBusy;
-      WakeHint = std::min(WakeHint, SM.AtomUnitFree);
-      ++ReasonSamples[size_t(Stall::PipeBusy)];
-      continue;
-    }
-
-    // Memory back-pressure (local memory is L1-resident; exempt).
-    if (Cls == InstrClass::GlobalMem || Cls == InstrClass::GlobalAtomic) {
-      unsigned Sectors = countSectors(W, I.Src[0], I.Imm, I.MemSize, Mask);
-      if (!SM.Inflight->canIssue(Cycle, Sectors)) {
-        uint64_t Next = SM.Inflight->nextCompletion();
-        W.WakeAt = Next;
-        W.CachedReason = Stall::MemThrottle;
-        WakeHint = std::min(WakeHint, Next);
-        ++ReasonSamples[size_t(Stall::MemThrottle)];
+      uint32_t Runnable = W.LiveMask & ~W.WaitMask;
+      if (Runnable == 0) {
+        // Waiting at a barrier; woken explicitly by checkBarrierRelease.
+        blockEntry(Sched, Idx, W, UINT64_MAX, Stall::Barrier);
+        if constexpr (FullStats)
+          ++ReasonSamples[size_t(Stall::Barrier)];
         continue;
       }
-    }
 
-    if (CandidateStep < 0) {
-      CandidateStep = static_cast<int>(Step);
-      CandMask = Mask;
-      CandPC = MinPC;
-    } else {
-      ++ReasonSamples[size_t(Stall::NotSelected)];
+      // The warp's current instruction only changes when it executes or
+      // a barrier releases lanes, both of which invalidate the cache.
+      uint32_t MinPC;
+      uint32_t Mask;
+      if (W.CacheValid) {
+        MinPC = W.CachedPC;
+        Mask = W.CachedMask;
+      } else if (W.Uniform) {
+        // Convergent fast path: every runnable lane shares one PC.
+        MinPC = W.PC[std::countr_zero(Runnable)];
+        Mask = Runnable;
+        W.CacheValid = true;
+        W.CachedPC = MinPC;
+        W.CachedMask = Mask;
+      } else {
+        MinPC = UINT32_MAX;
+        for (uint32_t Scan = Runnable; Scan;) {
+          unsigned Lane = static_cast<unsigned>(std::countr_zero(Scan));
+          Scan &= Scan - 1;
+          if (W.PC[Lane] < MinPC)
+            MinPC = W.PC[Lane];
+        }
+        Mask = 0;
+        for (uint32_t Scan = Runnable; Scan;) {
+          unsigned Lane = static_cast<unsigned>(std::countr_zero(Scan));
+          Scan &= Scan - 1;
+          if (W.PC[Lane] == MinPC)
+            Mask |= 1u << Lane;
+        }
+        if (Mask == Runnable)
+          W.Uniform = true; // reconverged
+        W.CacheValid = true;
+        W.CachedPC = MinPC;
+        W.CachedMask = Mask;
+      }
+
+      const IRKernel *K = Launches[W.KernelIdx].L->Kernel;
+      const Instruction &I = K->Flat[MinPC];
+      InstrClass Cls = classify(I);
+
+      // Scoreboard.
+      bool Blocked = false;
+      bool BlockedByMem = false;
+      uint64_t ReadyAt = 0;
+      auto CheckReg = [&](Reg R) {
+        if (R == NoReg)
+          return;
+        if (W.RegReady[R] > Cycle) {
+          Blocked = true;
+          BlockedByMem |= W.RegMemSrc[R] != 0;
+          ReadyAt = std::max(ReadyAt, W.RegReady[R]);
+        }
+      };
+      for (Reg S : I.Src)
+        CheckReg(S);
+      CheckReg(I.Dst);
+      if (Blocked) {
+        blockEntry(Sched, Idx, W, ReadyAt,
+                   BlockedByMem ? Stall::MemDep : Stall::ExecDep);
+        if constexpr (FullStats)
+          ++ReasonSamples[size_t(W.CachedReason)];
+        continue;
+      }
+
+      // Pipe availability. The pipe frees at a known cycle and nothing
+      // can issue on it before then, so parking until PipeFree is
+      // equivalent to re-checking every cycle.
+      Pipe P = pipeOf(Cls);
+      if (Cls != InstrClass::Barrier && Cls != InstrClass::Control &&
+          Sched.PipeFree[P] > Cycle) {
+        blockEntry(Sched, Idx, W, Sched.PipeFree[P], Stall::PipeBusy);
+        if constexpr (FullStats)
+          ++ReasonSamples[size_t(Stall::PipeBusy)];
+        continue;
+      }
+
+      // Shared-memory atomic unit back-pressure.
+      if (Cls == InstrClass::SharedAtomic && SM.AtomUnitFree > Cycle) {
+        blockEntry(Sched, Idx, W, SM.AtomUnitFree, Stall::PipeBusy);
+        if constexpr (FullStats)
+          ++ReasonSamples[size_t(Stall::PipeBusy)];
+        continue;
+      }
+
+      // Memory back-pressure (local memory is L1-resident; exempt).
+      bool IsGlobalAccess =
+          Cls == InstrClass::GlobalMem || Cls == InstrClass::GlobalAtomic;
+      unsigned NumSectors = 0;
+      if (IsGlobalAccess) {
+        NumSectors = collectSectors(W, I.Src[0], I.Imm, I.MemSize, Mask,
+                                    ScratchSectors);
+        if (!SM.Inflight->canIssue(Cycle, NumSectors)) {
+          blockEntry(Sched, Idx, W, SM.Inflight->nextCompletion(),
+                     Stall::MemThrottle);
+          if constexpr (FullStats)
+            ++ReasonSamples[size_t(Stall::MemThrottle)];
+          continue;
+        }
+      }
+
+      if (CandIdx < 0) {
+        CandIdx = static_cast<int>(Idx);
+        CandMask = Mask;
+        CandPC = MinPC;
+        CandPos = Sched.Live[Idx].Pos;
+        if (IsGlobalAccess) {
+          // Hand the collected sector set to execute() for pricing.
+          std::memcpy(CandSectors, ScratchSectors,
+                      NumSectors * sizeof(uint64_t));
+          CandSectorCount = NumSectors;
+          CandSectorsValid = true;
+        }
+        // Note: the pass must keep examining (and parking) the
+        // remaining ready warps even when it already has its candidate
+        // and stats are off — a warp parked later is parked against
+        // *changed* pipe/queue state, so its wake time (and with it the
+        // idle fast-forward's iteration cycles, which step the
+        // round-robin cursor) would drift from the reference schedule.
+      } else if constexpr (FullStats) {
+        ++ReasonSamples[size_t(Stall::NotSelected)];
+      }
     }
   }
 
-  if (CandidateStep < 0) {
-    Sched.RRNext = static_cast<uint32_t>((Sched.RRNext + 1) % N);
+  if (CandIdx < 0) {
+    Sched.RRNext = (Sched.RRNext + 1) % N;
     return false;
   }
 
-  uint32_t WId = Sched.WarpIds[(Sched.RRNext + CandidateStep) % N];
+  uint32_t WId = Sched.Live[CandIdx].WarpSlot;
   WarpState &W = SM.Warps[WId];
   const IRKernel *K = Launches[W.KernelIdx].L->Kernel;
   const Instruction &I = K->Flat[CandPC];
@@ -1148,7 +1744,7 @@ bool Simulator::Impl::tryIssue(SMState &SM, unsigned SMIdx,
   Pipe P = pipeOf(Cls);
 
   // Issue! Note: execute() may retire the block and dispatch a new one,
-  // reallocating SM.Warps — W must not be used afterwards.
+  // recycling warp slots — W must not be used afterwards.
   uint16_t KernelIdx = W.KernelIdx;
   W.invalidateSchedCache();
   LastAtomicReplay = 1;
@@ -1163,12 +1759,12 @@ bool Simulator::Impl::tryIssue(SMState &SM, unsigned SMIdx,
   ++IssuedSlots;
   if (Config.Arch.Scheduler == SchedPolicy::GreedyThenOldest) {
     // Stay on this warp next cycle (greedy-then-oldest).
-    Sched.RRNext =
-        static_cast<uint32_t>((Sched.RRNext + CandidateStep) % N);
+    Sched.RRNext = CandPos;
+    Sched.StartHint = static_cast<uint32_t>(CandIdx);
   } else {
     // Strict round robin: move past the issued warp.
-    Sched.RRNext =
-        static_cast<uint32_t>((Sched.RRNext + CandidateStep + 1) % N);
+    Sched.RRNext = (CandPos + 1) % N;
+    Sched.StartHint = static_cast<uint32_t>(CandIdx) + 1;
   }
   return true;
 }
@@ -1177,9 +1773,83 @@ bool Simulator::Impl::tryIssue(SMState &SM, unsigned SMIdx,
 // Main loop
 //===----------------------------------------------------------------------===//
 
-SimResult Simulator::Impl::run(const std::vector<KernelLaunch> &Ls) {
+template <bool FullStats> bool Simulator::Impl::runLoop(SimResult &Res) {
+  auto AllDone = [&]() {
+    for (const LaunchState &LS : Launches)
+      if (LS.BlocksDone < LS.L->GridDim)
+        return false;
+    return true;
+  };
+
+  while (!AllDone()) {
+    if (Cycle >= Config.MaxCycles) {
+      Res.Error = "simulation exceeded the cycle limit (deadlock or "
+                  "runaway kernel?)";
+      return false;
+    }
+
+    bool AnyIssued = false;
+    uint64_t CycleSamples[NumStalls] = {};
+    uint64_t ActiveWarps = 0;
+    uint64_t ActiveScheds = 0;
+
+    for (unsigned S = 0; S < SMs.size(); ++S) {
+      SMState &SM = SMs[S];
+      if constexpr (FullStats)
+        ActiveWarps += static_cast<uint64_t>(SM.ActiveWarps);
+      for (SchedState &Sched : SM.Scheds) {
+        if (Sched.Live.empty())
+          continue;
+        if constexpr (FullStats)
+          ++ActiveScheds;
+        popDue(SM, Sched);
+        if constexpr (FullStats)
+          for (size_t R = 0; R < NumStalls; ++R)
+            CycleSamples[R] += Sched.BlockedCounts[R];
+        if (Sched.ReadyMask) {
+          AnyIssued |= tryIssue<FullStats>(SM, S, Sched, CycleSamples);
+          if (!Error.empty()) {
+            Res.Error = Error;
+            return false;
+          }
+        } else {
+          // No warp is examinable: the classify pass degenerates to a
+          // cursor bump (kept for bit-exact round-robin state).
+          Sched.RRNext = (Sched.RRNext + 1) % Sched.NAppended;
+        }
+      }
+    }
+
+    uint64_t Delta = 1;
+    if (!AnyIssued) {
+      // Fast-forward to the earliest wake anywhere.
+      uint64_t NextEvent = UINT64_MAX;
+      for (SMState &SM : SMs)
+        for (SchedState &Sched : SM.Scheds)
+          if (!Sched.Live.empty() && Sched.NextWake < NextEvent)
+            NextEvent = Sched.NextWake;
+      if (NextEvent == UINT64_MAX) {
+        Res.Error = "deadlock: no eligible warps and no pending events";
+        return false;
+      }
+      Delta = std::max<uint64_t>(1, NextEvent - Cycle);
+    }
+    if constexpr (FullStats) {
+      for (size_t R = 0; R < NumStalls; ++R)
+        StallSamples[R] += CycleSamples[R] * Delta;
+      ActiveWarpIntegral += ActiveWarps * Delta;
+      ActiveCycleSlots += ActiveScheds * Delta;
+    }
+    Cycle += Delta;
+  }
+  return true;
+}
+
+SimResult Simulator::Impl::run(const std::vector<KernelLaunch> &Ls,
+                               StatsLevel Stats) {
   SimResult Res;
   const GpuArch &A = Config.Arch;
+  StatsFull = Stats == StatsLevel::Full;
 
   // Reset machine state.
   SMs.clear();
@@ -1190,6 +1860,7 @@ SimResult Simulator::Impl::run(const std::vector<KernelLaunch> &Ls) {
   std::fill(std::begin(StallSamples), std::end(StallSamples), 0);
   ActiveWarpIntegral = 0;
   ActiveCycleSlots = 0;
+  CandSectorsValid = false;
   double BW = A.BytesPerCycleDevice * Config.SimSMs / A.NumSMs;
   Mem = std::make_unique<MemorySystem>(BW, A.LatGlobal, A.SectorBytes);
   L2.reset();
@@ -1251,73 +1922,34 @@ SimResult Simulator::Impl::run(const std::vector<KernelLaunch> &Ls) {
     Launches.push_back(LS);
   }
 
+  // Arena capacity: each of the at most MaxThreadsPerSM/32 resident
+  // warp slots holds at most one extent per launch's kernel (extents
+  // only grow, and a slot allocates a given size at most once).
+  size_t WarpSlotCap = size_t(A.MaxThreadsPerSM / A.WarpSize) + 1;
+  size_t NeedU64 = 0, NeedU8 = 0;
+  for (const LaunchState &LS : Launches) {
+    const IRKernel *K = LS.L->Kernel;
+    NeedU64 += size_t(K->NumRegs) * (WarpSize + 1);
+    NeedU8 += size_t(K->NumRegs) + size_t(K->LocalBytes) * WarpSize;
+  }
+
   SMs.resize(Config.SimSMs);
   for (int S = 0; S < Config.SimSMs; ++S) {
     SMs[S].Scheds.resize(A.SchedulersPerSM);
     SMs[S].Inflight =
         std::make_unique<InflightTracker>(A.MaxInflightSectorsPerSM);
+    SMs[S].Warps.reserve(WarpSlotCap);
+    SMs[S].ArenaU64.resize(WarpSlotCap * NeedU64);
+    SMs[S].ArenaU8.resize(WarpSlotCap * NeedU8);
     dispatchBlocks(SMs[S], static_cast<unsigned>(S));
   }
-
-  auto AllDone = [&]() {
-    for (const LaunchState &LS : Launches)
-      if (LS.BlocksDone < LS.L->GridDim)
-        return false;
-    return true;
-  };
 
   const uint64_t TotalScheds =
       uint64_t(Config.SimSMs) * A.SchedulersPerSM;
 
-  while (!AllDone()) {
-    if (Cycle >= Config.MaxCycles) {
-      Res.Error = "simulation exceeded the cycle limit (deadlock or "
-                  "runaway kernel?)";
-      return Res;
-    }
-
-    bool AnyIssued = false;
-    uint64_t WakeHint = UINT64_MAX;
-    uint64_t CycleSamples[NumStalls] = {};
-    uint64_t ActiveWarps = 0;
-    uint64_t ActiveScheds = 0;
-
-    for (unsigned S = 0; S < SMs.size(); ++S) {
-      SMState &SM = SMs[S];
-      SM.Inflight->drain(Cycle);
-      ActiveWarps += static_cast<uint64_t>(SM.ActiveWarps);
-      for (SchedState &Sched : SM.Scheds) {
-        bool HasWarp = false;
-        for (uint32_t WId : Sched.WarpIds)
-          if (!SM.Warps[WId].Done) {
-            HasWarp = true;
-            break;
-          }
-        if (!HasWarp)
-          continue;
-        ++ActiveScheds;
-        AnyIssued |= tryIssue(SM, S, Sched, WakeHint, CycleSamples);
-        if (!Error.empty()) {
-          Res.Error = Error;
-          return Res;
-        }
-      }
-    }
-
-    uint64_t Delta = 1;
-    if (!AnyIssued) {
-      if (WakeHint == UINT64_MAX) {
-        Res.Error = "deadlock: no eligible warps and no pending events";
-        return Res;
-      }
-      Delta = std::max<uint64_t>(1, WakeHint - Cycle);
-    }
-    for (size_t R = 0; R < NumStalls; ++R)
-      StallSamples[R] += CycleSamples[R] * Delta;
-    ActiveWarpIntegral += ActiveWarps * Delta;
-    ActiveCycleSlots += ActiveScheds * Delta;
-    Cycle += Delta;
-  }
+  bool Ok = StatsFull ? runLoop<true>(Res) : runLoop<false>(Res);
+  if (!Ok)
+    return Res;
 
   // ---- Metrics -------------------------------------------------------------
   Res.Ok = true;
@@ -1341,7 +1973,7 @@ SimResult Simulator::Impl::run(const std::vector<KernelLaunch> &Ls) {
                         TotalStalls
                   : 0.0;
   Res.DeviceOccupancyPct =
-      Res.TotalCycles
+      Res.TotalCycles && StatsFull
           ? 100.0 * ActiveWarpIntegral /
                 (double(Res.TotalCycles) * Config.SimSMs * A.maxWarpsPerSM())
           : 0.0;
@@ -1398,5 +2030,10 @@ uint64_t Simulator::allocGlobal(size_t Bytes) {
 std::vector<uint8_t> &Simulator::globalMem() { return P->Global; }
 
 SimResult Simulator::run(const std::vector<KernelLaunch> &Launches) {
-  return P->run(Launches);
+  return P->run(Launches, P->Config.Stats);
+}
+
+SimResult Simulator::run(const std::vector<KernelLaunch> &Launches,
+                         StatsLevel Stats) {
+  return P->run(Launches, Stats);
 }

@@ -31,6 +31,18 @@
 /// simulated and device bandwidth is scaled by SimSMs/NumSMs. Grids
 /// should be sized relative to SimSMs.
 ///
+/// The core is event-driven: each scheduler keeps a ready mask over its
+/// resident warps plus per-warp wake times, so a warp blocked on the
+/// scoreboard, a busy pipe, the shared-atomic unit, or memory
+/// back-pressure costs nothing until its wake cycle, and the main loop
+/// fast-forwards to the next event when no scheduler can issue. Cycle
+/// counts are bit-identical to the historical scan-every-warp loop
+/// (tests/GoldenSimTest.cpp pins them). StatsLevel selects how much
+/// profiling work rides along: Full (default) keeps nvprof-style
+/// stall-reason sampling, occupancy integration, and per-launch traffic
+/// accounting; Minimal skips all of it and reports timing only — the
+/// mode the Figure 6 search sweep runs in.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HFUSE_GPUSIM_SIMULATOR_H
@@ -101,10 +113,25 @@ struct SimResult {
   double StallSharePct[6] = {0, 0, 0, 0, 0, 0};
 };
 
+/// How much profiling bookkeeping a run performs. Timing (cycle counts,
+/// issued instructions) is bit-identical across levels.
+enum class StatsLevel : uint8_t {
+  /// Completion cycles and issue counts only: no stall-reason sampling,
+  /// no active-warp/occupancy integration, no per-launch memory-traffic
+  /// accounting. The cheap mode for search sweeps that only need
+  /// TotalCycles.
+  Minimal,
+  /// Everything: nvprof-style stall shares, achieved occupancy,
+  /// issue-slot utilization, per-launch sector traffic and L2 hit rate.
+  Full,
+};
+
 struct SimConfig {
   GpuArch Arch;
   /// SMs actually simulated; bandwidth is scaled accordingly.
   int SimSMs = 4;
+  /// Default stats level for run() (overridable per run).
+  StatsLevel Stats = StatsLevel::Full;
   /// Model the device-wide L2 data cache (GpuArch::L2Bytes, scaled by
   /// SimSMs/NumSMs like bandwidth). Off by default: the paper's shapes
   /// were calibrated against the DRAM-only model, and the
@@ -131,6 +158,10 @@ public:
   /// completion. May be called repeatedly; the arena persists, the
   /// machine state resets each run.
   SimResult run(const std::vector<KernelLaunch> &Launches);
+
+  /// Same, overriding the configured stats level for this run only.
+  /// Cycle counts do not depend on the level.
+  SimResult run(const std::vector<KernelLaunch> &Launches, StatsLevel Stats);
 
 private:
   struct Impl;

@@ -163,8 +163,84 @@ enum class InstrClass : uint8_t {
   Control,
 };
 
-/// Classifies \p I for the timing model.
-InstrClass classify(const Instruction &I);
+/// Classifies \p I for the timing model. Inline: the simulator calls
+/// this for every instruction examination on the issue path.
+inline InstrClass classify(const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::Nop:
+  case Opcode::MovImm:
+  case Opcode::Mov:
+  case Opcode::SReg:
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::IDivS:
+  case Opcode::IDivU:
+  case Opcode::IRemS:
+  case Opcode::IRemU:
+  case Opcode::IMinS:
+  case Opcode::IMinU:
+  case Opcode::IMaxS:
+  case Opcode::IMaxU:
+  case Opcode::Shl:
+  case Opcode::ShrU:
+  case Opcode::ShrS:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Not:
+  case Opcode::ICmpS:
+  case Opcode::ICmpU:
+  case Opcode::Sel:
+  case Opcode::CvtSExt:
+  case Opcode::CvtZExt:
+    return I.W == Width::W64 ? InstrClass::IAlu64 : InstrClass::IAlu32;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FMin:
+  case Opcode::FMax:
+  case Opcode::FNeg:
+  case Opcode::FAbs:
+  case Opcode::FFloor:
+  case Opcode::FCmp:
+    return I.W == Width::W64 ? InstrClass::FAlu64 : InstrClass::FAlu32;
+  case Opcode::FDiv:
+  case Opcode::FSqrt:
+  case Opcode::FRsqrt:
+  case Opcode::FExp:
+  case Opcode::FLog:
+    return InstrClass::Sfu;
+  case Opcode::CvtSI2F:
+  case Opcode::CvtUI2F:
+  case Opcode::CvtF2SI:
+  case Opcode::CvtF2UI:
+  case Opcode::CvtF2F:
+    return InstrClass::FAlu32;
+  case Opcode::LdGlobal:
+  case Opcode::StGlobal:
+    return InstrClass::GlobalMem;
+  case Opcode::LdShared:
+  case Opcode::StShared:
+    return InstrClass::SharedMem;
+  case Opcode::LdLocal:
+  case Opcode::StLocal:
+    return InstrClass::LocalMem;
+  case Opcode::AtomAddG:
+    return InstrClass::GlobalAtomic;
+  case Opcode::AtomAddS:
+    return InstrClass::SharedAtomic;
+  case Opcode::Shfl:
+    return InstrClass::Shuffle;
+  case Opcode::Bar:
+    return InstrClass::Barrier;
+  case Opcode::Bra:
+  case Opcode::CBra:
+  case Opcode::Exit:
+    return InstrClass::Control;
+  }
+  return InstrClass::IAlu32;
+}
 
 /// Returns a readable mnemonic for debugging and IR printing.
 std::string instructionToString(const Instruction &I);

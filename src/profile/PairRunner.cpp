@@ -124,10 +124,10 @@ SimResult PairRunner::fail(const std::string &Message) const {
 
 SimResult PairRunner::runLaunches(
     SimContext &C, const std::vector<KernelLaunch> &Launches, int Threads1,
-    int Threads2) {
+    int Threads2, StatsLevel Level) {
   C.W1->clearOutputs(*C.Sim);
   C.W2->clearOutputs(*C.Sim);
-  SimResult R = C.Sim->run(Launches);
+  SimResult R = C.Sim->run(Launches, Level);
   if (!R.Ok)
     return R;
   if (Opts.Verify) {
@@ -168,7 +168,8 @@ SimResult PairRunner::runNative() {
   L2.Label = kernelDisplayName(IdB);
   return runLaunches(Primary, {L1, L2},
                      L1.GridDim * W1->preferredBlockThreads(),
-                     L2.GridDim * W2->preferredBlockThreads());
+                     L2.GridDim * W2->preferredBlockThreads(),
+                     StatsLevel::Full);
 }
 
 SimResult PairRunner::runSolo(int Which) {
@@ -186,7 +187,7 @@ SimResult PairRunner::runSolo(int Which) {
   L.Label = kernelDisplayName(Which == 0 ? IdA : IdB);
   int Total = L.GridDim * W->preferredBlockThreads();
   return runLaunches(Primary, {L}, Which == 0 ? Total : 0,
-                     Which == 1 ? Total : 0);
+                     Which == 1 ? Total : 0, StatsLevel::Full);
 }
 
 SimResult PairRunner::runVFused() {
@@ -221,7 +222,8 @@ SimResult PairRunner::runVFused() {
                   Primary.W2->params().end());
   L.Label = formatString("VFuse(%s+%s)", kernelDisplayName(IdA),
                          kernelDisplayName(IdB));
-  return runLaunches(Primary, {L}, Grid * 256, Grid * 256);
+  return runLaunches(Primary, {L}, Grid * 256, Grid * 256,
+                     StatsLevel::Full);
 }
 
 std::shared_ptr<ir::IRKernel>
@@ -310,7 +312,7 @@ PairRunner::getFusedIR(int D1, int D2, unsigned RegBound,
 
 SimResult PairRunner::runHFusedIn(SimContext &C, int D1, int D2,
                                   unsigned RegBound, std::string &Error,
-                                  SearchStats *Stats) {
+                                  SearchStats *Stats, StatsLevel Level) {
   uint32_t DynShared = 0;
   std::shared_ptr<ir::IRKernel> IR =
       getFusedIR(D1, D2, RegBound, DynShared, Error);
@@ -321,7 +323,7 @@ SimResult PairRunner::runHFusedIn(SimContext &C, int D1, int D2,
   int BlockDim = D1 + D2;
   auto MemoKey = std::make_tuple(
       static_cast<const ir::IRKernel *>(IR.get()), Grid, BlockDim,
-      DynShared);
+      DynShared, static_cast<int>(Level));
   std::promise<SimResult> MemoPromise;
   bool IsMemoRunner = false;
   if (Opts.UseCompileCache) {
@@ -361,7 +363,7 @@ SimResult PairRunner::runHFusedIn(SimContext &C, int D1, int D2,
   Cache->count(&CompileCache::Stats::SimRuns);
   if (Stats)
     ++Stats->Simulations;
-  SimResult R = runLaunches(C, {L}, Grid * D1, Grid * D2);
+  SimResult R = runLaunches(C, {L}, Grid * D1, Grid * D2, Level);
   if (IsMemoRunner)
     MemoPromise.set_value(R);
   return R;
@@ -371,7 +373,8 @@ SimResult PairRunner::runHFused(int D1, int D2, unsigned RegBound) {
   if (!Ready)
     return fail(Err);
   std::string Error;
-  SimResult R = runHFusedIn(Primary, D1, D2, RegBound, Error, nullptr);
+  SimResult R = runHFusedIn(Primary, D1, D2, RegBound, Error, nullptr,
+                            StatsLevel::Full);
   if (!R.Ok && !Error.empty())
     Err = Error;
   return R;
@@ -605,7 +608,8 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
     FC.D2 = C.D2;
     FC.RegBound = C.RegBound;
     std::string E;
-    FC.Result = runHFusedIn(*Ctx, C.D1, C.D2, C.RegBound, E, &KeptStats[K]);
+    FC.Result = runHFusedIn(*Ctx, C.D1, C.D2, C.RegBound, E, &KeptStats[K],
+                            Opts.SearchStats);
     if (FC.Result.Ok) {
       FC.TimeMs = FC.Result.TotalMs;
       FC.Cycles = FC.Result.TotalCycles;
@@ -656,6 +660,26 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
         return X.Cycles < Y.Cycles;
       });
   SR.Ok = true;
+
+  // The sweep ranked candidates on timing-only stats; re-profile the
+  // winner at Full so Best carries the complete nvprof-style metrics
+  // (stall shares, occupancy, traffic). Cycle counts are identical by
+  // construction — tests/GoldenSimTest.cpp enforces it.
+  if (Opts.SearchStats != gpusim::StatsLevel::Full) {
+    std::string CtxErr;
+    if (SimContext *Ctx = acquireContext(CtxErr)) {
+      std::string E;
+      SimResult R = runHFusedIn(*Ctx, SR.Best.D1, SR.Best.D2,
+                                SR.Best.RegBound, E, nullptr,
+                                gpusim::StatsLevel::Full);
+      releaseContext(Ctx);
+      if (R.Ok) {
+        SR.Best.Cycles = R.TotalCycles;
+        SR.Best.TimeMs = R.TotalMs;
+        SR.Best.Result = std::move(R);
+      }
+    }
+  }
   return SR;
 }
 

@@ -124,6 +124,15 @@ public:
     bool UsePartialBarriers = true;
     /// Fidelity study: model the device L2 cache (bench_ablation_cache).
     bool ModelL2 = false;
+    /// Stats level for the searchBestConfig sweep. Minimal (default)
+    /// runs candidate simulations with timing only — no stall-reason
+    /// sampling, occupancy integration, or traffic accounting — which
+    /// is all the search needs to rank candidates; the winner is
+    /// re-profiled at Full so SearchResult::Best carries complete
+    /// metrics. Benches that read per-candidate metrics from
+    /// SearchResult::All (bench_fig9) request Full. Cycle counts are
+    /// identical either way.
+    gpusim::StatsLevel SearchStats = gpusim::StatsLevel::Minimal;
     uint32_t Seed = 42;
     /// Worker threads for searchBestConfig; <= 0 picks the host's
     /// hardware concurrency, 1 is the serial reference path.
@@ -229,10 +238,12 @@ private:
 
   gpusim::SimResult runHFusedIn(SimContext &C, int D1, int D2,
                                 unsigned RegBound, std::string &Error,
-                                SearchStats *Stats);
+                                SearchStats *Stats,
+                                gpusim::StatsLevel Level);
   gpusim::SimResult runLaunches(SimContext &C,
                                 const std::vector<gpusim::KernelLaunch> &L,
-                                int Threads1, int Threads2);
+                                int Threads1, int Threads2,
+                                gpusim::StatsLevel Level);
   std::optional<unsigned> figure6RegBoundImpl(int D1, int D2,
                                               std::string &Error);
   int commonGrid() const;
@@ -258,10 +269,11 @@ private:
   std::mutex FusionCacheMu;
 
   /// Memoized simulation results keyed on the exact launch: same IR
-  /// object, grid, and block shape replay the stored result. Entries
-  /// are shared futures so concurrent workers requesting the same
-  /// launch block on the first runner instead of simulating twice.
-  std::map<std::tuple<const ir::IRKernel *, int, int, uint32_t>,
+  /// object, grid, block shape, and stats level replay the stored
+  /// result. Entries are shared futures so concurrent workers
+  /// requesting the same launch block on the first runner instead of
+  /// simulating twice.
+  std::map<std::tuple<const ir::IRKernel *, int, int, uint32_t, int>,
            std::shared_future<gpusim::SimResult>>
       SimMemo;
   std::mutex SimMemoMu;
