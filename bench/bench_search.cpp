@@ -21,11 +21,20 @@
 ///   par8       jobs=8  cache on   prune 1
 ///   aggr4      jobs=4  cache on   prune 2     (full pipeline)
 ///   nocache4   jobs=4  cache off  prune 1     (caching ablation)
+///   budget1    jobs=1  cache on   prune 1  budget=incumbent
+///   budget4    jobs=4  cache on   prune 1  budget=incumbent
+///   aggrbdgt4  jobs=4  cache on   prune 2  budget=incumbent
 ///
-/// Prune level <= 1 is result-preserving, so those configurations must
-/// reproduce the baseline's Best byte for byte and gate the exit code.
-/// Level 2 is a documented heuristic (Best may legitimately differ by a
-/// few percent); its identity flag is reported but not gated.
+/// Prune level <= 1 is result-preserving — with or without the
+/// incumbent cycle budget — so those configurations must reproduce the
+/// baseline's Best byte for byte and gate the exit code. Level 2
+/// without a budget is a documented heuristic (Best may legitimately
+/// differ by a few percent); with the budget it is result-preserving
+/// within the stated 10% margin. Neither gates the exit code. The
+/// budgeted configurations also report how many candidates were
+/// abandoned mid-simulation and how many warp instructions the sweep
+/// actually simulated — the cost the budget exists to shrink (the
+/// spill-heavy bounded crypto candidates dominate it).
 ///
 /// Set HFUSE_QUICK=1 to shrink workloads for smoke runs.
 ///
@@ -48,6 +57,7 @@ struct SearchConfig {
   int Jobs;
   bool Cache;
   int PruneLevel;
+  SearchBudgetMode Budget = SearchBudgetMode::Off;
 };
 
 struct RunOutcome {
@@ -63,6 +73,7 @@ RunOutcome runOnce(const BenchPair &P, const SearchConfig &C) {
   Opts.SearchJobs = C.Jobs;
   Opts.UseCompileCache = C.Cache;
   Opts.PruneLevel = C.PruneLevel;
+  Opts.Budget = C.Budget;
   Opts.Cache = std::make_shared<CompileCache>();
 
   auto Start = std::chrono::steady_clock::now();
@@ -96,16 +107,24 @@ void emitJson(const BenchPair &P, const SearchConfig &C,
               const RunOutcome &O, double BaselineMs, bool IdenticalBest) {
   std::printf(
       "{\"bench\":\"search\",\"pair\":\"%s\",\"config\":\"%s\","
-      "\"jobs\":%d,\"cache\":%d,\"prune\":%d,\"wall_ms\":%.1f,"
+      "\"jobs\":%d,\"cache\":%d,\"prune\":%d,\"budget\":%d,"
+      "\"wall_ms\":%.1f,"
       "\"search_ms\":%.1f,\"speedup_vs_baseline\":%.2f,"
       "\"candidates\":%u,\"simulated\":%u,\"memoized\":%u,\"pruned\":%u,"
+      "\"abandoned\":%u,\"sim_insts\":%llu,\"abandoned_insts\":%llu,"
+      "\"incumbent_cycles\":%llu,"
       "\"fusions\":%llu,\"lowerings\":%llu,"
       "\"best_d1\":%d,\"best_d2\":%d,\"best_regbound\":%u,"
       "\"best_cycles\":%llu,\"identical_best\":%s,\"host_threads\":%u}\n",
       pairName(P).c_str(), C.Name, C.Jobs, C.Cache ? 1 : 0, C.PruneLevel,
-      O.WallMs, O.SR.Stats.WallMs,
+      C.Budget == SearchBudgetMode::Incumbent ? 1 : 0, O.WallMs,
+      O.SR.Stats.WallMs,
       O.WallMs > 0 ? BaselineMs / O.WallMs : 0.0, O.SR.Stats.Candidates,
       O.SR.Stats.Simulations, O.SR.Stats.MemoHits, O.SR.Stats.Pruned,
+      O.SR.Stats.Abandoned,
+      static_cast<unsigned long long>(O.SR.Stats.SimulatedInsts),
+      static_cast<unsigned long long>(O.SR.Stats.AbandonedInsts),
+      static_cast<unsigned long long>(O.SR.Stats.IncumbentCycles),
       static_cast<unsigned long long>(O.CS.FusionRuns),
       static_cast<unsigned long long>(O.CS.Lowerings), O.SR.Best.D1,
       O.SR.Best.D2, O.SR.Best.RegBound,
@@ -122,17 +141,24 @@ int main() {
       {BenchKernelId::Ethash, BenchKernelId::SHA256},
   };
   const SearchConfig Configs[] = {
-      {"baseline", 1, false, 0}, {"cached", 1, true, 1},
-      {"par4", 4, true, 1},      {"par8", 8, true, 1},
-      {"aggr4", 4, true, 2},     {"nocache4", 4, false, 1},
+      {"baseline", 1, false, 0},
+      {"cached", 1, true, 1},
+      {"par4", 4, true, 1},
+      {"par8", 8, true, 1},
+      {"aggr4", 4, true, 2},
+      {"nocache4", 4, false, 1},
+      {"budget1", 1, true, 1, SearchBudgetMode::Incumbent},
+      {"budget4", 4, true, 1, SearchBudgetMode::Incumbent},
+      {"aggrbdgt4", 4, true, 2, SearchBudgetMode::Incumbent},
   };
 
   std::printf("=== Figure 6 search wall-clock (%s mode, %u host "
               "threads) ===\n",
               quickMode() ? "quick" : "full",
               ThreadPool::defaultConcurrency());
-  std::printf("%-18s %-10s %10s %8s %6s %6s %6s %9s\n", "pair", "config",
-              "wall(ms)", "speedup", "sims", "memo", "pruned", "best");
+  std::printf("%-18s %-10s %10s %8s %6s %6s %6s %5s %11s %9s\n", "pair",
+              "config", "wall(ms)", "speedup", "sims", "memo", "pruned",
+              "aband", "sim_insts", "best");
 
   bool AllIdentical = true;
   for (const BenchPair &P : Pairs) {
@@ -152,11 +178,14 @@ int main() {
       // prune level 2 may legitimately settle on a near-best winner.
       if (C.PruneLevel <= 1)
         AllIdentical = AllIdentical && Identical;
-      std::printf("%-18s %-10s %10.1f %7.2fx %6u %6u %6u %6d/%-4u%s\n",
+      std::printf("%-18s %-10s %10.1f %7.2fx %6u %6u %6u %5u %11llu "
+                  "%6d/%-4u%s\n",
                   pairName(P).c_str(), C.Name, O.WallMs,
                   O.WallMs > 0 ? BaselineMs / O.WallMs : 0.0,
                   O.SR.Stats.Simulations, O.SR.Stats.MemoHits,
-                  O.SR.Stats.Pruned, O.SR.Best.D1, O.SR.Best.RegBound,
+                  O.SR.Stats.Pruned, O.SR.Stats.Abandoned,
+                  static_cast<unsigned long long>(O.SR.Stats.SimulatedInsts),
+                  O.SR.Best.D1, O.SR.Best.RegBound,
                   Identical ? "" : "  [BEST DIFFERS]");
       emitJson(P, C, O, BaselineMs, Identical);
     }

@@ -57,6 +57,12 @@ struct CliOptions {
   std::string SearchPair;
   int SearchJobs = 1;
   int PruneLevel = 1;
+  /// Incumbent-driven branch-and-bound is the default: it returns
+  /// bit-identical Best configs while skipping most of the work of
+  /// slow candidates. --search-budget=off restores the exhaustive
+  /// sweep.
+  profile::SearchBudgetMode Budget = profile::SearchBudgetMode::Incumbent;
+  double BudgetMarginPct = 10.0;
   bool UseCache = true;
   bool Volta = false;
   bool Quick = false;
@@ -94,8 +100,23 @@ void printUsage() {
       "  --search-jobs N  evaluate candidates on N worker threads\n"
       "                   (0 = all hardware threads; default 1)\n"
       "  --no-prune       disable occupancy pruning\n"
-      "  --prune-aggressive  also skip candidates dominated across\n"
-      "                   partitions (faster sweep, Best may differ)\n"
+      "  --prune-aggressive  also treat candidates dominated across\n"
+      "                   partitions as slow: with the budget on they\n"
+      "                   re-run under the tighter margin budget (Best\n"
+      "                   within --search-margin of optimal); with\n"
+      "                   --search-budget=off they are skipped outright\n"
+      "                   (heuristic, Best may differ)\n"
+      "  --search-budget=off|incumbent\n"
+      "                   incumbent (default): seed an incumbent from\n"
+      "                   the most promising candidate, then abandon\n"
+      "                   any candidate the moment its cycles provably\n"
+      "                   exceed it — bit-identical Best, far fewer\n"
+      "                   simulated instructions; off: simulate every\n"
+      "                   candidate to completion\n"
+      "  --search-margin PCT\n"
+      "                   measured-margin for re-admitted dominated\n"
+      "                   candidates under --prune-aggressive\n"
+      "                   (default 10: Best within 10%% of optimal)\n"
       "  --no-cache       disable compile/simulation caching (seed cost\n"
       "                   profile, for A/B measurement)\n"
       "  --volta          search for the V100 instead of the GTX 1080 Ti\n"
@@ -191,6 +212,50 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.PruneLevel = 0;
     } else if (Arg == "--prune-aggressive") {
       Opts.PruneLevel = 2;
+    } else if (Arg == "--search-budget" ||
+               Arg.rfind("--search-budget=", 0) == 0) {
+      std::string V;
+      if (Arg == "--search-budget") {
+        const char *N = Next();
+        if (!N)
+          return false;
+        V = N;
+      } else {
+        V = Arg.substr(std::strlen("--search-budget="));
+      }
+      if (V == "off") {
+        Opts.Budget = profile::SearchBudgetMode::Off;
+      } else if (V == "incumbent") {
+        Opts.Budget = profile::SearchBudgetMode::Incumbent;
+      } else {
+        std::fprintf(stderr,
+                     "error: --search-budget expects 'off' or "
+                     "'incumbent', got '%s'\n",
+                     V.c_str());
+        return false;
+      }
+    } else if (Arg == "--search-margin" ||
+               Arg.rfind("--search-margin=", 0) == 0) {
+      std::string Val;
+      if (Arg == "--search-margin") {
+        const char *N = Next();
+        if (!N)
+          return false;
+        Val = N;
+      } else {
+        Val = Arg.substr(std::strlen("--search-margin="));
+      }
+      const char *V = Val.c_str();
+      char *End = nullptr;
+      double Pct = std::strtod(V, &End);
+      if (End == V || *End != '\0' || Pct < 0.0) {
+        std::fprintf(stderr,
+                     "error: --search-margin expects a non-negative "
+                     "percentage, got '%s'\n",
+                     V);
+        return false;
+      }
+      Opts.BudgetMarginPct = Pct;
     } else if (Arg == "--no-cache") {
       Opts.UseCache = false;
     } else if (Arg == "--volta") {
@@ -280,6 +345,8 @@ int runSearch(const CliOptions &Opts) {
   RO.Verify = false;
   RO.SearchJobs = Opts.SearchJobs;
   RO.PruneLevel = Opts.PruneLevel;
+  RO.Budget = Opts.Budget;
+  RO.BudgetMarginPct = Opts.BudgetMarginPct;
   RO.UseCompileCache = Opts.UseCache;
   RO.SearchStats = Opts.FullStats ? gpusim::StatsLevel::Full
                                   : gpusim::StatsLevel::Minimal;
@@ -313,15 +380,27 @@ int runSearch(const CliOptions &Opts) {
   for (const profile::PrunedCandidate &P : SR.Pruned)
     std::printf("%8d %8d %8u         pruned: %s\n", P.D1, P.D2, P.RegBound,
                 P.Reason.c_str());
+  for (const profile::AbandonedCandidate &A : SR.Abandoned)
+    std::printf("%8d %8d %8u         abandoned at cycle %llu (%llu "
+                "instructions issued)\n",
+                A.D1, A.D2, A.RegBound,
+                static_cast<unsigned long long>(A.BudgetCycles),
+                static_cast<unsigned long long>(A.IssuedInsts));
 
   profile::CompileCache::Stats CS = Runner.cache().stats();
-  std::printf("\n%u candidates, %u simulated, %u memoized, %u pruned in "
-              "%.1f ms (%s jobs)\n",
+  std::printf("\n%u candidates, %u simulated, %u memoized, %u pruned, "
+              "%u abandoned in %.1f ms (%s jobs)\n",
               SR.Stats.Candidates, SR.Stats.Simulations, SR.Stats.MemoHits,
-              SR.Stats.Pruned, SR.Stats.WallMs,
+              SR.Stats.Pruned, SR.Stats.Abandoned, SR.Stats.WallMs,
               Opts.SearchJobs <= 0
                   ? "auto"
                   : std::to_string(Opts.SearchJobs).c_str());
+  if (Opts.Budget == profile::SearchBudgetMode::Incumbent)
+    std::printf("budget: incumbent %llu cycles; %llu of %llu simulated "
+                "instructions spent on abandoned candidates\n",
+                static_cast<unsigned long long>(SR.Stats.IncumbentCycles),
+                static_cast<unsigned long long>(SR.Stats.AbandonedInsts),
+                static_cast<unsigned long long>(SR.Stats.SimulatedInsts));
   std::printf("cache: %llu kernel compiles (%llu hits), %llu fusions "
               "(%llu hits), %llu lowerings (%llu hits)\n",
               static_cast<unsigned long long>(CS.KernelCompiles),

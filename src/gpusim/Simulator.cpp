@@ -38,6 +38,13 @@
 // tests/GoldenSimTest.cpp pins cycle counts captured from the
 // pre-refactor simulator.
 //
+// SimConfig::CycleBudget bolts branch-and-bound onto the loop for the
+// profile-guided search: a run is abandoned (SimResult::BudgetExceeded)
+// the moment some kernel is still live at the budget cycle, with idle
+// fast-forward clamped to the budget so the abort point — and the
+// issued-instruction count reported with it — is deterministic. Runs
+// that finish within the budget are untouched, bit for bit.
+//
 //===----------------------------------------------------------------------===//
 
 #include "gpusim/Simulator.h"
@@ -243,6 +250,8 @@ struct Simulator::Impl {
   std::unique_ptr<MemorySystem> Mem;
   std::unique_ptr<SectorCache> L2;
   uint64_t Cycle = 0;
+  /// Active cycle budget of the current run (0 = unlimited).
+  uint64_t Budget = 0;
   bool StatsFull = true;
   std::string Error;
   // Stats.
@@ -800,7 +809,8 @@ struct Simulator::Impl {
 
   template <bool FullStats> bool runLoop(SimResult &Res);
 
-  SimResult run(const std::vector<KernelLaunch> &Launches, StatsLevel S);
+  SimResult run(const std::vector<KernelLaunch> &Launches, StatsLevel S,
+                uint64_t CycleBudget);
 };
 
 //===----------------------------------------------------------------------===//
@@ -1787,6 +1797,18 @@ template <bool FullStats> bool Simulator::Impl::runLoop(SimResult &Res) {
                   "runaway kernel?)";
       return false;
     }
+    if (Budget != 0 && Cycle >= Budget) {
+      // Some kernel is still running at the budget cycle, so the final
+      // TotalCycles would come out strictly greater than the budget:
+      // abandon the run. The fast-forward clamp below guarantees this
+      // fires at exactly the budget cycle, so the abort point — and the
+      // issued-instruction count reported with it — is deterministic.
+      Res.BudgetExceeded = true;
+      Res.Error = "cycle budget exceeded";
+      Res.TotalCycles = Cycle;
+      Res.TotalIssued = IssuedSlots;
+      return false;
+    }
 
     bool AnyIssued = false;
     uint64_t CycleSamples[NumStalls] = {};
@@ -1833,6 +1855,14 @@ template <bool FullStats> bool Simulator::Impl::runLoop(SimResult &Res) {
         return false;
       }
       Delta = std::max<uint64_t>(1, NextEvent - Cycle);
+      // Never fast-forward past the budget: the next iteration must
+      // observe Cycle == Budget and abort there, not at whatever event
+      // happened to be scheduled beyond it. Cycle < Budget here (the
+      // loop top would have aborted otherwise), so Delta stays >= 1.
+      // Runs that finish within the budget never reach a wake beyond
+      // it with work outstanding, so their schedules are untouched.
+      if (Budget != 0 && Cycle + Delta > Budget)
+        Delta = Budget - Cycle;
     }
     if constexpr (FullStats) {
       for (size_t R = 0; R < NumStalls; ++R)
@@ -1846,7 +1876,7 @@ template <bool FullStats> bool Simulator::Impl::runLoop(SimResult &Res) {
 }
 
 SimResult Simulator::Impl::run(const std::vector<KernelLaunch> &Ls,
-                               StatsLevel Stats) {
+                               StatsLevel Stats, uint64_t CycleBudget) {
   SimResult Res;
   const GpuArch &A = Config.Arch;
   StatsFull = Stats == StatsLevel::Full;
@@ -1855,6 +1885,7 @@ SimResult Simulator::Impl::run(const std::vector<KernelLaunch> &Ls,
   SMs.clear();
   Launches.clear();
   Cycle = 0;
+  Budget = CycleBudget;
   Error.clear();
   IssuedSlots = 0;
   std::fill(std::begin(StallSamples), std::end(StallSamples), 0);
@@ -2030,10 +2061,15 @@ uint64_t Simulator::allocGlobal(size_t Bytes) {
 std::vector<uint8_t> &Simulator::globalMem() { return P->Global; }
 
 SimResult Simulator::run(const std::vector<KernelLaunch> &Launches) {
-  return P->run(Launches, P->Config.Stats);
+  return P->run(Launches, P->Config.Stats, P->Config.CycleBudget);
 }
 
 SimResult Simulator::run(const std::vector<KernelLaunch> &Launches,
                          StatsLevel Stats) {
-  return P->run(Launches, Stats);
+  return P->run(Launches, Stats, P->Config.CycleBudget);
+}
+
+SimResult Simulator::run(const std::vector<KernelLaunch> &Launches,
+                         StatsLevel Stats, uint64_t CycleBudget) {
+  return P->run(Launches, Stats, CycleBudget);
 }

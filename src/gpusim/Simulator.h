@@ -97,6 +97,13 @@ struct KernelMetrics {
 struct SimResult {
   bool Ok = false;
   std::string Error;
+  /// The run was abandoned because its elapsed cycles provably exceeded
+  /// the requested CycleBudget (Ok is false; TotalCycles holds the
+  /// abort cycle — always exactly the budget — and TotalIssued the
+  /// instructions issued before abandoning). Distinct from a genuine
+  /// simulation error: the kernel was healthy, just slower than the
+  /// caller cared to measure.
+  bool BudgetExceeded = false;
   /// Makespan: cycle when the last kernel finished ("elapsed time after
   /// the first kernel launches and before the second kernel finishes").
   uint64_t TotalCycles = 0;
@@ -139,6 +146,17 @@ struct SimConfig {
   bool ModelL2 = false;
   /// Safety valve against runaway/deadlocked simulations.
   uint64_t MaxCycles = 400ull * 1000 * 1000;
+  /// Cycle budget for branch-and-bound search sweeps; 0 = unlimited.
+  /// The simulator abandons a run the moment its elapsed cycles
+  /// provably exceed the budget — i.e. some kernel is still running at
+  /// the budget cycle, so TotalCycles would come out strictly greater —
+  /// and reports SimResult::BudgetExceeded instead of a full result.
+  /// A run whose true TotalCycles is <= the budget completes normally
+  /// and is bit-identical to an unbudgeted run: idle fast-forward
+  /// clamps to the budget (making the abort point deterministic at
+  /// exactly the budget cycle) but never alters the schedule of a run
+  /// that finishes in time. Overridable per run.
+  uint64_t CycleBudget = 0;
 };
 
 /// Owns the global-memory arena and runs kernel launches to completion.
@@ -162,6 +180,11 @@ public:
   /// Same, overriding the configured stats level for this run only.
   /// Cycle counts do not depend on the level.
   SimResult run(const std::vector<KernelLaunch> &Launches, StatsLevel Stats);
+
+  /// Same, additionally overriding the cycle budget for this run only
+  /// (0 = unlimited regardless of SimConfig::CycleBudget).
+  SimResult run(const std::vector<KernelLaunch> &Launches, StatsLevel Stats,
+                uint64_t CycleBudget);
 
 private:
   struct Impl;

@@ -124,10 +124,10 @@ SimResult PairRunner::fail(const std::string &Message) const {
 
 SimResult PairRunner::runLaunches(
     SimContext &C, const std::vector<KernelLaunch> &Launches, int Threads1,
-    int Threads2, StatsLevel Level) {
+    int Threads2, StatsLevel Level, uint64_t CycleBudget) {
   C.W1->clearOutputs(*C.Sim);
   C.W2->clearOutputs(*C.Sim);
-  SimResult R = C.Sim->run(Launches, Level);
+  SimResult R = C.Sim->run(Launches, Level, CycleBudget);
   if (!R.Ok)
     return R;
   if (Opts.Verify) {
@@ -312,7 +312,8 @@ PairRunner::getFusedIR(int D1, int D2, unsigned RegBound,
 
 SimResult PairRunner::runHFusedIn(SimContext &C, int D1, int D2,
                                   unsigned RegBound, std::string &Error,
-                                  SearchStats *Stats, StatsLevel Level) {
+                                  SearchStats *Stats, StatsLevel Level,
+                                  uint64_t CycleBudget) {
   uint32_t DynShared = 0;
   std::shared_ptr<ir::IRKernel> IR =
       getFusedIR(D1, D2, RegBound, DynShared, Error);
@@ -324,49 +325,91 @@ SimResult PairRunner::runHFusedIn(SimContext &C, int D1, int D2,
   auto MemoKey = std::make_tuple(
       static_cast<const ir::IRKernel *>(IR.get()), Grid, BlockDim,
       DynShared, static_cast<int>(Level));
-  std::promise<SimResult> MemoPromise;
-  bool IsMemoRunner = false;
-  if (Opts.UseCompileCache) {
-    std::shared_future<SimResult> Fut;
-    {
-      std::lock_guard<std::mutex> Lock(SimMemoMu);
-      auto It = SimMemo.find(MemoKey);
-      if (It != SimMemo.end()) {
-        Fut = It->second;
-      } else {
-        IsMemoRunner = true;
-        SimMemo.emplace(MemoKey, MemoPromise.get_future().share());
+  // The retry loop exists for one case: a memoized entry that turns
+  // out to be a budget abort looser than what this caller needs. The
+  // caller retires that entry (if nobody else has yet) and re-enters
+  // the memo as a fresh runner.
+  for (;;) {
+    std::promise<SimResult> MemoPromise;
+    bool IsMemoRunner = false;
+    if (Opts.UseCompileCache) {
+      std::shared_ptr<std::shared_future<SimResult>> Entry;
+      {
+        std::lock_guard<std::mutex> Lock(SimMemoMu);
+        auto It = SimMemo.find(MemoKey);
+        if (It != SimMemo.end()) {
+          Entry = It->second;
+        } else {
+          IsMemoRunner = true;
+          Entry = std::make_shared<std::shared_future<SimResult>>(
+              MemoPromise.get_future().share());
+          SimMemo.emplace(MemoKey, Entry);
+        }
+      }
+      if (!IsMemoRunner) {
+        // Served by a completed — or currently running — identical
+        // launch; failures replay too (the simulator is deterministic).
+        SimResult R = Entry->get();
+        if (R.BudgetExceeded) {
+          // The stored run was abandoned at its own budget
+          // (R.TotalCycles). That verdict is deterministic for any
+          // caller at least as tight — aliases sharing the launch get
+          // the same abandonment whether they waited on the running
+          // future or replayed the stored one. A caller needing more
+          // simulation retires the entry and retries; the identity
+          // check keeps a concurrent retirement from erasing the
+          // fresh runner that replaced it.
+          if (CycleBudget == 0 || CycleBudget > R.TotalCycles) {
+            std::lock_guard<std::mutex> Lock(SimMemoMu);
+            auto It = SimMemo.find(MemoKey);
+            if (It != SimMemo.end() && It->second == Entry)
+              SimMemo.erase(It);
+            continue;
+          }
+        } else if (R.Ok && CycleBudget != 0 &&
+                   R.TotalCycles > CycleBudget) {
+          // Full result known to exceed this caller's budget: abandon
+          // without simulating — the exact decision a budgeted run
+          // would have reached, for free.
+          SimResult A;
+          A.BudgetExceeded = true;
+          A.Error = "cycle budget exceeded";
+          A.TotalCycles = CycleBudget;
+          R = A;
+        }
+        Cache->count(&CompileCache::Stats::SimMemoHits);
+        if (Stats)
+          ++Stats->MemoHits;
+        return R;
       }
     }
-    if (!IsMemoRunner) {
-      // Served by a completed — or currently running — identical
-      // launch; failures replay too (the simulator is deterministic).
-      Cache->count(&CompileCache::Stats::SimMemoHits);
-      if (Stats)
-        ++Stats->MemoHits;
-      return Fut.get();
-    }
-  }
 
-  KernelLaunch L;
-  L.Kernel = IR.get();
-  L.GridDim = Grid;
-  L.BlockDim = BlockDim;
-  L.DynSharedBytes = DynShared;
-  L.Params = C.W1->params();
-  L.Params.insert(L.Params.end(), C.W2->params().begin(),
-                  C.W2->params().end());
-  L.Label = formatString("HFuse(%s+%s,%d/%d%s)", kernelDisplayName(IdA),
-                         kernelDisplayName(IdB), D1, D2,
-                         RegBound ? formatString(",r%u", RegBound).c_str()
-                                  : "");
-  Cache->count(&CompileCache::Stats::SimRuns);
-  if (Stats)
-    ++Stats->Simulations;
-  SimResult R = runLaunches(C, {L}, Grid * D1, Grid * D2, Level);
-  if (IsMemoRunner)
-    MemoPromise.set_value(R);
-  return R;
+    KernelLaunch L;
+    L.Kernel = IR.get();
+    L.GridDim = Grid;
+    L.BlockDim = BlockDim;
+    L.DynSharedBytes = DynShared;
+    L.Params = C.W1->params();
+    L.Params.insert(L.Params.end(), C.W2->params().begin(),
+                    C.W2->params().end());
+    L.Label = formatString("HFuse(%s+%s,%d/%d%s)", kernelDisplayName(IdA),
+                           kernelDisplayName(IdB), D1, D2,
+                           RegBound ? formatString(",r%u", RegBound).c_str()
+                                    : "");
+    Cache->count(&CompileCache::Stats::SimRuns);
+    if (Stats)
+      ++Stats->Simulations;
+    SimResult R =
+        runLaunches(C, {L}, Grid * D1, Grid * D2, Level, CycleBudget);
+    if (Stats) {
+      Stats->SimulatedInsts += R.TotalIssued;
+      if (R.BudgetExceeded)
+        Stats->AbandonedInsts += R.TotalIssued;
+    }
+    if (IsMemoRunner)
+      MemoPromise.set_value(R);
+    return R;
+  }
 }
 
 SimResult PairRunner::runHFused(int D1, int D2, unsigned RegBound) {
@@ -481,9 +524,17 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
     bool Pruned = false;
     std::string PruneReason;
     int DominatorBlocksPerSM = 0;
+    /// Occupancy-dominated but re-admitted under the measured-margin
+    /// rule: simulated with the tighter incumbent/(1+margin) budget
+    /// instead of being skipped outright.
+    bool MarginReadmit = false;
+    /// Cut off by the cycle budget (with the budget it ran under and
+    /// the instructions it issued before the abort).
+    bool Abandoned = false;
+    uint64_t AbandonBudget = 0;
+    uint64_t AbandonIssued = 0;
     std::string Error;
     std::optional<FusionCandidate> Measured;
-    bool MemoHit = false;
   };
   std::vector<Candidate> Cands;
   Cands.reserve(2 * Partitions.size());
@@ -578,12 +629,23 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
           "%d: same code plus spills cannot win",
           C.RegBound, C.BlocksPerSM, Sib->BlocksPerSM);
     } else if (Opts.PruneLevel >= 2 && C.BlocksPerSM < MaxSeen) {
-      C.Pruned = true;
-      C.DominatorBlocksPerSM = MaxSeen;
-      C.PruneReason = formatString(
-          "%d blocks/SM strictly dominated by a measured candidate "
-          "with %d",
-          C.BlocksPerSM, MaxSeen);
+      if (Opts.Budget == SearchBudgetMode::Incumbent) {
+        // Measured-margin rule: instead of trusting the occupancy
+        // heuristic, re-admit the dominated candidate under the
+        // tighter incumbent/(1+margin) budget. A genuinely fast one
+        // completes and competes; an abandoned one is measured to be
+        // worse than incumbent/(1+margin), bounding the aggressive
+        // sweep's Best to within (1+margin)x of the true optimum.
+        C.MarginReadmit = true;
+        C.DominatorBlocksPerSM = MaxSeen;
+      } else {
+        C.Pruned = true;
+        C.DominatorBlocksPerSM = MaxSeen;
+        C.PruneReason = formatString(
+            "%d blocks/SM strictly dominated by a measured candidate "
+            "with %d",
+            C.BlocksPerSM, MaxSeen);
+      }
     }
     if (!C.Pruned)
       MaxSeen = std::max(MaxSeen, C.BlocksPerSM);
@@ -595,7 +657,9 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
     if (Cands[I].IR && Cands[I].RegBound != UINT_MAX && !Cands[I].Pruned)
       Kept.push_back(I);
   std::vector<SearchStats> KeptStats(Kept.size());
-  parallelFor(Pool.get(), Kept.size(), [&](size_t K) {
+
+  // Measures Kept[K] under \p Budget cycles (0 = to completion).
+  auto Measure = [&](size_t K, uint64_t Budget) {
     Candidate &C = Cands[Kept[K]];
     std::string CtxErr;
     SimContext *Ctx = acquireContext(CtxErr);
@@ -609,14 +673,99 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
     FC.RegBound = C.RegBound;
     std::string E;
     FC.Result = runHFusedIn(*Ctx, C.D1, C.D2, C.RegBound, E, &KeptStats[K],
-                            Opts.SearchStats);
+                            Opts.SearchStats, Budget);
     if (FC.Result.Ok) {
       FC.TimeMs = FC.Result.TotalMs;
       FC.Cycles = FC.Result.TotalCycles;
       C.Measured = std::move(FC);
+    } else if (FC.Result.BudgetExceeded) {
+      C.Abandoned = true;
+      C.AbandonBudget = Budget;
+      C.AbandonIssued = FC.Result.TotalIssued;
     } else if (C.Error.empty())
       C.Error = E;
     releaseContext(Ctx);
+  };
+
+  // Unbudgeted search keeps the historical canonical measurement order.
+  // Budgeted search reorders phase 3 best-first: candidates are ranked
+  // by a lower bound on their cycle count, the front-runner is
+  // simulated to completion to seed the incumbent, and everything else
+  // runs under CycleBudget = incumbent (margin-readmitted candidates
+  // under the tighter incumbent/(1+margin)). Whether a candidate
+  // completes or aborts depends only on its own true cycle count
+  // against a fixed budget, so results stay deterministic across
+  // SearchJobs — and Best is bit-identical to the unbudgeted sweep,
+  // because any candidate at or below the incumbent still completes
+  // with exact cycles while aborted ones were strictly worse.
+  const bool Budgeted = Opts.Budget == SearchBudgetMode::Incumbent;
+  uint64_t Incumbent = 0;
+  size_t Seeded = 0;
+  std::vector<size_t> Order(Kept.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  if (Budgeted && !Kept.empty()) {
+    // Occupancy/issue-width lower bound. The grid drains in
+    // ceil(Grid / (BlocksPerSM * SimSMs)) occupancy waves, and a wave
+    // lasts at least as long as its slower sub-kernel: a warp issues at
+    // most one instruction per cycle, and a sub-kernel's per-thread
+    // dynamic work scales inversely with its share of the block (the
+    // work a block covers is partition-invariant), so the per-block
+    // critical path goes as max(Insts1/D1, Insts2/D2) with the input
+    // kernels' static instruction counts standing in for their dynamic
+    // ratios. Bounded variants additionally inflate every thread by
+    // their spill code (fused static count vs the unbounded sibling's)
+    // — which ranks the spill-heavy crypto bounds last, exactly the
+    // runs worth abandoning. Ties keep canonical order (stable sort).
+    const int Grid = commonGrid();
+    const double S1 = static_cast<double>(K1->IR->numInstructions());
+    const double S2 = static_cast<double>(K2->IR->numInstructions());
+    std::vector<double> Bound(Kept.size());
+    for (size_t I = 0; I < Kept.size(); ++I) {
+      const Candidate &C = Cands[Kept[I]];
+      double PerThread = std::max(S1 / C.D1, S2 / C.D2);
+      const Candidate *Sib = C.Sibling >= 0 ? &Cands[C.Sibling] : nullptr;
+      if (Sib && Sib->IR && Sib->IR != C.IR)
+        PerThread *= static_cast<double>(C.IR->numInstructions()) /
+                     static_cast<double>(
+                         std::max<size_t>(1, Sib->IR->numInstructions()));
+      uint64_t BlocksPerWave =
+          uint64_t(std::max(1, C.BlocksPerSM)) * Opts.SimSMs;
+      uint64_t Waves =
+          (uint64_t(Grid) + BlocksPerWave - 1) / BlocksPerWave;
+      Bound[I] = static_cast<double>(Waves) * PerThread;
+    }
+    std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+      const Candidate &CA = Cands[Kept[A]], &CB = Cands[Kept[B]];
+      // Margin-readmitted candidates are presumed slow: never seed
+      // the incumbent from one.
+      if (CA.MarginReadmit != CB.MarginReadmit)
+        return CB.MarginReadmit;
+      return Bound[A] < Bound[B];
+    });
+    while (Seeded < Order.size()) {
+      size_t K = Order[Seeded++];
+      Measure(K, 0);
+      if (Cands[Kept[K]].Measured) {
+        Incumbent = Cands[Kept[K]].Measured->Cycles;
+        break;
+      }
+      // Seed candidate failed outright; try the next-best one.
+    }
+  }
+  const uint64_t MarginBudget =
+      Incumbent == 0
+          ? 0
+          : std::max<uint64_t>(
+                1, static_cast<uint64_t>(
+                       static_cast<double>(Incumbent) /
+                       (1.0 + std::max(0.0, Opts.BudgetMarginPct) / 100.0)));
+  parallelFor(Pool.get(), Kept.size() - Seeded, [&](size_t I) {
+    size_t K = Order[Seeded + I];
+    uint64_t Budget = 0;
+    if (Budgeted && Incumbent != 0)
+      Budget = Cands[Kept[K]].MarginReadmit ? MarginBudget : Incumbent;
+    Measure(K, Budget);
   });
 
   std::string FirstError;
@@ -636,13 +785,25 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
       P.Reason = std::move(C.PruneReason);
       SR.Pruned.push_back(std::move(P));
       ++SR.Stats.Pruned;
+    } else if (C.Abandoned) {
+      AbandonedCandidate A;
+      A.D1 = C.D1;
+      A.D2 = C.D2;
+      A.RegBound = C.RegBound;
+      A.BudgetCycles = C.AbandonBudget;
+      A.IssuedInsts = C.AbandonIssued;
+      SR.Abandoned.push_back(A);
+      ++SR.Stats.Abandoned;
     } else if (C.Measured)
       SR.All.push_back(std::move(*C.Measured));
   }
   for (const SearchStats &S : KeptStats) {
     SR.Stats.Simulations += S.Simulations;
     SR.Stats.MemoHits += S.MemoHits;
+    SR.Stats.SimulatedInsts += S.SimulatedInsts;
+    SR.Stats.AbandonedInsts += S.AbandonedInsts;
   }
+  SR.Stats.IncumbentCycles = Incumbent;
   SR.Stats.WallMs =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - Start)

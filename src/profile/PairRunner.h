@@ -51,6 +51,31 @@
 /// Results are assembled in partition order regardless of worker timing,
 /// so Best and All are bit-identical across SearchJobs values.
 ///
+/// With Options::Budget == SearchBudgetMode::Incumbent the simulate
+/// phase becomes an incumbent-driven branch-and-bound: candidates are
+/// ordered best-first by an occupancy/issue-width lower-bound estimate,
+/// the most promising one is simulated to completion to seed the
+/// incumbent, and every other candidate runs under
+/// SimConfig::CycleBudget = incumbent — the simulator abandons it the
+/// moment its elapsed cycles provably exceed the incumbent's. This is
+/// exactly result-preserving: a candidate abandoned at the budget has
+/// strictly more cycles than the incumbent, so it can never be Best,
+/// and every candidate whose cycles are <= the incumbent (including
+/// exact ties, which Best breaks by canonical partition order over
+/// All) still completes with bit-identical cycles. Abandoned
+/// candidates are logged in SearchResult::Abandoned with the
+/// instructions they issued before the cutoff.
+///
+/// Budgeted mode also upgrades PruneLevel 2 from a silent heuristic to
+/// a measured-margin rule: occupancy-dominated candidates are
+/// re-admitted to the sweep under the tighter budget
+/// incumbent / (1 + Options::BudgetMarginPct/100). A re-admitted
+/// candidate that is genuinely fast completes and competes for Best;
+/// one that exceeds the margin budget is abandoned knowing its true
+/// cycles are > incumbent/(1+margin), so the returned Best is within
+/// (1+margin)x of the true optimum — a stated bound instead of a
+/// silent one.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HFUSE_PROFILE_PAIRRUNNER_H
@@ -91,12 +116,35 @@ struct PrunedCandidate {
   std::string Reason;
 };
 
+/// A candidate abandoned mid-simulation by the incumbent cycle budget.
+struct AbandonedCandidate {
+  int D1 = 0;
+  int D2 = 0;
+  unsigned RegBound = 0;
+  /// The budget it ran under (the incumbent, or the tighter margin
+  /// budget for a re-admitted occupancy-dominated candidate).
+  uint64_t BudgetCycles = 0;
+  /// Instructions issued before the cutoff (0 when the abandonment was
+  /// decided from a memoized full result without simulating).
+  uint64_t IssuedInsts = 0;
+};
+
 /// Cost accounting for one search.
 struct SearchStats {
   unsigned Candidates = 0;  ///< enumerated, including pruned ones
-  unsigned Simulations = 0; ///< simulator executions
+  unsigned Simulations = 0; ///< simulator executions (incl. abandoned)
   unsigned MemoHits = 0;    ///< results served by simulation memoization
   unsigned Pruned = 0;      ///< candidates skipped by pruning
+  unsigned Abandoned = 0;   ///< candidates cut off by the cycle budget
+  /// Warp instructions issued across all candidate simulations,
+  /// including the partial progress of abandoned runs — the search's
+  /// real simulation cost, which the budget exists to shrink.
+  uint64_t SimulatedInsts = 0;
+  /// The subset of SimulatedInsts spent on runs that were abandoned.
+  uint64_t AbandonedInsts = 0;
+  /// The incumbent cycle count the budget was derived from (0 when the
+  /// search ran unbudgeted).
+  uint64_t IncumbentCycles = 0;
   double WallMs = 0.0;      ///< wall-clock time of searchBestConfig
 };
 
@@ -107,7 +155,20 @@ struct SearchResult {
   FusionCandidate Best;
   std::vector<FusionCandidate> All;
   std::vector<PrunedCandidate> Pruned;
+  std::vector<AbandonedCandidate> Abandoned;
   SearchStats Stats;
+};
+
+/// How searchBestConfig bounds candidate simulations.
+enum class SearchBudgetMode : uint8_t {
+  /// Simulate every surviving candidate to completion (the historical
+  /// exhaustive sweep).
+  Off,
+  /// Incumbent-driven branch-and-bound: seed an incumbent from the
+  /// most promising candidate (best-first lower-bound order), then run
+  /// the rest under CycleBudget = incumbent. Result-preserving — Best
+  /// config and cycles are bit-identical to Off.
+  Incumbent,
 };
 
 class PairRunner {
@@ -143,6 +204,15 @@ public:
     /// may trade a few percent of Best quality for a ~2x smaller
     /// sweep).
     int PruneLevel = 1;
+    /// Cycle-budgeted candidate simulation (see SearchBudgetMode).
+    /// Off by default so existing cost-profile pins stay meaningful;
+    /// hfusec/bench opt into Incumbent.
+    SearchBudgetMode Budget = SearchBudgetMode::Off;
+    /// Margin of the PruneLevel-2 re-admission rule under budgeted
+    /// search: occupancy-dominated candidates run with budget
+    /// incumbent/(1 + BudgetMarginPct/100), bounding the aggressive
+    /// sweep's Best to within this percentage of the true optimum.
+    double BudgetMarginPct = 10.0;
     /// Master switch for the caching layers: fusion/codegen reuse
     /// across register variants, the shared kernel CompileCache, and
     /// simulation memoization. Off reproduces the seed cost profile
@@ -236,14 +306,22 @@ private:
                                            uint32_t &DynShared,
                                            std::string &Error);
 
+  /// \p CycleBudget of 0 runs to completion; otherwise the simulation
+  /// is abandoned (SimResult::BudgetExceeded) once its cycles provably
+  /// exceed the budget. An abort is served from the memo only to
+  /// callers whose budget is at least as tight as the stored abort's;
+  /// a later run under a looser (or no) budget retires the entry and
+  /// re-simulates instead of replaying the cutoff.
   gpusim::SimResult runHFusedIn(SimContext &C, int D1, int D2,
                                 unsigned RegBound, std::string &Error,
                                 SearchStats *Stats,
-                                gpusim::StatsLevel Level);
+                                gpusim::StatsLevel Level,
+                                uint64_t CycleBudget = 0);
   gpusim::SimResult runLaunches(SimContext &C,
                                 const std::vector<gpusim::KernelLaunch> &L,
                                 int Threads1, int Threads2,
-                                gpusim::StatsLevel Level);
+                                gpusim::StatsLevel Level,
+                                uint64_t CycleBudget = 0);
   std::optional<unsigned> figure6RegBoundImpl(int D1, int D2,
                                               std::string &Error);
   int commonGrid() const;
@@ -272,9 +350,14 @@ private:
   /// object, grid, block shape, and stats level replay the stored
   /// result. Entries are shared futures so concurrent workers
   /// requesting the same launch block on the first runner instead of
-  /// simulating twice.
+  /// simulating twice. A BudgetExceeded result stays memoized — its
+  /// verdict is deterministic for any caller at least as tight — and
+  /// is retired lazily by the first caller that needs more simulation
+  /// (no budget, or a looser one). The shared_ptr wrapper gives
+  /// entries identity, so that retirement can no-op when a concurrent
+  /// retirement already installed a fresh runner's entry.
   std::map<std::tuple<const ir::IRKernel *, int, int, uint32_t, int>,
-           std::shared_future<gpusim::SimResult>>
+           std::shared_ptr<std::shared_future<gpusim::SimResult>>>
       SimMemo;
   std::mutex SimMemoMu;
 };

@@ -18,6 +18,7 @@
 #include "gpusim/SectorCache.h"
 #include "gpusim/Simulator.h"
 #include "profile/Compile.h"
+#include "profile/PairRunner.h"
 
 #include <gtest/gtest.h>
 
@@ -26,6 +27,7 @@
 
 using namespace hfuse;
 using namespace hfuse::gpusim;
+using namespace hfuse::kernels;
 using namespace hfuse::profile;
 
 //===----------------------------------------------------------------------===//
@@ -250,4 +252,133 @@ TEST(SimL2, OffByDefault) {
   SimResult R = runReuse(false, Hit);
   ASSERT_TRUE(R.Ok);
   EXPECT_EQ(Hit, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Compile/simulation caching under the budgeted search
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+PairRunner::Options budgetCacheOptions() {
+  PairRunner::Options Opts;
+  Opts.Arch = makeGTX1080Ti();
+  Opts.SimSMs = 2;
+  Opts.Scale1 = 0.2;
+  Opts.Scale2 = 0.2;
+  Opts.Verify = false;
+  Opts.PruneLevel = 0; // pin the full candidate set
+  Opts.Budget = SearchBudgetMode::Incumbent;
+  // Full-stats sweep: runHFused (always Full) then shares the sweep's
+  // memo key space, which is what the poisoning regression needs.
+  Opts.SearchStats = StatsLevel::Full;
+  Opts.Cache = std::make_shared<CompileCache>();
+  return Opts;
+}
+
+} // namespace
+
+TEST(BudgetedSearchCache, CompileCountsMatchTheUnbudgetedSweep) {
+  // The budget cuts simulation, never compilation: phase 1 lowers
+  // every candidate before any cycle budget exists, so the compile-side
+  // counters pin to the same values as the exhaustive sweep.
+  PairRunner::Options Opts = budgetCacheOptions();
+  PairRunner R(BenchKernelId::Batchnorm, BenchKernelId::Hist, Opts);
+  ASSERT_TRUE(R.ok()) << R.error();
+  SearchResult SR = R.searchBestConfig();
+  ASSERT_TRUE(SR.Ok) << SR.Error;
+  ASSERT_GT(SR.Stats.Abandoned, 0u); // the budget actually fired
+
+  CompileCache::Stats S = Opts.Cache->stats();
+  EXPECT_EQ(S.KernelCompiles, 2u);
+  EXPECT_EQ(S.FusionRuns, 7u); // one per partition (1024/128 - 1)
+  // One register allocation per candidate, abandoned ones included.
+  EXPECT_EQ(S.Lowerings,
+            static_cast<uint64_t>(SR.All.size()) + SR.Stats.Abandoned);
+  // Every candidate simulated exactly once (abandoned runs count: they
+  // executed until the cutoff); nothing replayed from the memo, and no
+  // winner re-profile under a Full-stats sweep.
+  EXPECT_EQ(S.SimRuns, static_cast<uint64_t>(SR.Stats.Simulations));
+  EXPECT_EQ(S.SimRuns,
+            static_cast<uint64_t>(SR.All.size()) + SR.Stats.Abandoned);
+  EXPECT_EQ(S.SimMemoHits, 0u);
+}
+
+TEST(BudgetedSearchCache, AbortedRunDoesNotPoisonTheSimulationMemo) {
+  // Regression: an abandoned candidate's BudgetExceeded result may be
+  // replayed only for callers at least as budget-tight — a later
+  // unbudgeted run of the same candidate must retire the stored abort,
+  // simulate for real, and return the true full result.
+  PairRunner::Options Opts = budgetCacheOptions();
+  PairRunner R(BenchKernelId::Batchnorm, BenchKernelId::Hist, Opts);
+  ASSERT_TRUE(R.ok()) << R.error();
+  SearchResult SR = R.searchBestConfig();
+  ASSERT_TRUE(SR.Ok) << SR.Error;
+  ASSERT_FALSE(SR.Abandoned.empty());
+  const AbandonedCandidate &A = SR.Abandoned.front();
+  CompileCache::Stats Before = Opts.Cache->stats();
+
+  // Unbudgeted run of the abandoned candidate on the same runner: the
+  // memo must miss (the abort was never stored) and the simulation must
+  // run to completion, past the cycle the budget cut it at.
+  SimResult Full = R.runHFused(A.D1, A.D2, A.RegBound);
+  ASSERT_TRUE(Full.Ok) << Full.Error;
+  EXPECT_FALSE(Full.BudgetExceeded);
+  EXPECT_GT(Full.TotalCycles, A.BudgetCycles);
+  CompileCache::Stats After = Opts.Cache->stats();
+  EXPECT_EQ(After.SimRuns, Before.SimRuns + 1);
+  EXPECT_EQ(After.SimMemoHits, Before.SimMemoHits);
+
+  // And it matches a fresh runner that never had a budget.
+  PairRunner::Options Clean = budgetCacheOptions();
+  Clean.Budget = SearchBudgetMode::Off;
+  PairRunner R2(BenchKernelId::Batchnorm, BenchKernelId::Hist, Clean);
+  ASSERT_TRUE(R2.ok()) << R2.error();
+  SimResult Ref = R2.runHFused(A.D1, A.D2, A.RegBound);
+  ASSERT_TRUE(Ref.Ok) << Ref.Error;
+  EXPECT_EQ(Full.TotalCycles, Ref.TotalCycles);
+  EXPECT_EQ(Full.TotalIssued, Ref.TotalIssued);
+
+  // Completed candidates, by contrast, stay memoized: re-running the
+  // winner replays the stored result without a new simulation.
+  Before = Opts.Cache->stats();
+  SimResult Win = R.runHFused(SR.Best.D1, SR.Best.D2, SR.Best.RegBound);
+  ASSERT_TRUE(Win.Ok) << Win.Error;
+  EXPECT_EQ(Win.TotalCycles, SR.Best.Cycles);
+  After = Opts.Cache->stats();
+  EXPECT_EQ(After.SimRuns, Before.SimRuns);
+  EXPECT_EQ(After.SimMemoHits, Before.SimMemoHits + 1);
+}
+
+TEST(BudgetedSearchCache, MemoizedFullResultDecidesAbandonmentForFree) {
+  // The converse of the poisoning rule: a *completed* result in the
+  // memo is valid under any budget — if its cycles exceed the budget,
+  // the candidate is abandoned without a simulator run (the exact
+  // decision a budgeted simulation would have reached). Pre-run both
+  // crypto candidates unbudgeted, then search with the budget on: the
+  // whole sweep must come out of the memo, zero new simulations, with
+  // the slow bounded variant abandoned at zero instruction cost.
+  PairRunner::Options Opts = budgetCacheOptions();
+  PairRunner R(BenchKernelId::Ethash, BenchKernelId::SHA256, Opts);
+  ASSERT_TRUE(R.ok()) << R.error();
+  SimResult U = R.runHFused(256, 256, 0);
+  ASSERT_TRUE(U.Ok) << U.Error;
+  auto R0 = R.figure6RegBound(256, 256);
+  ASSERT_TRUE(R0.has_value());
+  SimResult B = R.runHFused(256, 256, *R0);
+  ASSERT_TRUE(B.Ok) << B.Error;
+  ASSERT_GT(B.TotalCycles, U.TotalCycles); // the bound is the slow one
+  CompileCache::Stats Before = Opts.Cache->stats();
+
+  SearchResult SR = R.searchBestConfig();
+  ASSERT_TRUE(SR.Ok) << SR.Error;
+  CompileCache::Stats After = Opts.Cache->stats();
+  EXPECT_EQ(After.SimRuns, Before.SimRuns); // nothing simulated anew
+  EXPECT_EQ(SR.Stats.Simulations, 0u);
+  EXPECT_EQ(SR.Stats.SimulatedInsts, 0u);
+  EXPECT_EQ(SR.Best.Cycles, U.TotalCycles);
+  ASSERT_EQ(SR.Abandoned.size(), 1u);
+  EXPECT_EQ(SR.Abandoned[0].RegBound, *R0);
+  EXPECT_EQ(SR.Abandoned[0].IssuedInsts, 0u); // decided from the memo
+  EXPECT_EQ(SR.Stats.AbandonedInsts, 0u);
 }

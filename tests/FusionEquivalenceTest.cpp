@@ -14,9 +14,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "kernels/Workload.h"
 #include "profile/PairRunner.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
 
 using namespace hfuse;
 using namespace hfuse::gpusim;
@@ -30,16 +34,18 @@ struct PairCase {
   BenchKernelId B;
 };
 
-std::vector<PairCase> allPairs() {
+std::vector<PairCase> pairsOf(const std::vector<BenchKernelId> &Ids) {
   std::vector<PairCase> Pairs;
-  const auto &DL = deepLearningKernels();
-  for (size_t I = 0; I < DL.size(); ++I)
-    for (size_t J = I + 1; J < DL.size(); ++J)
-      Pairs.push_back({DL[I], DL[J]});
-  const auto &Crypto = cryptoKernels();
-  for (size_t I = 0; I < Crypto.size(); ++I)
-    for (size_t J = I + 1; J < Crypto.size(); ++J)
-      Pairs.push_back({Crypto[I], Crypto[J]});
+  for (size_t I = 0; I < Ids.size(); ++I)
+    for (size_t J = I + 1; J < Ids.size(); ++J)
+      Pairs.push_back({Ids[I], Ids[J]});
+  return Pairs;
+}
+
+std::vector<PairCase> allPairs() {
+  std::vector<PairCase> Pairs = pairsOf(deepLearningKernels());
+  std::vector<PairCase> Crypto = pairsOf(cryptoKernels());
+  Pairs.insert(Pairs.end(), Crypto.begin(), Crypto.end());
   return Pairs;
 }
 
@@ -113,6 +119,57 @@ TEST_P(FusionEquivalence, HorizontalFusionWithRegBoundVerifies) {
 
 INSTANTIATE_TEST_SUITE_P(AllPairs, FusionEquivalence,
                          testing::ValuesIn(allPairs()), pairName);
+
+//===----------------------------------------------------------------------===//
+// Seeded randomized-partition property sweep
+//===----------------------------------------------------------------------===//
+
+std::vector<PairCase> dlPairs() { return pairsOf(deepLearningKernels()); }
+
+class RandomPartitionEquivalence : public testing::TestWithParam<PairCase> {
+};
+
+TEST_P(RandomPartitionEquivalence, FusedMatchesReferenceBitForBit) {
+  // The Figure 6 sweep only ever visits partitions at a granularity of
+  // 128; fusion soundness must not depend on that. Sample ~20 random
+  // valid thread-space partitions (any warp multiple the kernels'
+  // block shapes admit) per DL pair and check the fused kernel still
+  // verifies bit-for-bit against the CPU references — runHFused runs
+  // with Options::Verify, which compares every output buffer exactly.
+  const PairCase &P = GetParam();
+  PairRunner::Options Opts = fastOptions();
+  Opts.Scale1 = 0.2;
+  Opts.Scale2 = 0.2;
+  PairRunner R(P.A, P.B, Opts);
+  ASSERT_TRUE(R.ok()) << R.error();
+
+  kernels::WorkloadConfig WC;
+  auto W1 = kernels::makeWorkload(P.A, WC);
+  auto W2 = kernels::makeWorkload(P.B, WC);
+  ASSERT_TRUE(W1 && W2);
+  const int D0 = 1024; // DL kernels all have tunable block dimensions
+  std::vector<int> Valid;
+  for (int D1 = 32; D1 < D0; D1 += 32)
+    if (D1 % W1->preferredBlockY() == 0 &&
+        (D0 - D1) % W2->preferredBlockY() == 0)
+      Valid.push_back(D1);
+  ASSERT_FALSE(Valid.empty());
+
+  // Deterministic sample: seeded shuffle, first ~20 partitions.
+  std::mt19937 Engine(12345u + static_cast<unsigned>(P.A) * 131u +
+                      static_cast<unsigned>(P.B));
+  std::shuffle(Valid.begin(), Valid.end(), Engine);
+  size_t N = std::min<size_t>(20, Valid.size());
+  for (size_t I = 0; I < N; ++I) {
+    int D1 = Valid[I];
+    SimResult H = R.runHFused(D1, D0 - D1, /*RegBound=*/0);
+    EXPECT_TRUE(H.Ok) << "partition " << D1 << "/" << (D0 - D1) << ": "
+                      << H.Error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DLPairs, RandomPartitionEquivalence,
+                         testing::ValuesIn(dlPairs()), pairName);
 
 //===----------------------------------------------------------------------===//
 // Figure 6 search smoke test

@@ -174,7 +174,8 @@ struct MicroResult {
   uint64_t Checksum = 0;
 };
 
-MicroResult runMicro(const MicroGolden &G, StatsLevel Level) {
+MicroResult runMicro(const MicroGolden &G, StatsLevel Level,
+                     uint64_t CycleBudget = 0) {
   MicroResult Out;
   auto K = compileMicro(G.Src);
   if (!K)
@@ -182,6 +183,7 @@ MicroResult runMicro(const MicroGolden &G, StatsLevel Level) {
   SimConfig SC;
   SC.Arch = makeGTX1080Ti();
   SC.SimSMs = 2;
+  SC.CycleBudget = CycleBudget;
   Simulator Sim(SC);
   uint64_t A = Sim.allocGlobal(16384 * 4);
   for (int I = 0; I < 16384; ++I) {
@@ -372,6 +374,94 @@ TEST(GoldenSim, RoundRobinPolicyMatchesSeed) {
   ASSERT_TRUE(H.Ok) << H.Error;
   EXPECT_EQ(H.TotalCycles, 141538ull);
   EXPECT_EQ(H.TotalIssued, 211840ull);
+}
+
+TEST(GoldenSim, CycleBudgetAboveTrueCyclesIsBitIdentical) {
+  // The branch-and-bound search relies on this: a CycleBudget at or
+  // above the true cycle count must not perturb the event core in any
+  // observable way — cycles, issued counts, every nvprof-style metric,
+  // and the functional memory contents all match the unbudgeted run
+  // exactly (the budget only clamps idle fast-forward, and a run that
+  // finishes in time never fast-forwards past its own completion).
+  for (const MicroGolden &G : MicroGoldens) {
+    for (StatsLevel Level : {StatsLevel::Full, StatsLevel::Minimal}) {
+      MicroResult Ref = runMicro(G, Level);
+      ASSERT_TRUE(Ref.R.Ok) << G.Name << ": " << Ref.R.Error;
+      for (uint64_t Budget :
+           {G.Cycles, G.Cycles + 1, uint64_t(1) << 62}) {
+        MicroResult M = runMicro(G, Level, Budget);
+        ASSERT_TRUE(M.R.Ok)
+            << G.Name << " budget " << Budget << ": " << M.R.Error;
+        EXPECT_FALSE(M.R.BudgetExceeded);
+        EXPECT_EQ(M.R.TotalCycles, Ref.R.TotalCycles) << G.Name;
+        EXPECT_EQ(M.R.TotalIssued, Ref.R.TotalIssued) << G.Name;
+        EXPECT_EQ(M.R.TotalMs, Ref.R.TotalMs) << G.Name;
+        EXPECT_EQ(M.R.DeviceIssueSlotUtilPct,
+                  Ref.R.DeviceIssueSlotUtilPct) << G.Name;
+        EXPECT_EQ(M.R.DeviceMemStallPct, Ref.R.DeviceMemStallPct)
+            << G.Name;
+        EXPECT_EQ(M.R.DeviceOccupancyPct, Ref.R.DeviceOccupancyPct)
+            << G.Name;
+        for (int I = 0; I < 6; ++I)
+          EXPECT_EQ(M.R.StallSharePct[I], Ref.R.StallSharePct[I])
+              << G.Name << " stall " << I;
+        ASSERT_EQ(M.R.Kernels.size(), Ref.R.Kernels.size());
+        for (size_t I = 0; I < M.R.Kernels.size(); ++I) {
+          EXPECT_EQ(M.R.Kernels[I].ElapsedCycles,
+                    Ref.R.Kernels[I].ElapsedCycles);
+          EXPECT_EQ(M.R.Kernels[I].IssuedInsts,
+                    Ref.R.Kernels[I].IssuedInsts);
+          EXPECT_EQ(M.R.Kernels[I].GlobalSectors,
+                    Ref.R.Kernels[I].GlobalSectors);
+        }
+        EXPECT_EQ(M.Checksum, Ref.Checksum) << G.Name;
+      }
+    }
+  }
+}
+
+TEST(GoldenSim, CycleBudgetBelowTrueCyclesAbortsDeterministically) {
+  const MicroGolden &G = MicroGoldens[0];
+  for (uint64_t Budget : {G.Cycles - 1, G.Cycles / 2, uint64_t(1000)}) {
+    MicroResult M = runMicro(G, StatsLevel::Minimal, Budget);
+    EXPECT_FALSE(M.R.Ok);
+    EXPECT_TRUE(M.R.BudgetExceeded) << "budget " << Budget;
+    // The fast-forward clamp pins the abort point to exactly the
+    // budget cycle, so the partial-progress counter is reproducible.
+    EXPECT_EQ(M.R.TotalCycles, Budget);
+    MicroResult M2 = runMicro(G, StatsLevel::Minimal, Budget);
+    EXPECT_EQ(M2.R.TotalIssued, M.R.TotalIssued);
+    EXPECT_LT(M.R.TotalIssued, G.Issued);
+  }
+  // A budget of exactly the true cycle count completes: the run is
+  // only abandoned when cycles provably exceed the budget.
+  MicroResult Exact = runMicro(G, StatsLevel::Minimal, G.Cycles);
+  EXPECT_TRUE(Exact.R.Ok) << Exact.R.Error;
+}
+
+TEST(GoldenSim, PerRunBudgetOverridesConfig) {
+  const MicroGolden &G = MicroGoldens[1];
+  auto K = compileMicro(G.Src);
+  ASSERT_NE(K, nullptr);
+  SimConfig SC;
+  SC.Arch = makeGTX1080Ti();
+  SC.SimSMs = 2;
+  SC.CycleBudget = 10; // config budget would abort immediately...
+  Simulator Sim(SC);
+  uint64_t A = Sim.allocGlobal(16384 * 4);
+  KernelLaunch L;
+  L.Kernel = K.get();
+  L.GridDim = G.Grid;
+  L.BlockDim = G.Block;
+  L.Params = {A};
+  // ...but the per-run override of 0 lifts it entirely.
+  SimResult Full = Sim.run({L}, StatsLevel::Minimal, /*CycleBudget=*/0);
+  EXPECT_TRUE(Full.Ok) << Full.Error;
+  EXPECT_EQ(Full.TotalCycles, G.Cycles);
+  // And without the override the config budget applies.
+  SimResult Cut = Sim.run({L}, StatsLevel::Minimal);
+  EXPECT_TRUE(Cut.BudgetExceeded);
+  EXPECT_EQ(Cut.TotalCycles, 10u);
 }
 
 TEST(GoldenSim, MinimalSweepFindsSameWinnerAsFullSweep) {

@@ -1,0 +1,212 @@
+//===-- tests/SearchBudgetTest.cpp - Incumbent-budgeted search ------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result-preservation contract of the incumbent-driven
+/// branch-and-bound search (Options::Budget == Incumbent): for all 16
+/// paper pairs, on quick workloads, across SearchJobs 1 and 4, the
+/// budgeted search must return the bit-identical Best config and Best
+/// cycle count as the exhaustive sweep. The invariant behind it — a
+/// candidate abandoned at the incumbent budget has strictly more
+/// cycles than the incumbent and can never be Best, while every
+/// candidate at or below the incumbent (ties included) completes with
+/// exact cycles — is checked structurally too: survivors carry the
+/// exhaustive sweep's cycles, abandoned candidates are exactly the
+/// exhaustive candidates above the incumbent, and the accounting
+/// (measured + pruned + abandoned = enumerated) closes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "profile/PairRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+using namespace hfuse;
+using namespace hfuse::bench;
+using namespace hfuse::gpusim;
+using namespace hfuse::kernels;
+using namespace hfuse::profile;
+
+namespace {
+
+/// One compilation cache across all cases (the nine input kernels
+/// repeat across the 16 pairs).
+std::shared_ptr<CompileCache> testCache() {
+  static std::shared_ptr<CompileCache> Cache =
+      std::make_shared<CompileCache>();
+  return Cache;
+}
+
+PairRunner::Options quickOptions() {
+  PairRunner::Options Opts;
+  Opts.Arch = makeGTX1080Ti();
+  Opts.SimSMs = 2;
+  Opts.Scale1 = 0.2;
+  Opts.Scale2 = 0.2;
+  Opts.Verify = false;
+  Opts.Cache = testCache();
+  return Opts;
+}
+
+std::map<std::tuple<int, int, unsigned>, uint64_t>
+candidateMap(const SearchResult &SR) {
+  std::map<std::tuple<int, int, unsigned>, uint64_t> M;
+  for (const FusionCandidate &C : SR.All)
+    M[{C.D1, C.D2, C.RegBound}] = C.Cycles;
+  return M;
+}
+
+SearchResult runSearch(const BenchPair &P, SearchBudgetMode Budget,
+                       int Jobs) {
+  PairRunner::Options Opts = quickOptions();
+  Opts.Budget = Budget;
+  Opts.SearchJobs = Jobs;
+  PairRunner R(P.A, P.B, Opts);
+  EXPECT_TRUE(R.ok()) << R.error();
+  SearchResult SR = R.searchBestConfig();
+  EXPECT_TRUE(SR.Ok) << SR.Error;
+  return SR;
+}
+
+std::string caseName(const testing::TestParamInfo<BenchPair> &Info) {
+  return std::string(kernelDisplayName(Info.param.A)) + "_" +
+         kernelDisplayName(Info.param.B);
+}
+
+class SearchBudget : public testing::TestWithParam<BenchPair> {};
+
+TEST_P(SearchBudget, BitIdenticalBestAcrossBudgetModesAndJobs) {
+  const BenchPair &P = GetParam();
+  SearchResult Off = runSearch(P, SearchBudgetMode::Off, 1);
+  if (!Off.Ok)
+    return;
+  auto Exhaustive = candidateMap(Off);
+
+  for (int Jobs : {1, 4}) {
+    SCOPED_TRACE("jobs=" + std::to_string(Jobs));
+    SearchResult Bud = runSearch(P, SearchBudgetMode::Incumbent, Jobs);
+    if (!Bud.Ok)
+      continue;
+
+    // The headline contract: bit-identical Best config and cycles.
+    EXPECT_EQ(Bud.Best.D1, Off.Best.D1);
+    EXPECT_EQ(Bud.Best.D2, Off.Best.D2);
+    EXPECT_EQ(Bud.Best.RegBound, Off.Best.RegBound);
+    EXPECT_EQ(Bud.Best.Cycles, Off.Best.Cycles);
+
+    // The incumbent came from a completed candidate of the sweep.
+    ASSERT_NE(Bud.Stats.IncumbentCycles, 0u);
+    EXPECT_GE(Bud.Stats.IncumbentCycles, Bud.Best.Cycles);
+
+    // Every budgeted survivor measured the exhaustive sweep's exact
+    // cycles, and everything at or below the incumbent survived.
+    auto Measured = candidateMap(Bud);
+    for (const auto &[Key, Cycles] : Measured) {
+      auto It = Exhaustive.find(Key);
+      ASSERT_NE(It, Exhaustive.end());
+      EXPECT_EQ(It->second, Cycles);
+    }
+    for (const auto &[Key, Cycles] : Exhaustive)
+      if (Cycles <= Bud.Stats.IncumbentCycles)
+        EXPECT_TRUE(Measured.count(Key))
+            << "candidate within the incumbent was not measured";
+
+    // Abandoned candidates are exactly the ones the exhaustive sweep
+    // measured above the incumbent — never the winner.
+    EXPECT_EQ(Measured.size() + Bud.Abandoned.size(), Exhaustive.size());
+    for (const AbandonedCandidate &A : Bud.Abandoned) {
+      auto It = Exhaustive.find({A.D1, A.D2, A.RegBound});
+      ASSERT_NE(It, Exhaustive.end());
+      EXPECT_GT(It->second, Bud.Stats.IncumbentCycles);
+      EXPECT_EQ(A.BudgetCycles, Bud.Stats.IncumbentCycles);
+    }
+
+    // Accounting closes and the instruction counters are consistent.
+    EXPECT_EQ(Bud.Stats.Candidates,
+              Bud.All.size() + Bud.Pruned.size() + Bud.Abandoned.size());
+    EXPECT_EQ(Bud.Stats.Abandoned, Bud.Abandoned.size());
+    EXPECT_LE(Bud.Stats.AbandonedInsts, Bud.Stats.SimulatedInsts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperPairs, SearchBudget,
+                         testing::ValuesIn(paperPairs()), caseName);
+
+//===----------------------------------------------------------------------===//
+// Determinism of the budgeted sweep across worker counts
+//===----------------------------------------------------------------------===//
+
+TEST(SearchBudgetDeterminism, AbandonmentSetIdenticalAcrossJobs) {
+  // Budgets are fixed before the parallel phase (incumbent from a
+  // deterministic best-first seed), so not just Best but the whole
+  // measured/abandoned split and the abandoned instruction counts must
+  // be identical across SearchJobs.
+  BenchPair P{BenchKernelId::Batchnorm, BenchKernelId::Hist};
+  SearchResult A = runSearch(P, SearchBudgetMode::Incumbent, 1);
+  SearchResult B = runSearch(P, SearchBudgetMode::Incumbent, 4);
+  if (!A.Ok || !B.Ok)
+    return;
+  EXPECT_EQ(A.Stats.IncumbentCycles, B.Stats.IncumbentCycles);
+  EXPECT_EQ(candidateMap(A), candidateMap(B));
+  ASSERT_EQ(A.Abandoned.size(), B.Abandoned.size());
+  for (size_t I = 0; I < A.Abandoned.size(); ++I) {
+    EXPECT_EQ(A.Abandoned[I].D1, B.Abandoned[I].D1);
+    EXPECT_EQ(A.Abandoned[I].RegBound, B.Abandoned[I].RegBound);
+    EXPECT_EQ(A.Abandoned[I].IssuedInsts, B.Abandoned[I].IssuedInsts);
+  }
+  EXPECT_EQ(A.Stats.SimulatedInsts, B.Stats.SimulatedInsts);
+  EXPECT_EQ(A.Stats.AbandonedInsts, B.Stats.AbandonedInsts);
+}
+
+//===----------------------------------------------------------------------===//
+// Measured-margin re-admission under aggressive pruning
+//===----------------------------------------------------------------------===//
+
+TEST(SearchBudgetMargin, AggressivePruningIsBoundedByTheStatedMargin) {
+  BenchPair P{BenchKernelId::Batchnorm, BenchKernelId::Hist};
+  SearchResult Off = runSearch(P, SearchBudgetMode::Off, 1);
+  if (!Off.Ok)
+    return;
+
+  PairRunner::Options Opts = quickOptions();
+  Opts.Budget = SearchBudgetMode::Incumbent;
+  Opts.PruneLevel = 2;
+  Opts.BudgetMarginPct = 10.0;
+  PairRunner R(P.A, P.B, Opts);
+  ASSERT_TRUE(R.ok()) << R.error();
+  SearchResult SR = R.searchBestConfig();
+  ASSERT_TRUE(SR.Ok) << SR.Error;
+
+  // Under the budget, occupancy-dominated candidates are re-admitted
+  // and measured instead of silently skipped: nothing is dropped on
+  // occupancy dominance alone.
+  for (const PrunedCandidate &C : SR.Pruned)
+    EXPECT_EQ(C.Reason.find("dominated"), std::string::npos) << C.Reason;
+
+  // The stated bound: Best within (1 + margin) of the true optimum.
+  EXPECT_LE(SR.Best.Cycles,
+            static_cast<uint64_t>(1.10 * Off.Best.Cycles) + 1);
+
+  // Re-admitted candidates abandoned early ran under the tighter
+  // margin budget; their true cycles exceed incumbent/(1+margin).
+  auto Exhaustive = candidateMap(Off);
+  uint64_t MarginBudget = static_cast<uint64_t>(
+      static_cast<double>(SR.Stats.IncumbentCycles) / 1.10);
+  for (const AbandonedCandidate &A : SR.Abandoned) {
+    EXPECT_TRUE(A.BudgetCycles == SR.Stats.IncumbentCycles ||
+                A.BudgetCycles == std::max<uint64_t>(1, MarginBudget))
+        << A.BudgetCycles;
+    auto It = Exhaustive.find({A.D1, A.D2, A.RegBound});
+    ASSERT_NE(It, Exhaustive.end());
+    EXPECT_GT(It->second, A.BudgetCycles);
+  }
+}
+
+} // namespace
