@@ -12,7 +12,10 @@
 /// line (for the BENCH_*.json perf trajectory) plus a human-readable
 /// table row. Every configuration's Best candidate is compared against
 /// the serial, uncached, unpruned baseline; `identical_best` records
-/// whether it matched byte for byte.
+/// whether it matched byte for byte. Rows also carry the
+/// fault-contained search's `failed` (candidates retired by contained
+/// errors) and `degraded` (whole-search fallback) counters — both zero
+/// on a healthy sweep.
 ///
 /// Configurations:
 ///   baseline   jobs=1  cache off  prune off   (the seed cost profile)
@@ -111,7 +114,8 @@ void emitJson(const BenchPair &P, const SearchConfig &C,
       "\"wall_ms\":%.1f,"
       "\"search_ms\":%.1f,\"speedup_vs_baseline\":%.2f,"
       "\"candidates\":%u,\"simulated\":%u,\"memoized\":%u,\"pruned\":%u,"
-      "\"abandoned\":%u,\"sim_insts\":%llu,\"abandoned_insts\":%llu,"
+      "\"abandoned\":%u,\"failed\":%u,\"degraded\":%u,"
+      "\"sim_insts\":%llu,\"abandoned_insts\":%llu,"
       "\"incumbent_cycles\":%llu,"
       "\"fusions\":%llu,\"lowerings\":%llu,"
       "\"best_d1\":%d,\"best_d2\":%d,\"best_regbound\":%u,"
@@ -121,7 +125,7 @@ void emitJson(const BenchPair &P, const SearchConfig &C,
       O.SR.Stats.WallMs,
       O.WallMs > 0 ? BaselineMs / O.WallMs : 0.0, O.SR.Stats.Candidates,
       O.SR.Stats.Simulations, O.SR.Stats.MemoHits, O.SR.Stats.Pruned,
-      O.SR.Stats.Abandoned,
+      O.SR.Stats.Abandoned, O.SR.Stats.Failed, O.SR.Ok ? 0u : 1u,
       static_cast<unsigned long long>(O.SR.Stats.SimulatedInsts),
       static_cast<unsigned long long>(O.SR.Stats.AbandonedInsts),
       static_cast<unsigned long long>(O.SR.Stats.IncumbentCycles),
@@ -166,8 +170,12 @@ int main() {
     SearchResult BaselineSR;
     for (const SearchConfig &C : Configs) {
       RunOutcome O = runOnce(P, C);
-      if (!O.Ok)
+      if (!O.Ok) {
+        // Record the degraded configuration in the trajectory (the
+        // "degraded":1 row) before failing the bench.
+        emitJson(P, C, O, BaselineMs, false);
         return 1;
+      }
       bool IsBaseline = std::string(C.Name) == "baseline";
       if (IsBaseline) {
         BaselineMs = O.WallMs;

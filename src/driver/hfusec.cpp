@@ -29,6 +29,8 @@
 #include "gpusim/Occupancy.h"
 #include "profile/Compile.h"
 #include "profile/PairRunner.h"
+#include "support/FaultInjector.h"
+#include "support/Status.h"
 #include "transform/Fusion.h"
 
 #include <cstdio>
@@ -41,6 +43,18 @@
 using namespace hfuse;
 
 namespace {
+
+/// Exit codes (documented in README.md). Every failure path returns one
+/// of these; hfusec never exits via assert/abort on bad input or a
+/// failing candidate.
+enum ExitCode : int {
+  ExitOk = 0,             ///< success
+  ExitUsage = 1,          ///< bad command line or unreadable file
+  ExitBadInput = 2,       ///< input kernel rejected (parse/sema)
+  ExitFusionFailed = 3,   ///< fusion or fused-kernel lowering failed
+  ExitSearchDegraded = 4, ///< search failed; native baseline emitted
+  ExitInternal = 5,       ///< everything else (a bug, not an input)
+};
 
 struct CliOptions {
   std::string File1, File2;
@@ -67,6 +81,15 @@ struct CliOptions {
   bool Volta = false;
   bool Quick = false;
   bool FullStats = false;
+  /// Simulator watchdog window in cycles (0 = off): abandon a candidate
+  /// simulation as deadlocked when the scheduler makes no progress for
+  /// this long, instead of burning the full cycle limit.
+  uint64_t WatchdogCycles = 0;
+  /// Wall-clock timeout per simulation in ms (0 = off).
+  uint64_t TimeoutMs = 0;
+  /// Fault-injection spec (see support/FaultInjector.h), for testing
+  /// the containment story end-to-end.
+  std::string FaultSpec;
 };
 
 void printUsage() {
@@ -123,7 +146,23 @@ void printUsage() {
       "  --quick          small workloads (smoke-test scale)\n"
       "  --full-stats     profile every candidate with full nvprof-style\n"
       "                   stats (default: timing-only sweep, full stats\n"
-      "                   for the winner; cycle counts are identical)\n");
+      "                   for the winner; cycle counts are identical)\n"
+      "\n"
+      "robustness:\n"
+      "  --sim-watchdog N abandon a candidate simulation as deadlocked\n"
+      "                   when the scheduler makes no progress for N\n"
+      "                   cycles (deterministic abort point; 0 = off,\n"
+      "                   default off)\n"
+      "  --timeout MS     wall-clock timeout per simulation in\n"
+      "                   milliseconds (non-deterministic fence for\n"
+      "                   untrusted inputs; 0 = off)\n"
+      "  --fault SPEC     deterministic fault injection, e.g.\n"
+      "                   'compile:nth=2;sim-wedge:label=896' (also via\n"
+      "                   HFUSE_FAULT; see support/FaultInjector.h)\n"
+      "\n"
+      "exit codes: 0 success; 1 usage/IO; 2 input kernel rejected\n"
+      "(parse/sema); 3 fusion or lowering failed; 4 search degraded\n"
+      "(native baseline emitted); 5 internal error\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -256,6 +295,27 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return false;
       }
       Opts.BudgetMarginPct = Pct;
+    } else if (Arg == "--sim-watchdog" || Arg == "--timeout") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(V, &End, 10);
+      if (End == V || *End != '\0') {
+        std::fprintf(stderr, "error: %s expects a non-negative integer, "
+                             "got '%s'\n",
+                     Arg.c_str(), V);
+        return false;
+      }
+      if (Arg == "--sim-watchdog")
+        Opts.WatchdogCycles = N;
+      else
+        Opts.TimeoutMs = N;
+    } else if (Arg == "--fault") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.FaultSpec = V;
     } else if (Arg == "--no-cache") {
       Opts.UseCache = false;
     } else if (Arg == "--volta") {
@@ -322,7 +382,7 @@ int runSearch(const CliOptions &Opts) {
     std::fprintf(stderr,
                  "error: --search expects KERNEL+KERNEL, e.g. "
                  "batchnorm+hist\n");
-    return 1;
+    return ExitUsage;
   }
   auto IdA = kernels::kernelIdByName(Opts.SearchPair.substr(0, Plus));
   auto IdB = kernels::kernelIdByName(Opts.SearchPair.substr(Plus + 1));
@@ -335,7 +395,7 @@ int runSearch(const CliOptions &Opts) {
     for (kernels::BenchKernelId Id : kernels::extensionKernels())
       std::fprintf(stderr, " %s", kernels::kernelDisplayName(Id));
     std::fprintf(stderr, "\n");
-    return 1;
+    return ExitUsage;
   }
 
   profile::PairRunner::Options RO;
@@ -350,17 +410,37 @@ int runSearch(const CliOptions &Opts) {
   RO.UseCompileCache = Opts.UseCache;
   RO.SearchStats = Opts.FullStats ? gpusim::StatsLevel::Full
                                   : gpusim::StatsLevel::Minimal;
+  RO.WatchdogCycles = Opts.WatchdogCycles;
+  RO.WallTimeoutMs = Opts.TimeoutMs;
   RO.Cache = std::make_shared<profile::CompileCache>();
 
   profile::PairRunner Runner(*IdA, *IdB, RO);
   if (!Runner.ok()) {
     std::fprintf(stderr, "%s\n", Runner.error().c_str());
-    return 1;
+    return ExitInternal;
   }
   profile::SearchResult SR = Runner.searchBestConfig();
   if (!SR.Ok) {
-    std::fprintf(stderr, "search failed: %s\n", SR.Error.c_str());
-    return 1;
+    // Graceful degradation: the fused-kernel search failed, but the
+    // native (unfused) baseline still answers "how fast is this pair
+    // without fusion". Emit it marked degraded:<error code> and exit
+    // with the documented distinct code.
+    std::fprintf(stderr, "search failed: %s\n", SR.Err.str().c_str());
+    gpusim::SimResult Native = Runner.runNative();
+    if (!Native.Ok) {
+      std::fprintf(stderr, "native baseline failed too: %s\n",
+                   Native.Error.c_str());
+      return ExitInternal;
+    }
+    std::printf("Figure 6 search: %s + %s on %s\n",
+                kernels::kernelDisplayName(*IdA),
+                kernels::kernelDisplayName(*IdB), RO.Arch.Name.c_str());
+    std::printf("%8s %8s %8s %14s %10s\n", "d1", "d2", "bound", "cycles",
+                "time(ms)");
+    std::printf("%8s %8s %8s %14llu %10.3f  degraded:%s\n", "-", "-", "-",
+                static_cast<unsigned long long>(Native.TotalCycles),
+                Native.TotalMs, errorCodeName(SR.Err.code()));
+    return ExitSearchDegraded;
   }
 
   std::printf("Figure 6 search: %s + %s on %s\n",
@@ -377,6 +457,9 @@ int runSearch(const CliOptions &Opts) {
                 C.D1 == SR.Best.D1 && C.RegBound == SR.Best.RegBound
                     ? "  <-- best"
                     : "");
+  for (const profile::FailedCandidate &F : SR.Failed)
+    std::printf("%8d %8d %8u         failed: %s\n", F.D1, F.D2, F.RegBound,
+                F.Err.str().c_str());
   for (const profile::PrunedCandidate &P : SR.Pruned)
     std::printf("%8d %8d %8u         pruned: %s\n", P.D1, P.D2, P.RegBound,
                 P.Reason.c_str());
@@ -389,9 +472,10 @@ int runSearch(const CliOptions &Opts) {
 
   profile::CompileCache::Stats CS = Runner.cache().stats();
   std::printf("\n%u candidates, %u simulated, %u memoized, %u pruned, "
-              "%u abandoned in %.1f ms (%s jobs)\n",
+              "%u abandoned, %u failed in %.1f ms (%s jobs)\n",
               SR.Stats.Candidates, SR.Stats.Simulations, SR.Stats.MemoHits,
-              SR.Stats.Pruned, SR.Stats.Abandoned, SR.Stats.WallMs,
+              SR.Stats.Pruned, SR.Stats.Abandoned, SR.Stats.Failed,
+              SR.Stats.WallMs,
               Opts.SearchJobs <= 0
                   ? "auto"
                   : std::to_string(Opts.SearchJobs).c_str());
@@ -409,7 +493,7 @@ int runSearch(const CliOptions &Opts) {
               static_cast<unsigned long long>(CS.FusionHits),
               static_cast<unsigned long long>(CS.Lowerings),
               static_cast<unsigned long long>(CS.LoweringHits));
-  return 0;
+  return ExitOk;
 }
 
 } // namespace
@@ -417,28 +501,37 @@ int runSearch(const CliOptions &Opts) {
 int main(int Argc, char **Argv) {
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts))
-    return 1;
+    return ExitUsage;
+
+  if (!Opts.FaultSpec.empty()) {
+    std::string FErr;
+    if (!FaultInjector::instance().configure(Opts.FaultSpec, &FErr)) {
+      std::fprintf(stderr, "error: --fault: %s\n", FErr.c_str());
+      return ExitUsage;
+    }
+  }
 
   if (!Opts.SearchPair.empty())
     return runSearch(Opts);
 
   std::string Src1, Src2;
   if (!readFile(Opts.File1, Src1) || !readFile(Opts.File2, Src2))
-    return 1;
+    return ExitUsage;
 
   DiagnosticEngine Diags;
-  auto Pre1 = transform::parseAndPreprocess(Src1, Opts.Kernel1, Diags);
-  auto Pre2 = transform::parseAndPreprocess(Src2, Opts.Kernel2, Diags);
+  auto Pre1 = transform::parseAndPreprocessOr(Src1, Opts.Kernel1, Diags);
+  auto Pre2 = transform::parseAndPreprocessOr(Src2, Opts.Kernel2, Diags);
   if (!Pre1 || !Pre2) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
-    return 1;
+    return ExitBadInput;
   }
+  auto P1 = Pre1.take();
+  auto P2 = Pre2.take();
 
   cuda::ASTContext Target;
   transform::FusionResult FR;
   if (Opts.Vertical) {
-    FR = transform::fuseVertical(Target, Pre1->Kernel, Pre2->Kernel, "",
-                                 Diags);
+    FR = transform::fuseVertical(Target, P1->Kernel, P2->Kernel, "", Diags);
   } else {
     transform::HorizontalFusionOptions HO;
     HO.D1 = Opts.D1;
@@ -448,19 +541,18 @@ int main(int Argc, char **Argv) {
     HO.Y2 = Opts.Y2;
     HO.Z2 = Opts.Z2;
     HO.UsePartialBarriers = !Opts.FullBarriers;
-    FR = transform::fuseHorizontal(Target, Pre1->Kernel, Pre2->Kernel, HO,
-                                   Diags);
+    FR = transform::fuseHorizontal(Target, P1->Kernel, P2->Kernel, HO, Diags);
   }
   if (!FR.Ok) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
-    return 1;
+    return ExitFusionFailed;
   }
 
   auto IR = profile::lowerFunction(Target, FR.Fused, Opts.RegBound, Diags);
   if (!IR) {
     std::fprintf(stderr, "fused kernel failed to lower:\n%s",
                  Diags.str().c_str());
-    return 1;
+    return ExitFusionFailed;
   }
 
   std::string Source = cuda::printFunction(FR.Fused);
@@ -469,7 +561,7 @@ int main(int Argc, char **Argv) {
     if (!Out) {
       std::fprintf(stderr, "error: cannot write '%s'\n",
                    Opts.OutFile.c_str());
-      return 1;
+      return ExitUsage;
     }
     Out << Source;
   } else {
@@ -480,5 +572,5 @@ int main(int Argc, char **Argv) {
     printReport(*IR, Opts.D1 + Opts.D2);
   if (Opts.PrintIR)
     std::fputs(IR->str().c_str(), stdout);
-  return 0;
+  return ExitOk;
 }

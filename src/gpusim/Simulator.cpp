@@ -51,11 +51,13 @@
 
 #include "gpusim/MemorySystem.h"
 #include "gpusim/Occupancy.h"
+#include "support/FaultInjector.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 
@@ -252,6 +254,19 @@ struct Simulator::Impl {
   uint64_t Cycle = 0;
   /// Active cycle budget of the current run (0 = unlimited).
   uint64_t Budget = 0;
+  /// Cycle of the last scheduler macro progress (block dispatch/retire,
+  /// barrier release, warp exit); drives the watchdog.
+  uint64_t ProgressCycle = 0;
+  /// Active watchdog window of the current run (0 = disabled).
+  uint64_t Watchdog = 0;
+  /// Injected fault: suppress every barrier release this run, wedging
+  /// any kernel that synchronizes — the watchdog (or the instant
+  /// detector, once all warps block) must rescue the simulation.
+  bool Wedged = false;
+  /// Host deadline of the current run (0 = no wall-clock timeout).
+  std::chrono::steady_clock::time_point WallDeadline{};
+  bool WallTimed = false;
+  uint64_t LoopIters = 0;
   bool StatsFull = true;
   std::string Error;
   // Stats.
@@ -601,6 +616,9 @@ struct Simulator::Impl {
       Target = B.LiveThreads;
     if (Target <= 0 || B.BarArrived[Id] < Target)
       return;
+    if (Wedged)
+      return; // injected wedge: the barrier never opens
+    ProgressCycle = Cycle;
     B.BarArrived[Id] = 0;
     B.BarPendingMask &= static_cast<uint16_t>(~(1u << Id));
     for (uint32_t WId : B.WarpIds) {
@@ -665,6 +683,7 @@ struct Simulator::Impl {
     LaunchState &LS = Launches[KernelIdx];
     const KernelLaunch &L = *LS.L;
     const IRKernel *K = L.Kernel;
+    ProgressCycle = Cycle;
 
     // Find or create a block slot.
     uint32_t Slot = UINT32_MAX;
@@ -773,6 +792,7 @@ struct Simulator::Impl {
   }
 
   void retireBlock(SMState &SM, unsigned SMIdx, BlockState &B) {
+    ProgressCycle = Cycle;
     SM.UsedThreads -= B.Threads;
     SM.UsedRegs -= B.RegUnits;
     SM.UsedShared -= B.SharedBytes;
@@ -1257,6 +1277,7 @@ bool Simulator::Impl::execute(SMState &SM, unsigned SMIdx, uint32_t WId,
     B.LiveThreads -= static_cast<int>(popcount(Mask));
     if (W.LiveMask == 0 && !W.Done) {
       W.Done = true;
+      ProgressCycle = Cycle;
       --SM.ActiveWarps;
       ++B.WarpsDone;
       dropWarp(SM, WId);
@@ -1809,6 +1830,28 @@ template <bool FullStats> bool Simulator::Impl::runLoop(SimResult &Res) {
       Res.TotalIssued = IssuedSlots;
       return false;
     }
+    if (Watchdog != 0 && Cycle >= ProgressCycle + Watchdog) {
+      // Warps may still be issuing (a spin-poll livelock), but the
+      // scheduler made no macro progress for a whole window. The
+      // fast-forward clamp below guarantees this fires at exactly
+      // ProgressCycle + Watchdog, so the abort point is deterministic.
+      Res.Deadlock = true;
+      Res.Error = formatString(
+          "watchdog: no scheduler progress for %llu cycles (deadlock or "
+          "livelocked kernel?)",
+          static_cast<unsigned long long>(Watchdog));
+      Res.TotalCycles = Cycle;
+      Res.TotalIssued = IssuedSlots;
+      return false;
+    }
+    if (WallTimed && (++LoopIters & 0x1FFF) == 0 &&
+        std::chrono::steady_clock::now() >= WallDeadline) {
+      Res.TimedOut = true;
+      Res.Error = "wall-clock timeout exceeded";
+      Res.TotalCycles = Cycle;
+      Res.TotalIssued = IssuedSlots;
+      return false;
+    }
 
     bool AnyIssued = false;
     uint64_t CycleSamples[NumStalls] = {};
@@ -1851,7 +1894,10 @@ template <bool FullStats> bool Simulator::Impl::runLoop(SimResult &Res) {
           if (!Sched.Live.empty() && Sched.NextWake < NextEvent)
             NextEvent = Sched.NextWake;
       if (NextEvent == UINT64_MAX) {
+        Res.Deadlock = true;
         Res.Error = "deadlock: no eligible warps and no pending events";
+        Res.TotalCycles = Cycle;
+        Res.TotalIssued = IssuedSlots;
         return false;
       }
       Delta = std::max<uint64_t>(1, NextEvent - Cycle);
@@ -1863,6 +1909,12 @@ template <bool FullStats> bool Simulator::Impl::runLoop(SimResult &Res) {
       // it with work outstanding, so their schedules are untouched.
       if (Budget != 0 && Cycle + Delta > Budget)
         Delta = Budget - Cycle;
+      // Same argument for the watchdog deadline: only a run that is
+      // about to be declared dead can have its fast-forward clamped
+      // (healthy runs always make macro progress before the window
+      // expires), so abort cycles are pinned and schedules untouched.
+      if (Watchdog != 0 && Cycle + Delta > ProgressCycle + Watchdog)
+        Delta = ProgressCycle + Watchdog - Cycle;
     }
     if constexpr (FullStats) {
       for (size_t R = 0; R < NumStalls; ++R)
@@ -1886,6 +1938,19 @@ SimResult Simulator::Impl::run(const std::vector<KernelLaunch> &Ls,
   Launches.clear();
   Cycle = 0;
   Budget = CycleBudget;
+  ProgressCycle = 0;
+  Watchdog = Config.WatchdogCycles;
+  LoopIters = 0;
+  WallTimed = Config.WallTimeoutMs != 0;
+  if (WallTimed)
+    WallDeadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(Config.WallTimeoutMs);
+  Wedged = false;
+  {
+    FaultInjector &FI = FaultInjector::instance();
+    if (FI.armed() && !Ls.empty())
+      Wedged = !FI.check(FaultSite::SimWedge, Ls.front().Label).ok();
+  }
   Error.clear();
   IssuedSlots = 0;
   std::fill(std::begin(StallSamples), std::end(StallSamples), 0);
@@ -1979,8 +2044,10 @@ SimResult Simulator::Impl::run(const std::vector<KernelLaunch> &Ls,
       uint64_t(Config.SimSMs) * A.SchedulersPerSM;
 
   bool Ok = StatsFull ? runLoop<true>(Res) : runLoop<false>(Res);
-  if (!Ok)
+  if (!Ok) {
+    Res.FaultInjected = Wedged;
     return Res;
+  }
 
   // ---- Metrics -------------------------------------------------------------
   Res.Ok = true;

@@ -104,6 +104,23 @@ struct SimResult {
   /// simulation error: the kernel was healthy, just slower than the
   /// caller cared to measure.
   bool BudgetExceeded = false;
+  /// The run was abandoned as dead- or live-locked (Ok is false). Set
+  /// either by the instant detector (no eligible warps and no pending
+  /// events) or by the watchdog (warps still issuing, but no scheduler
+  /// macro progress — block dispatch/retire, barrier release, warp exit
+  /// — for SimConfig::WatchdogCycles). TotalCycles holds the
+  /// deterministic abort cycle: for the watchdog, exactly the cycle of
+  /// the last macro progress plus the watchdog window.
+  bool Deadlock = false;
+  /// The run was abandoned because it exceeded SimConfig::WallTimeoutMs
+  /// of host wall-clock time (Ok is false). Inherently
+  /// non-deterministic; meant as a last-resort fence around untrusted
+  /// inputs, not for measurement paths.
+  bool TimedOut = false;
+  /// The failure was provoked by the process-wide FaultInjector (a
+  /// wedged run). Such a result is transient: caches must not memoize
+  /// it, since a retry without the injected fault would succeed.
+  bool FaultInjected = false;
   /// Makespan: cycle when the last kernel finished ("elapsed time after
   /// the first kernel launches and before the second kernel finishes").
   uint64_t TotalCycles = 0;
@@ -157,6 +174,23 @@ struct SimConfig {
   /// exactly the budget cycle) but never alters the schedule of a run
   /// that finishes in time. Overridable per run.
   uint64_t CycleBudget = 0;
+  /// Watchdog window in cycles; 0 = disabled. The run is abandoned with
+  /// SimResult::Deadlock when no scheduler macro progress (block
+  /// dispatch/retire, barrier release, warp exit) happens for this many
+  /// cycles — catching livelocks (e.g. spin loops polling a value a
+  /// wedged producer never writes) that the instant no-pending-events
+  /// detector cannot see and that would otherwise burn MaxCycles. The
+  /// abort point is deterministic: exactly the last-progress cycle plus
+  /// the window (idle fast-forward clamps to it, mirroring CycleBudget).
+  /// Healthy runs make macro progress orders of magnitude more often
+  /// than any sane window, so schedules are untouched; when idle the
+  /// watchdog costs one compare per simulated cycle.
+  uint64_t WatchdogCycles = 0;
+  /// Wall-clock timeout in milliseconds; 0 = disabled. Checked every
+  /// few thousand scheduler iterations; aborts the run with
+  /// SimResult::TimedOut. Non-deterministic by nature — a fence for
+  /// untrusted inputs, never for measurement.
+  uint64_t WallTimeoutMs = 0;
 };
 
 /// Owns the global-memory arena and runs kernel launches to completion.

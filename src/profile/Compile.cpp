@@ -9,6 +9,7 @@
 #include "codegen/CodeGen.h"
 #include "cudalang/Sema.h"
 #include "ir/RegAlloc.h"
+#include "support/FaultInjector.h"
 
 using namespace hfuse;
 using namespace hfuse::profile;
@@ -17,17 +18,31 @@ std::unique_ptr<CompiledKernel>
 hfuse::profile::compileSource(std::string_view Source,
                               const std::string &Name, unsigned RegBound,
                               DiagnosticEngine &Diags) {
+  auto R = compileSourceOr(Source, Name, RegBound, Diags);
+  return R ? R.take() : nullptr;
+}
+
+Expected<std::unique_ptr<CompiledKernel>>
+hfuse::profile::compileSourceOr(std::string_view Source,
+                                const std::string &Name, unsigned RegBound,
+                                DiagnosticEngine &Diags) {
+  if (Status S = FaultInjector::instance().check(FaultSite::Compile, Name);
+      !S.ok()) {
+    Diags.error(SourceLocation(), S.str());
+    return S;
+  }
   auto Result = std::make_unique<CompiledKernel>();
-  Result->Pre = transform::parseAndPreprocess(Source, Name, Diags);
-  if (!Result->Pre)
-    return nullptr;
+  auto Pre = transform::parseAndPreprocessOr(Source, Name, Diags);
+  if (!Pre)
+    return Pre.status();
+  Result->Pre = Pre.take();
   Result->IR = codegen::compileKernel(Result->Pre->Kernel, Diags);
   if (!Result->IR)
-    return nullptr;
+    return Status(ErrorCode::CodegenError, Diags.str());
   ir::RegAllocResult RA = ir::allocateRegisters(*Result->IR, RegBound);
   if (!RA.Ok) {
     Diags.error(SourceLocation(), RA.Error);
-    return nullptr;
+    return Status(ErrorCode::RegAllocError, RA.Error);
   }
   return Result;
 }
@@ -69,47 +84,87 @@ hfuse::profile::lowerFunctionNoRegAlloc(cuda::ASTContext &Ctx,
 
 std::shared_ptr<const CompiledKernel>
 CompileCache::getKernel(std::string_view Source, const std::string &Name,
-                        unsigned RegBound, DiagnosticEngine &Diags) {
+                        unsigned RegBound, DiagnosticEngine &Diags,
+                        Status *Err) {
   Key K{std::hash<std::string_view>{}(Source), Source.size(), Name,
         RegBound};
 
-  std::shared_future<Compiled> Fut;
-  std::promise<Compiled> Promise;
-  bool IsCompiler = false;
-  {
-    std::lock_guard<std::mutex> Lock(Mu);
-    auto It = Map.find(K);
-    if (It != Map.end()) {
-      ++S.KernelHits;
-      Fut = It->second;
-    } else {
-      IsCompiler = true;
-      ++S.KernelCompiles;
-      Fut = Map.emplace(K, Promise.get_future().share()).first->second;
+  // The retry loop serves one case: a cached entry flagged as corrupt
+  // by its integrity check. The reader retires it (identity-checked)
+  // and re-enters as a fresh compiler — corruption is transient by
+  // definition, so recovery is recompilation, not propagation.
+  for (;;) {
+    std::shared_ptr<std::shared_future<Compiled>> Fut;
+    std::promise<Compiled> Promise;
+    bool IsCompiler = false;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      auto It = Map.find(K);
+      if (It != Map.end()) {
+        ++S.KernelHits;
+        Fut = It->second;
+      } else {
+        IsCompiler = true;
+        ++S.KernelCompiles;
+        Fut = std::make_shared<std::shared_future<Compiled>>(
+            Promise.get_future().share());
+        Map.emplace(K, Fut);
+      }
     }
-  }
 
-  if (IsCompiler) {
-    Compiled C;
-    DiagnosticEngine Local;
-    C.Kernel = compileSource(Source, Name, RegBound, Local);
-    if (!C.Kernel)
-      C.DiagText = Local.str();
-    Promise.set_value(std::move(C));
-  }
+    if (IsCompiler) {
+      Compiled C;
+      DiagnosticEngine Local;
+      auto R = compileSourceOr(Source, Name, RegBound, Local);
+      if (R) {
+        C.Kernel = R.take();
+      } else {
+        C.Err = R.status();
+        // Retire the negative entry *before* publishing the result:
+        // every waiter already blocked on this future receives the
+        // error, while any later request finds no entry and compiles
+        // afresh. The identity check keeps a concurrent sequence of
+        // fail/retry from erasing a successor's entry.
+        std::lock_guard<std::mutex> Lock(Mu);
+        auto It = Map.find(K);
+        if (It != Map.end() && It->second == Fut)
+          Map.erase(It);
+      }
+      Promise.set_value(std::move(C));
+    }
 
-  const Compiled &C = Fut.get();
-  if (!C.Kernel)
-    Diags.error(SourceLocation(), "cached compilation failed:\n" +
-                                      C.DiagText);
-  return C.Kernel;
+    const Compiled &C = Fut->get();
+    if (!C.Kernel) {
+      Diags.error(SourceLocation(),
+                  "cached compilation failed:\n" + C.Err.message());
+      if (Err)
+        *Err = C.Err;
+      return nullptr;
+    }
+    // Entry integrity check (the detection signal is injection-driven;
+    // a real corruption check would validate a content hash here).
+    if (!IsCompiler) {
+      FaultInjector &FI = FaultInjector::instance();
+      if (FI.armed() &&
+          !FI.check(FaultSite::CacheCorrupt, Name).ok()) {
+        std::lock_guard<std::mutex> Lock(Mu);
+        auto It = Map.find(K);
+        if (It != Map.end() && It->second == Fut)
+          Map.erase(It);
+        continue;
+      }
+    }
+    if (Err)
+      *Err = Status::success();
+    return C.Kernel;
+  }
 }
 
 std::shared_ptr<const CompiledKernel>
 CompileCache::getBenchKernel(kernels::BenchKernelId Id, unsigned RegBound,
-                             DiagnosticEngine &Diags) {
+                             DiagnosticEngine &Diags, Status *Err) {
   return getKernel(kernels::kernelSource(Id), kernels::kernelFunctionName(Id),
-                   RegBound, Diags);
+                   RegBound, Diags, Err);
 }
 
 CompileCache::Stats CompileCache::stats() const {

@@ -19,6 +19,7 @@
 #include "ir/IR.h"
 #include "kernels/Kernels.h"
 #include "support/Diagnostics.h"
+#include "support/Status.h"
 #include "transform/Pipeline.h"
 
 #include <cstdint>
@@ -45,6 +46,15 @@ std::unique_ptr<CompiledKernel> compileSource(std::string_view Source,
                                               const std::string &Name,
                                               unsigned RegBound,
                                               DiagnosticEngine &Diags);
+
+/// Same, reporting the failing phase as a structured Status (ParseError,
+/// SemaError, CodegenError, or RegAllocError) with the rendered
+/// diagnostics as the message. This is also the fault-injection point
+/// for FaultSite::Compile (label = kernel name). Never asserts on
+/// malformed input.
+Expected<std::unique_ptr<CompiledKernel>>
+compileSourceOr(std::string_view Source, const std::string &Name,
+                unsigned RegBound, DiagnosticEngine &Diags);
 
 /// Compiles one of the paper's benchmark kernels.
 std::unique_ptr<CompiledKernel> compileBenchKernel(kernels::BenchKernelId Id,
@@ -94,17 +104,27 @@ public:
     uint64_t SimMemoHits = 0;    ///< simulations served by memoization
   };
 
-  /// Compiles (or fetches) CuLite \p Source. On failure returns null and
-  /// appends the recorded diagnostics to \p Diags.
+  /// Compiles (or fetches) CuLite \p Source. On failure returns null,
+  /// appends the recorded diagnostics to \p Diags, and (when \p Err is
+  /// non-null) stores the structured failure Status.
+  ///
+  /// Failure semantics: only successful compilations are memoized. A
+  /// failed compile delivers its error to every waiter already blocked
+  /// on the in-flight shared future, but the entry itself is retired
+  /// before the result is published — a later request for the same key
+  /// starts a fresh compilation instead of replaying the failure
+  /// (injected/transient faults must be retryable, and a permanent
+  /// failure simply recompiles, which is cheap next to the sweep).
   std::shared_ptr<const CompiledKernel> getKernel(std::string_view Source,
                                                   const std::string &Name,
                                                   unsigned RegBound,
-                                                  DiagnosticEngine &Diags);
+                                                  DiagnosticEngine &Diags,
+                                                  Status *Err = nullptr);
 
   /// Compiles (or fetches) one of the paper's benchmark kernels.
   std::shared_ptr<const CompiledKernel>
   getBenchKernel(kernels::BenchKernelId Id, unsigned RegBound,
-                 DiagnosticEngine &Diags);
+                 DiagnosticEngine &Diags, Status *Err = nullptr);
 
   Stats stats() const;
   void resetStats();
@@ -126,11 +146,15 @@ private:
   };
   struct Compiled {
     std::shared_ptr<const CompiledKernel> Kernel;
-    std::string DiagText; ///< rendered diagnostics of a failed compile
+    Status Err; ///< structured failure (message holds the diagnostics)
   };
 
   mutable std::mutex Mu;
-  std::map<Key, std::shared_future<Compiled>> Map;
+  /// Entries are shared_ptr-wrapped futures so they carry identity:
+  /// the compiler thread retires its own failed entry (erase only if
+  /// the map still holds *this* future), never a fresh replacement a
+  /// concurrent retry already installed.
+  std::map<Key, std::shared_ptr<std::shared_future<Compiled>>> Map;
   Stats S;
 };
 

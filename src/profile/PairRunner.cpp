@@ -9,6 +9,7 @@
 #include "cudalang/ASTPrinter.h"
 #include "gpusim/Occupancy.h"
 #include "ir/RegAlloc.h"
+#include "support/FaultInjector.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 #include "transform/Fusion.h"
@@ -79,6 +80,8 @@ PairRunner::makeContext(std::string &Error) const {
   SC.Arch = Opts.Arch;
   SC.SimSMs = Opts.SimSMs;
   SC.ModelL2 = Opts.ModelL2;
+  SC.WatchdogCycles = Opts.WatchdogCycles;
+  SC.WallTimeoutMs = Opts.WallTimeoutMs;
   C->Sim = std::make_unique<Simulator>(SC);
   C->W1->setup(*C->Sim);
   C->W2->setup(*C->Sim);
@@ -121,6 +124,26 @@ SimResult PairRunner::fail(const std::string &Message) const {
   R.Error = Message;
   return R;
 }
+
+namespace {
+
+/// Classifies a failed SimResult into the error taxonomy, preserving
+/// the transient flag of fault-injected runs.
+Status statusFromSim(const SimResult &R) {
+  ErrorCode Code = ErrorCode::SimError;
+  if (R.Deadlock)
+    Code = ErrorCode::SimDeadlock;
+  else if (R.TimedOut)
+    Code = ErrorCode::SimTimeout;
+  else if (R.BudgetExceeded)
+    Code = ErrorCode::SimBudget;
+  else if (R.Error.rfind("verification failed", 0) == 0)
+    Code = ErrorCode::VerifyError;
+  return R.FaultInjected ? Status::transient(Code, R.Error)
+                         : Status(Code, R.Error);
+}
+
+} // namespace
 
 SimResult PairRunner::runLaunches(
     SimContext &C, const std::vector<KernelLaunch> &Launches, int Threads1,
@@ -228,7 +251,7 @@ SimResult PairRunner::runVFused() {
 
 std::shared_ptr<ir::IRKernel>
 PairRunner::getFusedIR(int D1, int D2, unsigned RegBound,
-                       uint32_t &DynShared, std::string &Error) {
+                       uint32_t &DynShared, Status &Err) {
   // With the cache on, one entry per partition serves every register
   // bound; with it off, each (partition, bound) redoes the pipeline.
   auto Key = std::make_tuple(D1, D2,
@@ -244,6 +267,16 @@ PairRunner::getFusedIR(int D1, int D2, unsigned RegBound,
 
   std::lock_guard<std::mutex> Lock(Entry->Mu);
   if (!Entry->Attempted) {
+    // Fault-injection point for the fusion stage. Fired faults are
+    // transient: return the failure without marking the entry
+    // attempted, so a retry redoes the fusion instead of replaying an
+    // injected error as if it were a property of the partition.
+    if (Status S = FaultInjector::instance().check(
+            FaultSite::Fuse, formatString("%d/%d", D1, D2));
+        !S.ok()) {
+      Err = std::move(S);
+      return nullptr;
+    }
     Entry->Attempted = true;
     Cache->count(&CompileCache::Stats::FusionRuns);
     DiagnosticEngine Diags;
@@ -258,23 +291,25 @@ PairRunner::getFusedIR(int D1, int D2, unsigned RegBound,
         transform::fuseHorizontal(*Entry->Ctx, K1->fn(), K2->fn(), HO,
                                   Diags);
     if (!FR.Ok) {
-      Entry->Error = "horizontal fusion failed:\n" + Diags.str();
+      Entry->Err = Status(ErrorCode::FusionUnsupported,
+                          "horizontal fusion failed:\n" + Diags.str());
     } else {
       Entry->Fused = FR.Fused;
       Entry->BaseIR = lowerFunctionNoRegAlloc(*Entry->Ctx, FR.Fused, Diags);
       if (!Entry->BaseIR)
-        Entry->Error = "fused kernel lowering failed:\n" + Diags.str();
+        Entry->Err = Status(ErrorCode::CodegenError,
+                            "fused kernel lowering failed:\n" + Diags.str());
       Entry->DynShared =
           Primary.W1->dynSharedBytes() + Primary.W2->dynSharedBytes();
     }
   } else if (Entry->ByBound.find(RegBound) == Entry->ByBound.end()) {
     // The AST-level work of this partition is being reused for a new
     // register variant (or a fresh query of a known failure).
-    if (!Entry->Error.empty() || Entry->BaseIR)
+    if (!Entry->Err.ok() || Entry->BaseIR)
       Cache->count(&CompileCache::Stats::FusionHits);
   }
-  if (!Entry->Error.empty()) {
-    Error = Entry->Error;
+  if (!Entry->Err.ok()) {
+    Err = Entry->Err;
     return nullptr;
   }
   DynShared = Entry->DynShared;
@@ -297,11 +332,21 @@ PairRunner::getFusedIR(int D1, int D2, unsigned RegBound,
     }
   }
 
+  // Fault-injection point for the per-bound lowering stage; nothing is
+  // memoized for this bound yet, so the failure is naturally retryable.
+  if (Status S = FaultInjector::instance().check(
+          FaultSite::Lower, formatString("%d/%d:r%u", D1, D2, RegBound));
+      !S.ok()) {
+    Err = std::move(S);
+    return nullptr;
+  }
+
   Cache->count(&CompileCache::Stats::Lowerings);
   auto IR = std::make_shared<ir::IRKernel>(*Entry->BaseIR);
   ir::RegAllocResult RA = ir::allocateRegisters(*IR, RegBound);
   if (!RA.Ok) {
-    Error = "fused register allocation failed: " + RA.Error;
+    Err = Status(ErrorCode::RegAllocError,
+                 "fused register allocation failed: " + RA.Error);
     return nullptr;
   }
   if (RegBound == 0)
@@ -311,14 +356,14 @@ PairRunner::getFusedIR(int D1, int D2, unsigned RegBound,
 }
 
 SimResult PairRunner::runHFusedIn(SimContext &C, int D1, int D2,
-                                  unsigned RegBound, std::string &Error,
+                                  unsigned RegBound, Status &Err,
                                   SearchStats *Stats, StatsLevel Level,
                                   uint64_t CycleBudget) {
   uint32_t DynShared = 0;
   std::shared_ptr<ir::IRKernel> IR =
-      getFusedIR(D1, D2, RegBound, DynShared, Error);
+      getFusedIR(D1, D2, RegBound, DynShared, Err);
   if (!IR)
-    return fail(Error);
+    return fail(Err.message());
 
   int Grid = commonGrid();
   int BlockDim = D1 + D2;
@@ -332,8 +377,8 @@ SimResult PairRunner::runHFusedIn(SimContext &C, int D1, int D2,
   for (;;) {
     std::promise<SimResult> MemoPromise;
     bool IsMemoRunner = false;
+    std::shared_ptr<std::shared_future<SimResult>> Entry;
     if (Opts.UseCompileCache) {
-      std::shared_ptr<std::shared_future<SimResult>> Entry;
       {
         std::lock_guard<std::mutex> Lock(SimMemoMu);
         auto It = SimMemo.find(MemoKey);
@@ -406,8 +451,20 @@ SimResult PairRunner::runHFusedIn(SimContext &C, int D1, int D2,
       if (R.BudgetExceeded)
         Stats->AbandonedInsts += R.TotalIssued;
     }
-    if (IsMemoRunner)
+    if (IsMemoRunner) {
+      // A fault-injected failure is transient: retire the entry before
+      // publishing so waiters get the error but any later request
+      // re-simulates (the identity check spares a successor entry).
+      // Deterministic failures stay memoized — replaying them is
+      // correct and cheap.
+      if (R.FaultInjected && Opts.UseCompileCache) {
+        std::lock_guard<std::mutex> Lock(SimMemoMu);
+        auto It = SimMemo.find(MemoKey);
+        if (It != SimMemo.end() && It->second == Entry)
+          SimMemo.erase(It);
+      }
       MemoPromise.set_value(R);
+    }
     return R;
   }
 }
@@ -415,16 +472,16 @@ SimResult PairRunner::runHFusedIn(SimContext &C, int D1, int D2,
 SimResult PairRunner::runHFused(int D1, int D2, unsigned RegBound) {
   if (!Ready)
     return fail(Err);
-  std::string Error;
-  SimResult R = runHFusedIn(Primary, D1, D2, RegBound, Error, nullptr,
+  Status E;
+  SimResult R = runHFusedIn(Primary, D1, D2, RegBound, E, nullptr,
                             StatsLevel::Full);
-  if (!R.Ok && !Error.empty())
-    Err = Error;
+  if (!R.Ok && !E.ok())
+    Err = E.message();
   return R;
 }
 
 std::optional<unsigned> PairRunner::figure6RegBoundImpl(int D1, int D2,
-                                                        std::string &Error) {
+                                                        Status &Err) {
   const GpuArch &A = Opts.Arch;
   unsigned NRegs1 = K1->IR->ArchRegsPerThread;
   unsigned NRegs2 = K2->IR->ArchRegsPerThread;
@@ -439,7 +496,7 @@ std::optional<unsigned> PairRunner::figure6RegBoundImpl(int D1, int D2,
   // Shared memory of the fused kernel.
   uint32_t DynShared = 0;
   std::shared_ptr<ir::IRKernel> IR =
-      getFusedIR(D1, D2, /*RegBound=*/0, DynShared, Error);
+      getFusedIR(D1, D2, /*RegBound=*/0, DynShared, Err);
   if (!IR)
     return std::nullopt;
   uint32_t ShMem = IR->StaticSharedBytes + DynShared;
@@ -462,10 +519,10 @@ std::optional<unsigned> PairRunner::figure6RegBoundImpl(int D1, int D2,
 std::optional<unsigned> PairRunner::figure6RegBound(int D1, int D2) {
   if (!Ready)
     return std::nullopt;
-  std::string Error;
-  std::optional<unsigned> R0 = figure6RegBoundImpl(D1, D2, Error);
-  if (!Error.empty())
-    Err = Error;
+  Status E;
+  std::optional<unsigned> R0 = figure6RegBoundImpl(D1, D2, E);
+  if (!E.ok())
+    Err = E.message();
   return R0;
 }
 
@@ -474,6 +531,7 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
   SearchResult SR;
   if (!Ready) {
     SR.Error = Err;
+    SR.Err = Status(ErrorCode::Internal, Err);
     return SR;
   }
 
@@ -533,7 +591,9 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
     bool Abandoned = false;
     uint64_t AbandonBudget = 0;
     uint64_t AbandonIssued = 0;
-    std::string Error;
+    /// Contained failure that retired this candidate (compile, fuse,
+    /// lower, or simulate); Ok while the candidate is healthy.
+    Status Error;
     std::optional<FusionCandidate> Measured;
   };
   std::vector<Candidate> Cands;
@@ -578,7 +638,7 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
     if (NaiveEvenSplit)
       return;
     Candidate &B = Cands[I * PerPart + 1];
-    std::string BoundErr;
+    Status BoundErr;
     std::optional<unsigned> R0 = figure6RegBoundImpl(B.D1, B.D2, BoundErr);
     if (!R0)
       return; // no bounded trial for this partition (seed behavior)
@@ -664,14 +724,14 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
     std::string CtxErr;
     SimContext *Ctx = acquireContext(CtxErr);
     if (!Ctx) {
-      C.Error = CtxErr;
+      C.Error = Status(ErrorCode::WorkloadError, CtxErr);
       return;
     }
     FusionCandidate FC;
     FC.D1 = C.D1;
     FC.D2 = C.D2;
     FC.RegBound = C.RegBound;
-    std::string E;
+    Status E;
     FC.Result = runHFusedIn(*Ctx, C.D1, C.D2, C.RegBound, E, &KeptStats[K],
                             Opts.SearchStats, Budget);
     if (FC.Result.Ok) {
@@ -682,8 +742,10 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
       C.Abandoned = true;
       C.AbandonBudget = Budget;
       C.AbandonIssued = FC.Result.TotalIssued;
-    } else if (C.Error.empty())
-      C.Error = E;
+    } else if (C.Error.ok())
+      // Pipeline failures arrive in E; simulation failures (deadlock,
+      // timeout, OOB, verification) are classified off the SimResult.
+      C.Error = !E.ok() ? E : statusFromSim(FC.Result);
     releaseContext(Ctx);
   };
 
@@ -768,13 +830,26 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
     Measure(K, Budget);
   });
 
-  std::string FirstError;
+  Status FirstError;
   for (Candidate &C : Cands) {
     if (C.RegBound == UINT_MAX)
       continue; // partition without a bounded trial
-    if (FirstError.empty() && !C.Error.empty())
+    if (FirstError.ok() && !C.Error.ok())
       FirstError = C.Error;
     ++SR.Stats.Candidates;
+    if (!C.Error.ok()) {
+      // Contained failure: the candidate is retired with its error
+      // recorded and the sweep goes on. Recorded in canonical order
+      // (this loop), so the report is deterministic across SearchJobs.
+      FailedCandidate F;
+      F.D1 = C.D1;
+      F.D2 = C.D2;
+      F.RegBound = C.RegBound;
+      F.Err = C.Error;
+      SR.Failed.push_back(std::move(F));
+      ++SR.Stats.Failed;
+      continue;
+    }
     if (C.Pruned) {
       PrunedCandidate P;
       P.D1 = C.D1;
@@ -810,9 +885,12 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
           .count();
 
   if (SR.All.empty()) {
-    SR.Error = !FirstError.empty() ? FirstError
-               : Err.empty() ? "no feasible fusion configuration"
-                             : Err;
+    SR.Err = !FirstError.ok()
+                 ? FirstError
+                 : Status(ErrorCode::FusionUnsupported,
+                          Err.empty() ? "no feasible fusion configuration"
+                                      : Err);
+    SR.Error = SR.Err.message();
     return SR;
   }
   SR.Best = *std::min_element(
@@ -829,7 +907,7 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
   if (Opts.SearchStats != gpusim::StatsLevel::Full) {
     std::string CtxErr;
     if (SimContext *Ctx = acquireContext(CtxErr)) {
-      std::string E;
+      Status E;
       SimResult R = runHFusedIn(*Ctx, SR.Best.D1, SR.Best.D2,
                                 SR.Best.RegBound, E, nullptr,
                                 gpusim::StatsLevel::Full);

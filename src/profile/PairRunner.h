@@ -84,6 +84,7 @@
 #include "gpusim/Simulator.h"
 #include "kernels/Workload.h"
 #include "profile/Compile.h"
+#include "support/Status.h"
 
 #include <map>
 #include <memory>
@@ -129,6 +130,17 @@ struct AbandonedCandidate {
   uint64_t IssuedInsts = 0;
 };
 
+/// A candidate retired by a contained failure (compile, fusion,
+/// lowering, or simulation error — including injected faults). The
+/// sweep records it and moves on; the error never escapes as an
+/// assert/abort or poisons other candidates.
+struct FailedCandidate {
+  int D1 = 0;
+  int D2 = 0;
+  unsigned RegBound = 0;
+  Status Err;
+};
+
 /// Cost accounting for one search.
 struct SearchStats {
   unsigned Candidates = 0;  ///< enumerated, including pruned ones
@@ -136,6 +148,7 @@ struct SearchStats {
   unsigned MemoHits = 0;    ///< results served by simulation memoization
   unsigned Pruned = 0;      ///< candidates skipped by pruning
   unsigned Abandoned = 0;   ///< candidates cut off by the cycle budget
+  unsigned Failed = 0;      ///< candidates retired by contained failures
   /// Warp instructions issued across all candidate simulations,
   /// including the partial progress of abandoned runs — the search's
   /// real simulation cost, which the budget exists to shrink.
@@ -152,10 +165,18 @@ struct SearchStats {
 struct SearchResult {
   bool Ok = false;
   std::string Error;
+  /// Structured form of Error: the first failure observed, or the
+  /// reason no candidate was feasible. Ok() when the search succeeded —
+  /// possibly with individual candidates retired into Failed.
+  Status Err;
   FusionCandidate Best;
   std::vector<FusionCandidate> All;
   std::vector<PrunedCandidate> Pruned;
   std::vector<AbandonedCandidate> Abandoned;
+  /// Candidates retired by contained failures, in canonical order. The
+  /// sweep's Best is bit-identical to a failure-free sweep as long as
+  /// the winner itself is healthy.
+  std::vector<FailedCandidate> Failed;
   SearchStats Stats;
 };
 
@@ -213,6 +234,16 @@ public:
     /// incumbent/(1 + BudgetMarginPct/100), bounding the aggressive
     /// sweep's Best to within this percentage of the true optimum.
     double BudgetMarginPct = 10.0;
+    /// Simulator watchdog window for every simulation this runner
+    /// performs (SimConfig::WatchdogCycles); 0 = disabled. Rescues
+    /// live/deadlocked candidate kernels (e.g. a barrier-mismatch
+    /// fusion) at a deterministic abort cycle instead of burning the
+    /// full MaxCycles allowance.
+    uint64_t WatchdogCycles = 0;
+    /// Wall-clock timeout per simulation in milliseconds
+    /// (SimConfig::WallTimeoutMs); 0 = disabled. Non-deterministic —
+    /// a fence for untrusted inputs only.
+    uint64_t WallTimeoutMs = 0;
     /// Master switch for the caching layers: fusion/codegen reuse
     /// across register variants, the shared kernel CompileCache, and
     /// simulation memoization. Off reproduces the seed cost profile
@@ -281,7 +312,10 @@ private:
   struct FusionEntry {
     std::mutex Mu;
     bool Attempted = false;
-    std::string Error;
+    /// Recorded permanent failure of the fusion/codegen stage.
+    /// Transient (injected) failures are returned to the caller but
+    /// never stored: the entry resets so a retry redoes the work.
+    Status Err;
     std::unique_ptr<cuda::ASTContext> Ctx;
     cuda::FunctionDecl *Fused = nullptr;
     uint32_t DynShared = 0;
@@ -300,11 +334,10 @@ private:
   void releaseContext(SimContext *C);
 
   /// Fused IR for (D1, D2, RegBound) through the caches; null on error
-  /// (with \p Error set). \p DynShared receives the dynamic shared size.
+  /// (with \p Err set). \p DynShared receives the dynamic shared size.
   std::shared_ptr<ir::IRKernel> getFusedIR(int D1, int D2,
                                            unsigned RegBound,
-                                           uint32_t &DynShared,
-                                           std::string &Error);
+                                           uint32_t &DynShared, Status &Err);
 
   /// \p CycleBudget of 0 runs to completion; otherwise the simulation
   /// is abandoned (SimResult::BudgetExceeded) once its cycles provably
@@ -313,7 +346,7 @@ private:
   /// a later run under a looser (or no) budget retires the entry and
   /// re-simulates instead of replaying the cutoff.
   gpusim::SimResult runHFusedIn(SimContext &C, int D1, int D2,
-                                unsigned RegBound, std::string &Error,
+                                unsigned RegBound, Status &Err,
                                 SearchStats *Stats,
                                 gpusim::StatsLevel Level,
                                 uint64_t CycleBudget = 0);
@@ -322,8 +355,7 @@ private:
                                 int Threads1, int Threads2,
                                 gpusim::StatsLevel Level,
                                 uint64_t CycleBudget = 0);
-  std::optional<unsigned> figure6RegBoundImpl(int D1, int D2,
-                                              std::string &Error);
+  std::optional<unsigned> figure6RegBoundImpl(int D1, int D2, Status &Err);
   int commonGrid() const;
 
   kernels::BenchKernelId IdA, IdB;
@@ -353,9 +385,14 @@ private:
   /// simulating twice. A BudgetExceeded result stays memoized — its
   /// verdict is deterministic for any caller at least as tight — and
   /// is retired lazily by the first caller that needs more simulation
-  /// (no budget, or a looser one). The shared_ptr wrapper gives
-  /// entries identity, so that retirement can no-op when a concurrent
-  /// retirement already installed a fresh runner's entry.
+  /// (no budget, or a looser one). A fault-injected failure
+  /// (SimResult::FaultInjected) is retired eagerly by its own runner
+  /// before the result is published — waiters see the failure, later
+  /// requests re-simulate. Deterministic failures (OOB, genuine
+  /// deadlock) stay memoized: replaying them is correct and cheap.
+  /// The shared_ptr wrapper gives entries identity, so that
+  /// retirement can no-op when a concurrent retirement already
+  /// installed a fresh runner's entry.
   std::map<std::tuple<const ir::IRKernel *, int, int, uint32_t, int>,
            std::shared_ptr<std::shared_future<gpusim::SimResult>>>
       SimMemo;

@@ -42,6 +42,103 @@ void hfuse::transform::forEachStmt(Stmt *S,
   }
 }
 
+namespace {
+
+void visitExpr(const Expr *E, const std::function<void(const Expr *)> &Fn) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case StmtKind::Unary:
+    visitExpr(cast<UnaryExpr>(E)->sub(), Fn);
+    break;
+  case StmtKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    visitExpr(B->lhs(), Fn);
+    visitExpr(B->rhs(), Fn);
+    break;
+  }
+  case StmtKind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(E);
+    visitExpr(C->cond(), Fn);
+    visitExpr(C->trueExpr(), Fn);
+    visitExpr(C->falseExpr(), Fn);
+    break;
+  }
+  case StmtKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    for (const Expr *Arg : C->args())
+      visitExpr(Arg, Fn);
+    break;
+  }
+  case StmtKind::Cast:
+    visitExpr(cast<CastExpr>(E)->sub(), Fn);
+    break;
+  case StmtKind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    visitExpr(I->base(), Fn);
+    visitExpr(I->index(), Fn);
+    break;
+  }
+  case StmtKind::Paren:
+    visitExpr(cast<ParenExpr>(E)->sub(), Fn);
+    break;
+  default:
+    break;
+  }
+  Fn(E);
+}
+
+} // namespace
+
+void hfuse::transform::forEachExpr(
+    const Stmt *S, const std::function<void(const Expr *)> &Fn) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case StmtKind::Compound:
+    for (const Stmt *Sub : cast<CompoundStmt>(S)->body())
+      forEachExpr(Sub, Fn);
+    return;
+  case StmtKind::Decl:
+    for (const VarDecl *V : cast<DeclStmt>(S)->decls())
+      if (V->init())
+        visitExpr(V->init(), Fn);
+    return;
+  case StmtKind::ExprStmtKind:
+    visitExpr(cast<ExprStmt>(S)->expr(), Fn);
+    return;
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    visitExpr(I->cond(), Fn);
+    forEachExpr(I->thenStmt(), Fn);
+    forEachExpr(I->elseStmt(), Fn);
+    return;
+  }
+  case StmtKind::For: {
+    const auto *F = cast<ForStmt>(S);
+    forEachExpr(F->init(), Fn);
+    visitExpr(F->cond(), Fn);
+    visitExpr(F->inc(), Fn);
+    forEachExpr(F->body(), Fn);
+    return;
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    visitExpr(W->cond(), Fn);
+    forEachExpr(W->body(), Fn);
+    return;
+  }
+  case StmtKind::Return:
+    visitExpr(cast<ReturnStmt>(S)->value(), Fn);
+    return;
+  case StmtKind::Label:
+    forEachExpr(cast<LabelStmt>(S)->sub(), Fn);
+    return;
+  default:
+    return;
+  }
+}
+
 Expr *hfuse::transform::rewriteExpr(
     Expr *E, const std::function<Expr *(Expr *)> &Fn) {
   if (!E)

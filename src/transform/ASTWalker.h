@@ -23,6 +23,15 @@ namespace hfuse::transform {
 /// Visits \p S and every nested statement (not expressions) in pre-order.
 void forEachStmt(cuda::Stmt *S, const std::function<void(cuda::Stmt *)> &Fn);
 
+/// Visits every expression reachable from \p S (conditions, increments,
+/// initializers, statement expressions, ...) bottom-up without writing
+/// to the tree. Analyses must use this instead of an identity
+/// rewriteAllExprs: the rewriters store children back through setters,
+/// which is a data race when several search workers analyze the shared
+/// input-kernel AST concurrently.
+void forEachExpr(const cuda::Stmt *S,
+                 const std::function<void(const cuda::Expr *)> &Fn);
+
 /// Rewrites an expression tree bottom-up: children are rewritten first,
 /// then \p Fn is applied to the node itself; the returned expression
 /// replaces it.

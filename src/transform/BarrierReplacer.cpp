@@ -59,12 +59,14 @@ int hfuse::transform::replaceBarriers(ASTContext &Ctx, Stmt *Body,
   return BadPosition ? -1 : NumReplaced;
 }
 
-unsigned hfuse::transform::countSyncthreads(Stmt *Body) {
+unsigned hfuse::transform::countSyncthreads(const Stmt *Body) {
+  // Read-only walk: this runs on the shared input-kernel AST from
+  // concurrent search workers, where the identity-rewriting walkers
+  // would race on the child-pointer stores.
   unsigned Count = 0;
-  rewriteAllExprs(Body, [&](Expr *E) -> Expr * {
+  forEachExpr(Body, [&](const Expr *E) {
     if (isSyncthreadsCall(E))
       ++Count;
-    return E;
   });
   return Count;
 }

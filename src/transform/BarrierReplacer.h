@@ -31,7 +31,7 @@ int replaceBarriers(cuda::ASTContext &Ctx, cuda::Stmt *Body, int BarrierId,
                     int NumThreads, DiagnosticEngine &Diags);
 
 /// Counts `__syncthreads()` calls in \p Body.
-unsigned countSyncthreads(cuda::Stmt *Body);
+unsigned countSyncthreads(const cuda::Stmt *Body);
 
 } // namespace hfuse::transform
 

@@ -44,16 +44,17 @@ bool hfuse::transform::replaceBuiltins(ASTContext &Ctx, Stmt *Body,
   return Ok;
 }
 
-bool hfuse::transform::usesMultiDimBuiltins(Stmt *Body) {
+bool hfuse::transform::usesMultiDimBuiltins(const Stmt *Body) {
+  // Read-only walk: runs on the shared input-kernel AST from
+  // concurrent search workers (see countSyncthreads).
   bool Found = false;
-  rewriteAllExprs(Body, [&](Expr *E) -> Expr * {
-    if (auto *B = dyn_cast<BuiltinIdxExpr>(E)) {
+  forEachExpr(Body, [&](const Expr *E) {
+    if (const auto *B = dyn_cast<BuiltinIdxExpr>(E)) {
       bool IsThreadLocal = B->builtin() == BuiltinIdxKind::ThreadIdx ||
                            B->builtin() == BuiltinIdxKind::BlockDim;
       if (IsThreadLocal && B->dim() != 0)
         Found = true;
     }
-    return E;
   });
   return Found;
 }

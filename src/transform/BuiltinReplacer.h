@@ -41,7 +41,7 @@ bool replaceBuiltins(cuda::ASTContext &Ctx, cuda::Stmt *Body,
 /// Returns true if \p Body references threadIdx/blockDim .y or .z (such
 /// a kernel needs a multi-dimensional partition shape when fusing, and
 /// cannot be fused vertically with a kernel of a different shape).
-bool usesMultiDimBuiltins(cuda::Stmt *Body);
+bool usesMultiDimBuiltins(const cuda::Stmt *Body);
 
 } // namespace hfuse::transform
 

@@ -45,17 +45,28 @@ std::unique_ptr<PreprocessedKernel>
 hfuse::transform::parseAndPreprocess(std::string_view Source,
                                      const std::string &KernelName,
                                      DiagnosticEngine &Diags) {
+  auto R = parseAndPreprocessOr(Source, KernelName, Diags);
+  return R ? R.take() : nullptr;
+}
+
+Expected<std::unique_ptr<PreprocessedKernel>>
+hfuse::transform::parseAndPreprocessOr(std::string_view Source,
+                                       const std::string &KernelName,
+                                       DiagnosticEngine &Diags) {
+  auto Fail = [&](ErrorCode Code) {
+    return Status(Code, Diags.str());
+  };
   auto Result = std::make_unique<PreprocessedKernel>();
   Result->Ctx = std::make_unique<ASTContext>();
 
   Parser P(Source, *Result->Ctx, Diags);
   if (!P.parseTranslationUnit())
-    return nullptr;
+    return Fail(ErrorCode::ParseError);
 
   // Device functions must be resolved before the kernel is analyzed.
   Sema S(*Result->Ctx, Diags);
   if (!S.run())
-    return nullptr;
+    return Fail(ErrorCode::SemaError);
 
   FunctionDecl *Kernel = nullptr;
   if (!KernelName.empty()) {
@@ -64,7 +75,7 @@ hfuse::transform::parseAndPreprocess(std::string_view Source,
       Diags.error(SourceLocation(),
                   formatString("no __global__ kernel named '%s' in input",
                                KernelName.c_str()));
-      return nullptr;
+      return Fail(ErrorCode::SemaError);
     }
   } else {
     for (FunctionDecl *F : Result->Ctx->translationUnit().functions()) {
@@ -73,13 +84,13 @@ hfuse::transform::parseAndPreprocess(std::string_view Source,
       if (Kernel) {
         Diags.error(SourceLocation(),
                     "multiple __global__ kernels in input; pass a name");
-        return nullptr;
+        return Fail(ErrorCode::SemaError);
       }
       Kernel = F;
     }
     if (!Kernel) {
       Diags.error(SourceLocation(), "no __global__ kernel in input");
-      return nullptr;
+      return Fail(ErrorCode::SemaError);
     }
   }
 
@@ -87,7 +98,7 @@ hfuse::transform::parseAndPreprocess(std::string_view Source,
   // preprocessKernel starts with its own Sema run, so strip them first.
   stripImplicitCasts(Kernel->body());
   if (!preprocessKernel(*Result->Ctx, Kernel, Diags))
-    return nullptr;
+    return Fail(ErrorCode::SemaError);
   Result->Kernel = Kernel;
   return Result;
 }

@@ -18,6 +18,7 @@
 
 #include "cudalang/AST.h"
 #include "support/Diagnostics.h"
+#include "support/Status.h"
 
 #include <memory>
 #include <string_view>
@@ -48,6 +49,15 @@ struct PreprocessedKernel {
 std::unique_ptr<PreprocessedKernel>
 parseAndPreprocess(std::string_view Source, const std::string &KernelName,
                    DiagnosticEngine &Diags);
+
+/// Same, reporting which phase rejected the input as a structured
+/// Status — ParseError for lexer/parser failures, SemaError for
+/// analysis, kernel lookup, or preprocessing failures — with the
+/// rendered diagnostics as the message. Never throws or asserts on
+/// malformed input.
+Expected<std::unique_ptr<PreprocessedKernel>>
+parseAndPreprocessOr(std::string_view Source, const std::string &KernelName,
+                     DiagnosticEngine &Diags);
 
 } // namespace hfuse::transform
 

@@ -72,7 +72,129 @@ TEST(SimEdge, PartialBarrierDeadlockDetected) {
   L.Params = {A};
   SimResult R = Sim.run({L});
   EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.Deadlock);
   EXPECT_NE(R.Error.find("deadlock"), std::string::npos) << R.Error;
+}
+
+TEST(SimEdge, WatchdogRescuesLivelockDeterministically) {
+  // A livelock the instant deadlock detector cannot see: one warp spins
+  // forever polling a flag, because the warp that would set it is stuck
+  // at a barrier expecting arrivals that never come. Warps keep issuing
+  // (so there are always eligible warps), but the scheduler makes no
+  // macro progress — only the watchdog can classify this, and it must
+  // do so at a deterministic cycle.
+  auto K = compile("__global__ void livelock(int *a) {\n"
+                   "  if (threadIdx.x < 32u) {\n"
+                   "    int i = 0;\n"
+                   "    while (a[0] == 0) i++;\n"
+                   "    a[1] = i;\n"
+                   "  } else {\n"
+                   "    asm(\"bar.sync 1, 128;\");\n"
+                   "    a[0] = 1;\n"
+                   "  }\n"
+                   "}\n");
+  ASSERT_NE(K, nullptr);
+
+  auto Run = [&](uint64_t Watchdog) {
+    SimConfig C = smallConfig();
+    C.MaxCycles = 200000; // keep the no-watchdog control cheap
+    C.WatchdogCycles = Watchdog;
+    Simulator Sim(C);
+    uint64_t A = Sim.allocGlobal(64);
+    KernelLaunch L;
+    L.Kernel = K.get();
+    L.GridDim = 1;
+    L.BlockDim = 64;
+    L.Params = {A};
+    return Sim.run({L});
+  };
+
+  SimResult R = Run(20000);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.Deadlock);
+  EXPECT_FALSE(R.BudgetExceeded);
+  EXPECT_NE(R.Error.find("watchdog"), std::string::npos) << R.Error;
+  EXPECT_GT(R.TotalIssued, 0u); // it was spinning, not idle
+
+  // Pinned abort point: bit-identical across runs, and exactly
+  // last-progress + window — widening the window by N moves the abort
+  // by exactly N cycles.
+  SimResult R2 = Run(20000);
+  EXPECT_EQ(R.TotalCycles, R2.TotalCycles);
+  SimResult Wider = Run(20000 + 5000);
+  EXPECT_TRUE(Wider.Deadlock);
+  EXPECT_EQ(Wider.TotalCycles, R.TotalCycles + 5000);
+
+  // Without the watchdog the same kernel burns the whole cycle limit.
+  SimResult NoDog = Run(0);
+  EXPECT_FALSE(NoDog.Ok);
+  EXPECT_FALSE(NoDog.Deadlock);
+  EXPECT_NE(NoDog.Error.find("cycle limit"), std::string::npos)
+      << NoDog.Error;
+}
+
+TEST(SimEdge, WatchdogLeavesHealthyRunsBitIdentical) {
+  // The watchdog window clamps idle fast-forward, so this must be shown
+  // rather than assumed: a healthy run's schedule is untouched by any
+  // window that exceeds its longest progress gap.
+  auto K = compile("__global__ void work(unsigned int *a, int n) {\n"
+                   "  __shared__ unsigned int s[32];\n"
+                   "  if (threadIdx.x < 32u) s[threadIdx.x] = 0u;\n"
+                   "  __syncthreads();\n"
+                   "  for (int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+                   "       i < n; i += gridDim.x * blockDim.x)\n"
+                   "    atomicAdd(&s[i % 32], (unsigned int)i);\n"
+                   "  __syncthreads();\n"
+                   "  if (threadIdx.x < 32u)\n"
+                   "    atomicAdd(&a[threadIdx.x], s[threadIdx.x]);\n"
+                   "}\n");
+  ASSERT_NE(K, nullptr);
+
+  auto Run = [&](uint64_t Watchdog) {
+    SimConfig C = smallConfig();
+    C.WatchdogCycles = Watchdog;
+    Simulator Sim(C);
+    uint64_t A = Sim.allocGlobal(32 * 4);
+    KernelLaunch L;
+    L.Kernel = K.get();
+    L.GridDim = 4;
+    L.BlockDim = 128;
+    L.Params = {A, 4096};
+    SimResult R = Sim.run({L});
+    EXPECT_TRUE(R.Ok) << R.Error;
+    return R;
+  };
+
+  SimResult Off = Run(0);
+  SimResult On = Run(50000);
+  EXPECT_FALSE(On.Deadlock);
+  EXPECT_EQ(On.TotalCycles, Off.TotalCycles);
+  EXPECT_EQ(On.TotalIssued, Off.TotalIssued);
+}
+
+TEST(SimEdge, WallClockTimeoutFencesRunawayRuns) {
+  // Non-deterministic by design; assert only classification, not the
+  // abort cycle.
+  auto K = compile("__global__ void forever2(int *a) {\n"
+                   "  int i = 0;\n"
+                   "  while (a[0] == 0) i++;\n"
+                   "  a[1] = i;\n"
+                   "}\n");
+  ASSERT_NE(K, nullptr);
+  SimConfig C = smallConfig();
+  C.MaxCycles = 400ull * 1000 * 1000 * 1000; // too far to ever reach
+  C.WallTimeoutMs = 50;
+  Simulator Sim(C);
+  uint64_t A = Sim.allocGlobal(64);
+  KernelLaunch L;
+  L.Kernel = K.get();
+  L.GridDim = 1;
+  L.BlockDim = 32;
+  L.Params = {A};
+  SimResult R = Sim.run({L});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.TimedOut);
+  EXPECT_NE(R.Error.find("timeout"), std::string::npos) << R.Error;
 }
 
 TEST(SimEdge, ExitedThreadsReleaseFullBarrier) {

@@ -13,9 +13,15 @@
 #include "cudalang/AST.h"
 #include "support/Casting.h"
 #include "support/Diagnostics.h"
+#include "support/FaultInjector.h"
+#include "support/Status.h"
 #include "support/StringUtils.h"
 
 #include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
 
 using namespace hfuse;
 using namespace hfuse::cuda;
@@ -100,6 +106,143 @@ TEST(SourceLocationTest, Rendering) {
   EXPECT_EQ(SourceLocation(12, 3).str(), "12:3");
   EXPECT_TRUE(SourceLocation(1, 1).isValid());
   EXPECT_FALSE(SourceLocation().isValid());
+}
+
+TEST(StatusTest, CodesTransienceAndRendering) {
+  Status Ok;
+  EXPECT_TRUE(Ok.ok());
+  EXPECT_FALSE(Ok.transient());
+  EXPECT_EQ(Ok.str(), "ok");
+  EXPECT_STREQ(errorCodeName(ErrorCode::Ok), "Ok");
+
+  Status S(ErrorCode::SimDeadlock, "no progress");
+  EXPECT_FALSE(S.ok());
+  EXPECT_FALSE(S.transient());
+  EXPECT_EQ(S.code(), ErrorCode::SimDeadlock);
+  EXPECT_EQ(S.str(), "SimDeadlock: no progress");
+
+  Status T = Status::transient(ErrorCode::CacheCorrupt, "injected");
+  EXPECT_TRUE(T.transient());
+  EXPECT_EQ(T.str(), "CacheCorrupt: injected");
+
+  // Every code renders to a distinct, non-empty name.
+  std::set<std::string> Names;
+  for (int C = 0; C <= static_cast<int>(ErrorCode::Internal); ++C)
+    Names.insert(errorCodeName(static_cast<ErrorCode>(C)));
+  EXPECT_EQ(Names.size(), static_cast<size_t>(ErrorCode::Internal) + 1);
+  EXPECT_EQ(Names.count(""), 0u);
+}
+
+TEST(StatusTest, ExpectedValueAndError) {
+  Expected<int> V(42);
+  ASSERT_TRUE(bool(V));
+  EXPECT_EQ(*V, 42);
+  EXPECT_TRUE(V.status().ok());
+  EXPECT_EQ(V.take(), 42);
+
+  Expected<std::unique_ptr<int>> E(Status(ErrorCode::ParseError, "bad"));
+  EXPECT_FALSE(bool(E));
+  EXPECT_EQ(E.status().code(), ErrorCode::ParseError);
+
+  // Building an "error" from an ok status is a caller bug and must not
+  // produce a value-less success.
+  Expected<int> Weird((Status()));
+  EXPECT_FALSE(bool(Weird));
+  EXPECT_EQ(Weird.status().code(), ErrorCode::Internal);
+}
+
+namespace {
+
+/// Restores a disarmed process-wide injector when the test ends.
+struct InjectorGuard {
+  ~InjectorGuard() { FaultInjector::instance().reset(); }
+};
+
+} // namespace
+
+TEST(FaultInjectorTest, SpecParsing) {
+  InjectorGuard G;
+  FaultInjector &FI = FaultInjector::instance();
+  std::string Err;
+  EXPECT_TRUE(FI.configure("", &Err));
+  EXPECT_FALSE(FI.armed());
+  EXPECT_TRUE(FI.configure("compile:nth=2;sim-wedge:label=896/128", &Err))
+      << Err;
+  EXPECT_TRUE(FI.armed());
+  // label= consumes the rest of the rule, so substrings may contain ':'.
+  EXPECT_TRUE(FI.configure("lower:label=896/128:r40", &Err)) << Err;
+  EXPECT_TRUE(FI.check(FaultSite::Lower, "x 896/128:r40 y").ok() == false);
+
+  EXPECT_FALSE(FI.configure("frobnicate", &Err));
+  EXPECT_NE(Err.find("frobnicate"), std::string::npos);
+  EXPECT_FALSE(FI.configure("compile:nth=0", &Err));
+  EXPECT_FALSE(FI.configure("compile:nth=abc", &Err));
+  // A malformed spec disarms rather than half-applying.
+  EXPECT_FALSE(FI.armed());
+}
+
+TEST(FaultInjectorTest, NthCountsLabelMatchingQueriesAndFiresOnce) {
+  InjectorGuard G;
+  FaultInjector &FI = FaultInjector::instance();
+  ASSERT_TRUE(FI.configure("compile:nth=2:label=hist"));
+
+  // Non-matching labels and other sites do not advance the counter.
+  EXPECT_TRUE(FI.check(FaultSite::Compile, "batchnorm").ok());
+  EXPECT_TRUE(FI.check(FaultSite::Fuse, "hist").ok());
+  EXPECT_TRUE(FI.check(FaultSite::Compile, "hist").ok()); // match #1
+  Status S = FI.check(FaultSite::Compile, "hist");        // match #2: fire
+  ASSERT_FALSE(S.ok());
+  EXPECT_TRUE(S.transient());
+  EXPECT_EQ(S.code(), ErrorCode::CodegenError);
+  EXPECT_NE(S.message().find("injected fault at compile #2"),
+            std::string::npos)
+      << S.message();
+  // Spent: never fires again.
+  EXPECT_TRUE(FI.check(FaultSite::Compile, "hist").ok());
+  EXPECT_EQ(FI.firedCount(), 1u);
+}
+
+TEST(FaultInjectorTest, LabelOnlyRuleFiresOnEveryMatch) {
+  InjectorGuard G;
+  FaultInjector &FI = FaultInjector::instance();
+  ASSERT_TRUE(FI.configure("sim-wedge:label=640/384"));
+  for (int I = 0; I < 3; ++I) {
+    Status S = FI.check(FaultSite::SimWedge, "HFuse(A+B,640/384)");
+    EXPECT_FALSE(S.ok());
+    EXPECT_EQ(S.code(), ErrorCode::SimDeadlock);
+  }
+  EXPECT_TRUE(FI.check(FaultSite::SimWedge, "HFuse(A+B,512/512)").ok());
+  EXPECT_EQ(FI.firedCount(), 3u);
+
+  FI.reset();
+  EXPECT_FALSE(FI.armed());
+  EXPECT_EQ(FI.firedCount(), 0u);
+  EXPECT_TRUE(FI.check(FaultSite::SimWedge, "HFuse(A+B,640/384)").ok());
+}
+
+TEST(FaultInjectorTest, SiteCodesAndNames) {
+  InjectorGuard G;
+  FaultInjector &FI = FaultInjector::instance();
+  EXPECT_STREQ(faultSiteName(FaultSite::Compile), "compile");
+  EXPECT_STREQ(faultSiteName(FaultSite::CacheCorrupt), "cache-corrupt");
+  struct {
+    const char *Spec;
+    FaultSite Site;
+    ErrorCode Code;
+  } Cases[] = {
+      {"compile", FaultSite::Compile, ErrorCode::CodegenError},
+      {"fuse", FaultSite::Fuse, ErrorCode::FusionUnsupported},
+      {"lower", FaultSite::Lower, ErrorCode::RegAllocError},
+      {"sim-wedge", FaultSite::SimWedge, ErrorCode::SimDeadlock},
+      {"cache-corrupt", FaultSite::CacheCorrupt, ErrorCode::CacheCorrupt},
+  };
+  for (const auto &C : Cases) {
+    ASSERT_TRUE(FI.configure(C.Spec));
+    Status S = FI.check(C.Site, "anything");
+    ASSERT_FALSE(S.ok()) << C.Spec;
+    EXPECT_EQ(S.code(), C.Code) << C.Spec;
+    EXPECT_TRUE(S.transient());
+  }
 }
 
 TEST(TypesTest, InterningAndProperties) {
