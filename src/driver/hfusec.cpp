@@ -54,6 +54,8 @@ enum ExitCode : int {
   ExitFusionFailed = 3,   ///< fusion or fused-kernel lowering failed
   ExitSearchDegraded = 4, ///< search failed; native baseline emitted
   ExitInternal = 5,       ///< everything else (a bug, not an input)
+  ExitStoreDegraded = 6,  ///< search succeeded, but the --cache-dir
+                          ///< store degraded to in-memory mid-run
 };
 
 struct CliOptions {
@@ -88,8 +90,13 @@ struct CliOptions {
   /// Wall-clock timeout per simulation in ms (0 = off).
   uint64_t TimeoutMs = 0;
   /// Fault-injection spec (see support/FaultInjector.h), for testing
-  /// the containment story end-to-end.
+  /// the containment story end-to-end. The special value "list" prints
+  /// the valid sites and exits.
   std::string FaultSpec;
+  /// On-disk ResultStore directory ("" = in-memory caching only).
+  std::string CacheDir;
+  /// Max attempts for transiently-failing compiles (1 = never retry).
+  int CompileRetries = 3;
 };
 
 void printUsage() {
@@ -142,6 +149,12 @@ void printUsage() {
       "                   (default 10: Best within 10%% of optimal)\n"
       "  --no-cache       disable compile/simulation caching (seed cost\n"
       "                   profile, for A/B measurement)\n"
+      "  --cache-dir DIR  persist simulation results in a crash-safe\n"
+      "                   on-disk store (see README): warm reruns serve\n"
+      "                   bit-identical results from disk; torn/corrupt\n"
+      "                   records are quarantined, never trusted; a\n"
+      "                   locked or failing store degrades the run to\n"
+      "                   in-memory (exit code 6, results still correct)\n"
       "  --volta          search for the V100 instead of the GTX 1080 Ti\n"
       "  --quick          small workloads (smoke-test scale)\n"
       "  --full-stats     profile every candidate with full nvprof-style\n"
@@ -158,11 +171,17 @@ void printUsage() {
       "                   untrusted inputs; 0 = off)\n"
       "  --fault SPEC     deterministic fault injection, e.g.\n"
       "                   'compile:nth=2;sim-wedge:label=896' (also via\n"
-      "                   HFUSE_FAULT; see support/FaultInjector.h)\n"
+      "                   HFUSE_FAULT; see support/FaultInjector.h);\n"
+      "                   --fault list prints the valid sites\n"
+      "  --compile-retries N\n"
+      "                   attempts for transiently-failing kernel\n"
+      "                   compiles, deterministic backoff (default 3;\n"
+      "                   1 = never retry)\n"
       "\n"
       "exit codes: 0 success; 1 usage/IO; 2 input kernel rejected\n"
       "(parse/sema); 3 fusion or lowering failed; 4 search degraded\n"
-      "(native baseline emitted); 5 internal error\n");
+      "(native baseline emitted); 5 internal error; 6 search succeeded\n"
+      "but the --cache-dir store degraded to in-memory\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -316,6 +335,25 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.FaultSpec = V;
+    } else if (Arg == "--cache-dir") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.CacheDir = V;
+    } else if (Arg == "--compile-retries") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      char *End = nullptr;
+      long N = std::strtol(V, &End, 10);
+      if (End == V || *End != '\0' || N < 1) {
+        std::fprintf(stderr,
+                     "error: --compile-retries expects a positive "
+                     "integer, got '%s'\n",
+                     V);
+        return false;
+      }
+      Opts.CompileRetries = static_cast<int>(N);
     } else if (Arg == "--no-cache") {
       Opts.UseCache = false;
     } else if (Arg == "--volta") {
@@ -339,6 +377,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return false;
     }
+  }
+  if (Opts.FaultSpec == "list") {
+    std::printf("fault sites:\n");
+    for (FaultSite S : allFaultSites())
+      std::printf("  %s\n", faultSiteName(S));
+    std::exit(0);
   }
   if (Opts.SearchPair.empty() && (Opts.File1.empty() || Opts.File2.empty())) {
     printUsage();
@@ -413,6 +457,24 @@ int runSearch(const CliOptions &Opts) {
   RO.WatchdogCycles = Opts.WatchdogCycles;
   RO.WallTimeoutMs = Opts.TimeoutMs;
   RO.Cache = std::make_shared<profile::CompileCache>();
+  RO.Cache->setRetryPolicy(
+      RetryPolicy{Opts.CompileRetries, /*BackoffBaseMs=*/5});
+
+  std::shared_ptr<ResultStore> Store;
+  if (!Opts.CacheDir.empty()) {
+    Status StoreErr;
+    Store = ResultStore::open(Opts.CacheDir, profile::kStoreSchemaVersion,
+                              &StoreErr);
+    if (!Store) {
+      // An unusable store directory never fails the search — the run
+      // degrades to in-memory caching, and the exit code says so.
+      std::fprintf(stderr, "warning: --cache-dir: %s; continuing without "
+                           "a persistent store\n",
+                   StoreErr.str().c_str());
+    } else {
+      RO.Cache->attachStore(Store);
+    }
+  }
 
   profile::PairRunner Runner(*IdA, *IdB, RO);
   if (!Runner.ok()) {
@@ -493,6 +555,24 @@ int runSearch(const CliOptions &Opts) {
               static_cast<unsigned long long>(CS.FusionHits),
               static_cast<unsigned long long>(CS.Lowerings),
               static_cast<unsigned long long>(CS.LoweringHits));
+  if (CS.CompileRetries)
+    std::printf("compile retries: %llu\n",
+                static_cast<unsigned long long>(CS.CompileRetries));
+  if (Store) {
+    ResultStore::Stats SS = Store->stats();
+    std::printf("store: %llu disk hits, %llu disk misses, %llu writes, "
+                "%llu quarantined%s\n",
+                static_cast<unsigned long long>(CS.DiskHits),
+                static_cast<unsigned long long>(CS.DiskMisses),
+                static_cast<unsigned long long>(CS.DiskWrites),
+                static_cast<unsigned long long>(SS.Quarantined),
+                Store->degraded() ? ", degraded" : "");
+    // The answer is correct either way — every store fault degrades to
+    // an in-memory run, never a wrong result — but scripts that rely
+    // on warm reruns being cheap deserve a machine-readable signal.
+    if (Store->degraded())
+      return ExitStoreDegraded;
+  }
   return ExitOk;
 }
 

@@ -9,10 +9,91 @@
 #include "codegen/CodeGen.h"
 #include "cudalang/Sema.h"
 #include "ir/RegAlloc.h"
+#include "support/BinaryCodec.h"
 #include "support/FaultInjector.h"
+#include "support/Hashing.h"
+
+#include <cstdio>
 
 using namespace hfuse;
 using namespace hfuse::profile;
+
+std::string hfuse::profile::encodeSimResult(const gpusim::SimResult &R) {
+  ByteWriter W;
+  uint8_t Flags = (R.Ok ? 1 : 0) | (R.BudgetExceeded ? 2 : 0) |
+                  (R.Deadlock ? 4 : 0) | (R.TimedOut ? 8 : 0) |
+                  (R.FaultInjected ? 16 : 0);
+  W.u8(Flags);
+  W.str(R.Error);
+  W.u64(R.TotalCycles);
+  W.f64(R.TotalMs);
+  W.u32(static_cast<uint32_t>(R.Kernels.size()));
+  for (const gpusim::KernelMetrics &K : R.Kernels) {
+    W.str(K.Label);
+    W.u64(K.ElapsedCycles);
+    W.f64(K.TimeMs);
+    W.u64(K.IssuedInsts);
+    W.f64(K.IssueSlotUtilPct);
+    W.f64(K.MemStallPct);
+    W.f64(K.AchievedOccupancyPct);
+    W.u32(K.RegsPerThread);
+    W.u32(K.SharedBytesPerBlock);
+    W.u32(static_cast<uint32_t>(K.TheoreticalBlocksPerSM));
+    W.u64(K.GlobalSectors);
+    W.f64(K.L2HitRatePct);
+  }
+  W.f64(R.DeviceIssueSlotUtilPct);
+  W.f64(R.DeviceMemStallPct);
+  W.f64(R.DeviceOccupancyPct);
+  W.u64(R.TotalIssued);
+  for (double S : R.StallSharePct)
+    W.f64(S);
+  return W.take();
+}
+
+std::optional<gpusim::SimResult>
+hfuse::profile::decodeSimResult(std::string_view Bytes) {
+  ByteReader Rd(Bytes);
+  gpusim::SimResult R;
+  uint8_t Flags = Rd.u8();
+  R.Ok = Flags & 1;
+  R.BudgetExceeded = Flags & 2;
+  R.Deadlock = Flags & 4;
+  R.TimedOut = Flags & 8;
+  R.FaultInjected = Flags & 16;
+  R.Error = Rd.str();
+  R.TotalCycles = Rd.u64();
+  R.TotalMs = Rd.f64();
+  uint32_t NumKernels = Rd.u32();
+  // Guard the reservation against a garbage count in a (checksum-
+  // colliding) malformed record: each kernel entry is >= 69 bytes.
+  if (!Rd.ok() || NumKernels > Rd.remaining() / 69 + 1)
+    return std::nullopt;
+  R.Kernels.resize(NumKernels);
+  for (gpusim::KernelMetrics &K : R.Kernels) {
+    K.Label = Rd.str();
+    K.ElapsedCycles = Rd.u64();
+    K.TimeMs = Rd.f64();
+    K.IssuedInsts = Rd.u64();
+    K.IssueSlotUtilPct = Rd.f64();
+    K.MemStallPct = Rd.f64();
+    K.AchievedOccupancyPct = Rd.f64();
+    K.RegsPerThread = Rd.u32();
+    K.SharedBytesPerBlock = Rd.u32();
+    K.TheoreticalBlocksPerSM = static_cast<int>(Rd.u32());
+    K.GlobalSectors = Rd.u64();
+    K.L2HitRatePct = Rd.f64();
+  }
+  R.DeviceIssueSlotUtilPct = Rd.f64();
+  R.DeviceMemStallPct = Rd.f64();
+  R.DeviceOccupancyPct = Rd.f64();
+  R.TotalIssued = Rd.u64();
+  for (double &S : R.StallSharePct)
+    S = Rd.f64();
+  if (!Rd.atEnd())
+    return std::nullopt;
+  return R;
+}
 
 std::unique_ptr<CompiledKernel>
 hfuse::profile::compileSource(std::string_view Source,
@@ -114,12 +195,36 @@ CompileCache::getKernel(std::string_view Source, const std::string &Name,
 
     if (IsCompiler) {
       Compiled C;
-      DiagnosticEngine Local;
-      auto R = compileSourceOr(Source, Name, RegBound, Local);
-      if (R) {
-        C.Kernel = R.take();
-      } else {
+      RetryPolicy Policy;
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        Policy = Retry_;
+      }
+      // Bounded retry for transient failures (injected faults, flaky
+      // I/O behind a compile). Each extra attempt is a real
+      // compilation, so it counts as one: the compile-count pins stay
+      // exact. Permanent failures never retry — recompiling a parse
+      // error yields the same parse error.
+      int Attempts = Policy.MaxAttempts < 1 ? 1 : Policy.MaxAttempts;
+      for (int A = 1; A <= Attempts; ++A) {
+        Policy.sleepMs(Policy.delayBeforeAttemptMs(A));
+        if (A > 1) {
+          std::lock_guard<std::mutex> Lock(Mu);
+          ++S.KernelCompiles;
+          ++S.CompileRetries;
+        }
+        DiagnosticEngine Local;
+        auto R = compileSourceOr(Source, Name, RegBound, Local);
+        if (R) {
+          C.Kernel = R.take();
+          C.Err = Status::success();
+          break;
+        }
         C.Err = R.status();
+        if (!C.Err.transient())
+          break;
+      }
+      if (!C.Kernel) {
         // Retire the negative entry *before* publishing the result:
         // every waiter already blocked on this future receives the
         // error, while any later request finds no entry and compiles
@@ -129,6 +234,9 @@ CompileCache::getKernel(std::string_view Source, const std::string &Name,
         auto It = Map.find(K);
         if (It != Map.end() && It->second == Fut)
           Map.erase(It);
+      } else if (hasStore()) {
+        publishCompileDigest(Name, RegBound,
+                             static_cast<uint64_t>(K.SourceHash), *C.Kernel);
       }
       Promise.set_value(std::move(C));
     }
@@ -180,6 +288,107 @@ void CompileCache::resetStats() {
 void CompileCache::count(uint64_t Stats::*Counter, uint64_t N) {
   std::lock_guard<std::mutex> Lock(Mu);
   S.*Counter += N;
+}
+
+void CompileCache::attachStore(std::shared_ptr<ResultStore> Store) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Store_ = std::move(Store);
+}
+
+std::shared_ptr<ResultStore> CompileCache::store() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Store_;
+}
+
+bool CompileCache::hasStore() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Store_ != nullptr;
+}
+
+void CompileCache::setRetryPolicy(RetryPolicy Policy) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Retry_ = std::move(Policy);
+}
+
+RetryPolicy CompileCache::retryPolicy() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Retry_;
+}
+
+std::optional<gpusim::SimResult>
+CompileCache::loadSimResult(const std::string &Key) {
+  std::shared_ptr<ResultStore> St = store();
+  if (!St)
+    return std::nullopt;
+  std::optional<std::string> Bytes = St->get(Key);
+  if (!Bytes) {
+    count(&Stats::DiskMisses);
+    return std::nullopt;
+  }
+  std::optional<gpusim::SimResult> R = decodeSimResult(*Bytes);
+  // The store's checksum already vouched for the bytes; a payload the
+  // codec cannot parse means a schema drift the version stamp missed.
+  // Served answers must never be wrong, so treat it as a miss and let
+  // the fresh simulation overwrite the record.
+  if (!R || !R->Ok) {
+    count(&Stats::DiskMisses);
+    return std::nullopt;
+  }
+  count(&Stats::DiskHits);
+  return R;
+}
+
+void CompileCache::storeSimResult(const std::string &Key,
+                                  const gpusim::SimResult &R) {
+  // Only completed, healthy simulations are worth persisting — a
+  // budget abort depends on the caller's budget and a failure must
+  // never be servable from cache (the PR 4 invariant, extended across
+  // process lifetimes).
+  if (!R.Ok)
+    return;
+  std::shared_ptr<ResultStore> St = store();
+  if (!St)
+    return;
+  if (St->put(Key, encodeSimResult(R)).ok())
+    count(&Stats::DiskWrites);
+}
+
+void CompileCache::publishCompileDigest(const std::string &Name,
+                                        unsigned RegBound,
+                                        uint64_t SourceHash,
+                                        const CompiledKernel &CK) {
+  std::shared_ptr<ResultStore> St = store();
+  if (!St || !CK.IR)
+    return;
+  ByteWriter KeyW;
+  KeyW.str("compile-digest");
+  KeyW.str(Name);
+  KeyW.u32(RegBound);
+  KeyW.u64(SourceHash);
+  std::string Key = KeyW.take();
+
+  ByteWriter W;
+  W.u32(CK.IR->ArchRegsPerThread);
+  W.u32(CK.IR->StaticSharedBytes);
+  W.u32(CK.IR->LocalBytes);
+  W.u64(CK.IR->numInstructions());
+  W.u64(fnv1a64(CK.IR->str()));
+  std::string Digest = W.take();
+
+  // Cross-check before (re)publishing: a stored digest that disagrees
+  // with a fresh compile of identical source means the toolchain's
+  // determinism broke between runs — exactly the bug the warm==cold
+  // invariant exists to catch. The fresh compile is the ground truth
+  // (it is what this process will simulate), so warn and overwrite.
+  if (std::optional<std::string> Prev = St->get(Key)) {
+    if (*Prev == Digest)
+      return;
+    std::fprintf(stderr,
+                 "warning: compile digest mismatch for kernel '%s' "
+                 "(r%u); determinism drift — record overwritten\n",
+                 Name.c_str(), RegBound);
+  }
+  (void)St->put(Key, Digest);
 }
 
 CompileCache &hfuse::profile::globalCompileCache() {

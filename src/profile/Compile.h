@@ -16,9 +16,12 @@
 #define HFUSE_PROFILE_COMPILE_H
 
 #include "cudalang/AST.h"
+#include "gpusim/Simulator.h"
 #include "ir/IR.h"
 #include "kernels/Kernels.h"
 #include "support/Diagnostics.h"
+#include "support/ResultStore.h"
+#include "support/Retry.h"
 #include "support/Status.h"
 #include "transform/Pipeline.h"
 
@@ -27,9 +30,25 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string_view>
 
 namespace hfuse::profile {
+
+/// Version stamp for everything CompileCache serializes into a
+/// ResultStore: the SimResult codec, the compile-digest layout, and the
+/// disk-key construction. Bump it whenever any of those changes — old
+/// records are then quarantined on open instead of being misread.
+inline constexpr uint32_t kStoreSchemaVersion = 1;
+
+/// Deterministic binary codec for a simulation result. Bit-exact: every
+/// integer field round-trips verbatim and doubles round-trip by IEEE
+/// bit pattern, which is what makes a warm-cache sweep able to
+/// reproduce a cold sweep byte for byte.
+std::string encodeSimResult(const gpusim::SimResult &R);
+/// Null when the bytes are not exactly one well-formed record (wrong
+/// length, truncated, trailing garbage).
+std::optional<gpusim::SimResult> decodeSimResult(std::string_view Bytes);
 
 /// A fully compiled kernel: the preprocessed AST (kept alive so it can
 /// be used as fusion input) plus the executable IR.
@@ -102,6 +121,10 @@ public:
     uint64_t LoweringHits = 0;   ///< fused lowerings served from cache
     uint64_t SimRuns = 0;        ///< candidate simulations executed
     uint64_t SimMemoHits = 0;    ///< simulations served by memoization
+    uint64_t CompileRetries = 0; ///< transient compile failures retried
+    uint64_t DiskHits = 0;       ///< results served from the ResultStore
+    uint64_t DiskMisses = 0;     ///< ResultStore consulted, nothing usable
+    uint64_t DiskWrites = 0;     ///< results persisted to the ResultStore
   };
 
   /// Compiles (or fetches) CuLite \p Source. On failure returns null,
@@ -133,7 +156,35 @@ public:
   /// lowering, and simulation layers).
   void count(uint64_t Stats::*Counter, uint64_t N = 1);
 
+  /// Attaches an on-disk second-level store. Simulation results are
+  /// both served and persisted through it (see load/storeSimResult);
+  /// successful compiles additionally publish a compact validation
+  /// digest that later runs cross-check against their fresh compile.
+  /// Null detaches.
+  void attachStore(std::shared_ptr<ResultStore> Store);
+  std::shared_ptr<ResultStore> store() const;
+  bool hasStore() const;
+
+  /// Retry schedule for Status::transient() compile failures. The
+  /// default (MaxAttempts = 1) never retries, preserving historical
+  /// compile-count behavior; hfusec opts in via --compile-retries.
+  void setRetryPolicy(RetryPolicy Policy);
+  RetryPolicy retryPolicy() const;
+
+  /// Looks a simulation result up in the attached store (nullopt on a
+  /// miss, on any contained disk failure, or without a store). Only Ok
+  /// results are ever persisted, so a hit is always a completed,
+  /// healthy simulation — a failure can never be served from disk.
+  std::optional<gpusim::SimResult> loadSimResult(const std::string &Key);
+  /// Persists \p R under \p Key. No-op unless a store is attached and
+  /// R.Ok; failures are contained (counted, never propagated).
+  void storeSimResult(const std::string &Key, const gpusim::SimResult &R);
+
 private:
+  /// Publishes/cross-checks the compile digest for a fresh compile.
+  void publishCompileDigest(const std::string &Name, unsigned RegBound,
+                            uint64_t SourceHash, const CompiledKernel &CK);
+
   struct Key {
     size_t SourceHash;
     size_t SourceLen;
@@ -156,6 +207,8 @@ private:
   /// concurrent retry already installed.
   std::map<Key, std::shared_ptr<std::shared_future<Compiled>>> Map;
   Stats S;
+  std::shared_ptr<ResultStore> Store_;
+  RetryPolicy Retry_;
 };
 
 /// The default process-wide cache instance: PairRunner falls back to

@@ -1,0 +1,124 @@
+//===-- support/BinaryCodec.h - Little-endian record codec ------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny explicit-layout binary writer/reader pair for on-disk records.
+/// Integers are written little-endian at fixed widths and doubles as
+/// their IEEE-754 bit patterns, so a record written by one process
+/// round-trips bit-identically in another — the property the warm==cold
+/// cache invariant rests on. The reader never throws and never reads
+/// out of bounds: any truncated or malformed input flips a sticky error
+/// flag and every subsequent read returns a zero value, so callers
+/// validate once at the end (`R.ok()`) instead of guarding every field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_SUPPORT_BINARYCODEC_H
+#define HFUSE_SUPPORT_BINARYCODEC_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace hfuse {
+
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Out.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    u64(Bits);
+  }
+  /// Length-prefixed string (u32 length + raw bytes).
+  void str(std::string_view S) {
+    u32(static_cast<uint32_t>(S.size()));
+    raw(S);
+  }
+  /// Raw bytes, no length prefix.
+  void raw(std::string_view S) { Out.append(S.data(), S.size()); }
+
+  const std::string &data() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+private:
+  std::string Out;
+};
+
+class ByteReader {
+public:
+  explicit ByteReader(std::string_view Data) : In(Data) {}
+
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return static_cast<uint8_t>(In[Pos++]);
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<unsigned char>(In[Pos++]))
+           << (8 * I);
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<unsigned char>(In[Pos++]))
+           << (8 * I);
+    return V;
+  }
+  double f64() {
+    uint64_t Bits = u64();
+    double V;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return V;
+  }
+  std::string str() {
+    uint32_t Len = u32();
+    if (!need(Len))
+      return std::string();
+    std::string S(In.substr(Pos, Len));
+    Pos += Len;
+    return S;
+  }
+
+  /// True when every read so far was in bounds.
+  bool ok() const { return !Failed; }
+  /// True when the input was consumed exactly (call after the last read).
+  bool atEnd() const { return !Failed && Pos == In.size(); }
+  size_t remaining() const { return Failed ? 0 : In.size() - Pos; }
+
+private:
+  bool need(size_t N) {
+    if (Failed || In.size() - Pos < N) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view In;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace hfuse
+
+#endif // HFUSE_SUPPORT_BINARYCODEC_H

@@ -6,6 +6,7 @@
 
 #include "support/FaultInjector.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 using namespace hfuse;
@@ -22,8 +23,27 @@ const char *hfuse::faultSiteName(FaultSite Site) {
     return "sim-wedge";
   case FaultSite::CacheCorrupt:
     return "cache-corrupt";
+  case FaultSite::StoreWriteTorn:
+    return "store-write-torn";
+  case FaultSite::StoreCorrupt:
+    return "store-corrupt";
+  case FaultSite::StoreLockTimeout:
+    return "store-lock-timeout";
+  case FaultSite::StoreReadFail:
+    return "store-read-fail";
   }
   return "unknown";
+}
+
+const std::vector<FaultSite> &hfuse::allFaultSites() {
+  static const std::vector<FaultSite> Sites = {
+      FaultSite::Compile,        FaultSite::Fuse,
+      FaultSite::Lower,          FaultSite::SimWedge,
+      FaultSite::CacheCorrupt,   FaultSite::StoreWriteTorn,
+      FaultSite::StoreCorrupt,   FaultSite::StoreLockTimeout,
+      FaultSite::StoreReadFail,
+  };
+  return Sites;
 }
 
 namespace {
@@ -43,14 +63,20 @@ ErrorCode siteErrorCode(FaultSite Site) {
     return ErrorCode::SimDeadlock;
   case FaultSite::CacheCorrupt:
     return ErrorCode::CacheCorrupt;
+  case FaultSite::StoreWriteTorn:
+    return ErrorCode::StoreError;
+  case FaultSite::StoreCorrupt:
+    return ErrorCode::CacheCorrupt;
+  case FaultSite::StoreLockTimeout:
+    return ErrorCode::StoreError;
+  case FaultSite::StoreReadFail:
+    return ErrorCode::StoreError;
   }
   return ErrorCode::Internal;
 }
 
 bool parseSite(const std::string &Name, FaultSite &Site) {
-  for (FaultSite S :
-       {FaultSite::Compile, FaultSite::Fuse, FaultSite::Lower,
-        FaultSite::SimWedge, FaultSite::CacheCorrupt}) {
+  for (FaultSite S : allFaultSites()) {
     if (Name == faultSiteName(S)) {
       Site = S;
       return true;
@@ -64,8 +90,16 @@ bool parseSite(const std::string &Name, FaultSite &Site) {
 FaultInjector &FaultInjector::instance() {
   static FaultInjector *I = [] {
     auto *Inj = new FaultInjector();
-    if (const char *Env = std::getenv("HFUSE_FAULT"))
-      Inj->configure(Env); // a malformed env spec silently disarms
+    if (const char *Env = std::getenv("HFUSE_FAULT")) {
+      std::string Err;
+      if (!Inj->configure(Env, &Err))
+        // A malformed env spec still disarms (running stale rules is
+        // worse than running none), but say so — a typo that silently
+        // turns a fault-injection test into a no-op run is how
+        // containment regressions slip through.
+        std::fprintf(stderr, "warning: HFUSE_FAULT: %s (fault injection disarmed)\n",
+                     Err.c_str());
+    }
     return Inj;
   }();
   return *I;

@@ -46,14 +46,21 @@ namespace hfuse {
 
 /// The failure-prone sites a rule can target.
 enum class FaultSite : uint8_t {
-  Compile,      ///< CompileCache front-end compilation
-  Fuse,         ///< horizontal fusion of a partition
-  Lower,        ///< per-bound register allocation of a fused kernel
-  SimWedge,     ///< wedge a simulation (suppress barrier releases)
-  CacheCorrupt, ///< invalidate a compile-cache hit as corrupt
+  Compile,          ///< CompileCache front-end compilation
+  Fuse,             ///< horizontal fusion of a partition
+  Lower,            ///< per-bound register allocation of a fused kernel
+  SimWedge,         ///< wedge a simulation (suppress barrier releases)
+  CacheCorrupt,     ///< invalidate a compile-cache hit as corrupt
+  StoreWriteTorn,   ///< tear a ResultStore record write mid-file
+  StoreCorrupt,     ///< flip a ResultStore record's checksum on read
+  StoreLockTimeout, ///< time out the ResultStore advisory lock
+  StoreReadFail,    ///< fail a ResultStore record read (transient I/O)
 };
 
 const char *faultSiteName(FaultSite Site);
+
+/// Every site, in declaration order — for `--fault list` and parsers.
+const std::vector<FaultSite> &allFaultSites();
 
 class FaultInjector {
 public:

@@ -1,0 +1,78 @@
+//===-- support/Retry.h - Bounded deterministic retry ------------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded retry-with-backoff policy for `Status::transient()`
+/// failures. The schedule is deterministic: attempt k (k >= 2) is
+/// preceded by a delay of `BackoffBaseMs << (k-2)` milliseconds —
+/// 5, 10, 20, ... for a base of 5 — with no jitter, so tests can pin
+/// the exact delay sequence. The sleep itself is injectable (tests
+/// record delays instead of sleeping; the default is a real
+/// `std::this_thread::sleep_for`). `MaxAttempts = 1` means "no
+/// retries" and is the default — callers opt in explicitly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_SUPPORT_RETRY_H
+#define HFUSE_SUPPORT_RETRY_H
+
+#include "support/Status.h"
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+namespace hfuse {
+
+struct RetryPolicy {
+  /// Total attempts including the first. 1 = never retry.
+  int MaxAttempts = 1;
+  /// Delay before the first retry; doubles for each subsequent one.
+  uint64_t BackoffBaseMs = 0;
+  /// Injectable sleep (milliseconds). Null uses std::this_thread.
+  std::function<void(uint64_t)> Sleep;
+
+  /// Delay (ms) before attempt `Attempt` (1-based). Zero for the first.
+  uint64_t delayBeforeAttemptMs(int Attempt) const {
+    if (Attempt <= 1 || BackoffBaseMs == 0)
+      return 0;
+    return BackoffBaseMs << (Attempt - 2);
+  }
+
+  void sleepMs(uint64_t Ms) const {
+    if (Ms == 0)
+      return;
+    if (Sleep)
+      Sleep(Ms);
+    else
+      std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+  }
+};
+
+/// Run `Fn` (returning `Status`) up to `Policy.MaxAttempts` times,
+/// retrying only while the failure is transient. Returns the final
+/// Status; if `RetriesOut` is non-null it receives the number of
+/// retries actually performed (0 when the first attempt settled it).
+template <typename Fn>
+Status retryTransient(const RetryPolicy &Policy, Fn &&Run,
+                      uint64_t *RetriesOut = nullptr) {
+  Status S = Status::success();
+  int Attempts = Policy.MaxAttempts < 1 ? 1 : Policy.MaxAttempts;
+  for (int A = 1; A <= Attempts; ++A) {
+    Policy.sleepMs(Policy.delayBeforeAttemptMs(A));
+    S = Run();
+    if (S.ok() || !S.transient())
+      break;
+    if (A < Attempts && RetriesOut)
+      ++*RetriesOut;
+  }
+  return S;
+}
+
+} // namespace hfuse
+
+#endif // HFUSE_SUPPORT_RETRY_H

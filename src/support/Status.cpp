@@ -36,6 +36,8 @@ const char *hfuse::errorCodeName(ErrorCode Code) {
     return "VerifyError";
   case ErrorCode::CacheCorrupt:
     return "CacheCorrupt";
+  case ErrorCode::StoreError:
+    return "StoreError";
   case ErrorCode::Internal:
     return "Internal";
   }

@@ -46,6 +46,7 @@ enum class ErrorCode : uint8_t {
   SimError,          ///< any other simulation fault (OOB access, ...)
   VerifyError,       ///< output mismatch against the CPU reference
   CacheCorrupt,      ///< a cache entry failed its integrity check
+  StoreError,        ///< persistent result store I/O or lock failure
   Internal,          ///< invariant violation; a bug, not an input error
 };
 

@@ -180,6 +180,93 @@ TEST(Robustness, FailedCompileIsNotMemoizedAndRetrySucceeds) {
   EXPECT_EQ(S.KernelHits, 1u);
 }
 
+TEST(Robustness, TransientCompileFailureIsRetriedInsideOneRequest) {
+  InjectorGuard G;
+  CompileCache Cache;
+  std::vector<uint64_t> Delays;
+  RetryPolicy P;
+  P.MaxAttempts = 3;
+  P.BackoffBaseMs = 5;
+  P.Sleep = [&](uint64_t Ms) { Delays.push_back(Ms); };
+  Cache.setRetryPolicy(P);
+
+  // The first attempt fails transiently; the request-level retry turns
+  // the failure into a success without the caller seeing anything.
+  arm("compile:nth=1");
+  DiagnosticEngine D;
+  Status Err;
+  auto K = Cache.getKernel(ValidKernel, "", 0, D, &Err);
+  ASSERT_NE(K, nullptr) << D.str();
+  EXPECT_TRUE(Err.ok());
+  CompileCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.KernelCompiles, 2u);
+  EXPECT_EQ(S.CompileRetries, 1u);
+  ASSERT_EQ(Delays.size(), 1u);
+  EXPECT_EQ(Delays[0], 5u); // deterministic backoff schedule
+
+  // The healed result is memoized like any other success.
+  DiagnosticEngine D2;
+  EXPECT_EQ(Cache.getKernel(ValidKernel, "", 0, D2, &Err), K);
+  EXPECT_EQ(Cache.stats().KernelHits, 1u);
+}
+
+TEST(Robustness, CompileRetriesAreBoundedAndSurfaceTheLastError) {
+  InjectorGuard G;
+  CompileCache Cache;
+  std::vector<uint64_t> Delays;
+  RetryPolicy P;
+  P.MaxAttempts = 3;
+  P.BackoffBaseMs = 5;
+  P.Sleep = [&](uint64_t Ms) { Delays.push_back(Ms); };
+  Cache.setRetryPolicy(P);
+
+  // Every attempt fails: the request gives up after exactly
+  // MaxAttempts compiles and reports the structured transient error.
+  arm("compile");
+  DiagnosticEngine D;
+  Status Err;
+  EXPECT_EQ(Cache.getKernel(ValidKernel, "", 0, D, &Err), nullptr);
+  EXPECT_EQ(Err.code(), ErrorCode::CodegenError);
+  EXPECT_TRUE(Err.transient());
+  CompileCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.KernelCompiles, 3u);
+  EXPECT_EQ(S.CompileRetries, 2u);
+  ASSERT_EQ(Delays.size(), 2u);
+  EXPECT_EQ(Delays[0], 5u);
+  EXPECT_EQ(Delays[1], 10u);
+
+  // The exhausted failure was retired, not cached: once the fault
+  // clears, the next request compiles fresh and succeeds.
+  FaultInjector::instance().reset();
+  DiagnosticEngine D2;
+  EXPECT_NE(Cache.getKernel(ValidKernel, "", 0, D2, &Err), nullptr)
+      << D2.str();
+}
+
+TEST(Robustness, PermanentCompileFailuresAreNeverRetried) {
+  CompileCache Cache;
+  int Slept = 0;
+  RetryPolicy P;
+  P.MaxAttempts = 5;
+  P.BackoffBaseMs = 5;
+  P.Sleep = [&](uint64_t) { ++Slept; };
+  Cache.setRetryPolicy(P);
+
+  // A sema error is deterministic: retrying it would just burn five
+  // compiles reaching the same diagnostic.
+  DiagnosticEngine D;
+  Status Err;
+  EXPECT_EQ(Cache.getKernel("__global__ void k(int *a) { b[0] = 1; }", "",
+                            0, D, &Err),
+            nullptr);
+  EXPECT_EQ(Err.code(), ErrorCode::SemaError);
+  EXPECT_FALSE(Err.transient());
+  CompileCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.KernelCompiles, 1u);
+  EXPECT_EQ(S.CompileRetries, 0u);
+  EXPECT_EQ(Slept, 0);
+}
+
 TEST(Robustness, ConcurrentWaitersReceiveTheErrorWithoutPoisoning) {
   InjectorGuard G;
   CompileCache Cache;

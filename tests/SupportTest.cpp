@@ -11,17 +11,23 @@
 //===----------------------------------------------------------------------===//
 
 #include "cudalang/AST.h"
+#include "support/BinaryCodec.h"
 #include "support/Casting.h"
 #include "support/Diagnostics.h"
 #include "support/FaultInjector.h"
+#include "support/Hashing.h"
+#include "support/Retry.h"
 #include "support/Status.h"
 #include "support/StringUtils.h"
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <iterator>
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 using namespace hfuse;
 using namespace hfuse::cuda;
@@ -235,6 +241,11 @@ TEST(FaultInjectorTest, SiteCodesAndNames) {
       {"lower", FaultSite::Lower, ErrorCode::RegAllocError},
       {"sim-wedge", FaultSite::SimWedge, ErrorCode::SimDeadlock},
       {"cache-corrupt", FaultSite::CacheCorrupt, ErrorCode::CacheCorrupt},
+      {"store-write-torn", FaultSite::StoreWriteTorn, ErrorCode::StoreError},
+      {"store-corrupt", FaultSite::StoreCorrupt, ErrorCode::CacheCorrupt},
+      {"store-lock-timeout", FaultSite::StoreLockTimeout,
+       ErrorCode::StoreError},
+      {"store-read-fail", FaultSite::StoreReadFail, ErrorCode::StoreError},
   };
   for (const auto &C : Cases) {
     ASSERT_TRUE(FI.configure(C.Spec));
@@ -243,6 +254,158 @@ TEST(FaultInjectorTest, SiteCodesAndNames) {
     EXPECT_EQ(S.code(), C.Code) << C.Spec;
     EXPECT_TRUE(S.transient());
   }
+  // The site list used by `hfusec --fault list` covers exactly the
+  // enum: every listed name parses, and every case above is listed.
+  EXPECT_EQ(allFaultSites().size(), std::size(Cases));
+  for (FaultSite S : allFaultSites()) {
+    ASSERT_TRUE(FI.configure(faultSiteName(S))) << faultSiteName(S);
+    EXPECT_FALSE(FI.check(S, "x").ok()) << faultSiteName(S);
+  }
+}
+
+TEST(HashingTest, Fnv1a64KnownVectorsAndStreaming) {
+  // Published FNV-1a 64 test vectors: the on-disk checksums must be
+  // specified byte-for-byte, not merely self-consistent.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+
+  // Chunking must not matter.
+  Fnv1a64 H;
+  H.str("foo").str("bar");
+  EXPECT_EQ(H.digest(), fnv1a64("foobar"));
+
+  // Embedded NULs are ordinary bytes.
+  std::string WithNul("a\0b", 3);
+  EXPECT_NE(fnv1a64(WithNul), fnv1a64("ab"));
+}
+
+TEST(BinaryCodecTest, RoundTripAllFieldTypes) {
+  ByteWriter W;
+  W.u8(0xfe);
+  W.u32(0xdeadbeef);
+  W.u64(0x0123456789abcdefull);
+  W.f64(-0.1); // not exactly representable: bit-pattern fidelity matters
+  W.str(std::string("k\0ey", 4));
+  W.str("");
+  W.raw("tail");
+
+  ByteReader R(W.data());
+  EXPECT_EQ(R.u8(), 0xfe);
+  EXPECT_EQ(R.u32(), 0xdeadbeefu);
+  EXPECT_EQ(R.u64(), 0x0123456789abcdefull);
+  double Expect = -0.1, D = R.f64();
+  EXPECT_EQ(std::memcmp(&D, &Expect, sizeof(double)), 0);
+  EXPECT_EQ(R.str(), std::string("k\0ey", 4));
+  EXPECT_EQ(R.str(), "");
+  EXPECT_EQ(R.remaining(), 4u);
+  EXPECT_TRUE(R.ok());
+  EXPECT_FALSE(R.atEnd());
+}
+
+TEST(BinaryCodecTest, LittleEndianLayoutIsFixed) {
+  ByteWriter W;
+  W.u32(0x04030201);
+  ASSERT_EQ(W.data().size(), 4u);
+  EXPECT_EQ(W.data()[0], 1);
+  EXPECT_EQ(W.data()[1], 2);
+  EXPECT_EQ(W.data()[2], 3);
+  EXPECT_EQ(W.data()[3], 4);
+}
+
+TEST(BinaryCodecTest, EveryPrefixTruncationFailsCleanly) {
+  ByteWriter W;
+  W.u32(7);
+  W.str("payload");
+  W.u64(42);
+  W.f64(1.5);
+  const std::string Full = W.data();
+
+  auto ReadAll = [](ByteReader &R) {
+    (void)R.u32();
+    (void)R.str();
+    (void)R.u64();
+    (void)R.f64();
+  };
+  for (size_t Len = 0; Len < Full.size(); ++Len) {
+    ByteReader R(std::string_view(Full).substr(0, Len));
+    ReadAll(R);
+    EXPECT_FALSE(R.ok()) << "prefix length " << Len;
+    EXPECT_FALSE(R.atEnd()) << "prefix length " << Len;
+    // The error is sticky: further reads stay zero, never crash.
+    EXPECT_EQ(R.u64(), 0u);
+  }
+  ByteReader R(Full);
+  ReadAll(R);
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(RetryTest, DeterministicBackoffScheduleAndBounds) {
+  std::vector<uint64_t> Delays;
+  RetryPolicy P;
+  P.MaxAttempts = 4;
+  P.BackoffBaseMs = 5;
+  P.Sleep = [&](uint64_t Ms) { Delays.push_back(Ms); };
+
+  int Calls = 0;
+  uint64_t Retries = 0;
+  Status S = retryTransient(
+      P,
+      [&]() {
+        ++Calls;
+        return Status::transient(ErrorCode::StoreError, "flaky");
+      },
+      &Retries);
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(Calls, 4);
+  EXPECT_EQ(Retries, 3u);
+  // Doubling schedule, pinned exactly: 5, 10, 20 (nothing before the
+  // first attempt).
+  ASSERT_EQ(Delays.size(), 3u);
+  EXPECT_EQ(Delays[0], 5u);
+  EXPECT_EQ(Delays[1], 10u);
+  EXPECT_EQ(Delays[2], 20u);
+}
+
+TEST(RetryTest, PermanentFailuresAndSuccessesDoNotRetry) {
+  RetryPolicy P;
+  P.MaxAttempts = 5;
+  P.Sleep = [](uint64_t) {};
+
+  int Calls = 0;
+  uint64_t Retries = 0;
+  Status S = retryTransient(
+      P,
+      [&]() {
+        ++Calls;
+        return Status(ErrorCode::ParseError, "always");
+      },
+      &Retries);
+  EXPECT_EQ(S.code(), ErrorCode::ParseError);
+  EXPECT_EQ(Calls, 1);
+  EXPECT_EQ(Retries, 0u);
+
+  Calls = 0;
+  int FailFirst = 2;
+  S = retryTransient(P, [&]() {
+    ++Calls;
+    if (FailFirst-- > 0)
+      return Status::transient(ErrorCode::StoreError, "flaky");
+    return Status::success();
+  });
+  EXPECT_TRUE(S.ok());
+  EXPECT_EQ(Calls, 3);
+
+  // The default policy never retries.
+  RetryPolicy Default;
+  Calls = 0;
+  S = retryTransient(Default, [&]() {
+    ++Calls;
+    return Status::transient(ErrorCode::StoreError, "flaky");
+  });
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(Calls, 1);
 }
 
 TEST(TypesTest, InterningAndProperties) {
