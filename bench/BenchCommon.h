@@ -19,7 +19,9 @@
 
 #include "kernels/Kernels.h"
 #include "profile/PairRunner.h"
+#include "profile/PaperPairs.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <cstdarg>
@@ -32,38 +34,15 @@
 
 namespace hfuse::bench {
 
-struct BenchPair {
-  kernels::BenchKernelId A;
-  kernels::BenchKernelId B;
-};
-
-/// The 16 pairs of the paper (10 deep-learning + 6 crypto), in Figure 9
-/// order.
-inline std::vector<BenchPair> paperPairs() {
-  using kernels::BenchKernelId;
-  return {
-      {BenchKernelId::Batchnorm, BenchKernelId::Upsample},
-      {BenchKernelId::Batchnorm, BenchKernelId::Hist},
-      {BenchKernelId::Batchnorm, BenchKernelId::Im2Col},
-      {BenchKernelId::Batchnorm, BenchKernelId::Maxpool},
-      {BenchKernelId::Hist, BenchKernelId::Im2Col},
-      {BenchKernelId::Hist, BenchKernelId::Maxpool},
-      {BenchKernelId::Hist, BenchKernelId::Upsample},
-      {BenchKernelId::Im2Col, BenchKernelId::Maxpool},
-      {BenchKernelId::Im2Col, BenchKernelId::Upsample},
-      {BenchKernelId::Maxpool, BenchKernelId::Upsample},
-      {BenchKernelId::Blake2B, BenchKernelId::Ethash},
-      {BenchKernelId::Blake256, BenchKernelId::Ethash},
-      {BenchKernelId::Ethash, BenchKernelId::SHA256},
-      {BenchKernelId::Blake256, BenchKernelId::Blake2B},
-      {BenchKernelId::Blake256, BenchKernelId::SHA256},
-      {BenchKernelId::Blake2B, BenchKernelId::SHA256},
-  };
-}
+/// The pair list lives in profile/PaperPairs.h so `hfusec --search all`
+/// and the benches sweep the identical set; these aliases keep the
+/// bench sources unchanged (unqualified paperPairs() resolves to
+/// profile::paperPairs() through the benches' using-directives).
+using BenchPair = profile::PaperPair;
+using profile::paperPairs;
 
 inline std::string pairName(const BenchPair &P) {
-  return std::string(kernels::kernelDisplayName(P.A)) + "+" +
-         kernels::kernelDisplayName(P.B);
+  return profile::paperPairName(P);
 }
 
 inline bool quickMode() {
@@ -161,6 +140,33 @@ inline void runOrderedTasks(
     });
   }
   Pool.wait();
+}
+
+/// Benches run with the metrics registry enabled (each counter bump is
+/// one relaxed atomic add — noise next to a simulation) and close their
+/// JSON trajectory with one compact snapshot line via
+/// emitBenchMetricsJson(). HFUSE_BENCH_METRICS=0 opts out, e.g. for
+/// telemetry-overhead A/B runs. Call once at the top of main().
+inline bool enableBenchMetrics() {
+  const char *Env = std::getenv("HFUSE_BENCH_METRICS");
+  if (Env && Env[0] == '0')
+    return false;
+  telemetry::setMetricsEnabled(true);
+  return true;
+}
+
+/// One `{"bench":"<name>.metrics","metrics":{...}}` line on stdout:
+/// the process-cumulative metrics snapshot, compact (single-line) so
+/// the `grep '^{'` trajectory extraction keeps it intact. Unlike the
+/// per-row trajectory lines it is cumulative telemetry, not a
+/// measurement — gauges (e.g. the simulator heartbeat) may differ run
+/// to run.
+inline void emitBenchMetricsJson(const char *Bench) {
+  if (!telemetry::metricsOn())
+    return;
+  std::printf(
+      "{\"bench\":\"%s.metrics\",\"metrics\":%s}\n", Bench,
+      telemetry::MetricsRegistry::instance().snapshotJson(false).c_str());
 }
 
 /// "+12.3" helper.

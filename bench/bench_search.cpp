@@ -163,6 +163,8 @@ int main() {
       {"aggrbdgt4", 4, true, 2, SearchBudgetMode::Incumbent},
   };
 
+  enableBenchMetrics();
+
   // HFUSE_CACHE_DIR attaches the crash-safe on-disk ResultStore to
   // every configuration's cache, so a rerun against the same directory
   // measures the warm-disk path (CI asserts the warm rerun is
@@ -219,6 +221,7 @@ int main() {
       emitJson(P, C, O, BaselineMs, Identical);
     }
   }
+  emitBenchMetricsJson("search");
   std::printf("\nbest candidate %s across all result-preserving "
               "configurations\n",
               AllIdentical ? "identical" : "DIFFERED");

@@ -117,6 +117,7 @@ int main() {
       {"im2col+maxpool", {BenchKernelId::Im2Col, BenchKernelId::Maxpool}},
   };
   const int Repeats = quickMode() ? 2 : 3;
+  enableBenchMetrics();
 
   std::printf("=== Simulator core throughput (%s mode, %d repeats) ===\n",
               quickMode() ? "quick" : "full", Repeats);
@@ -155,6 +156,7 @@ int main() {
     }
   }
 
+  emitBenchMetricsJson("sim");
   std::printf("\ncycle counts %s across stats levels\n",
               CyclesMatch ? "identical" : "DIFFERED");
   return CyclesMatch ? 0 : 2;

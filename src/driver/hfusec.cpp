@@ -29,16 +29,21 @@
 #include "gpusim/Occupancy.h"
 #include "profile/Compile.h"
 #include "profile/PairRunner.h"
+#include "profile/PaperPairs.h"
 #include "support/FaultInjector.h"
+#include "support/Log.h"
 #include "support/Status.h"
+#include "support/Telemetry.h"
 #include "transform/Fusion.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace hfuse;
 
@@ -97,6 +102,11 @@ struct CliOptions {
   std::string CacheDir;
   /// Max attempts for transiently-failing compiles (1 = never retry).
   int CompileRetries = 3;
+  /// Observability outputs (see README "Observability"). Both are
+  /// written on every exit path, including degraded searches.
+  std::string MetricsFile; ///< --metrics: JSON snapshot of the registry
+  std::string TraceFile;   ///< --trace: Chrome trace_event JSON
+  bool Explain = false;    ///< --explain: search-funnel report
 };
 
 void printUsage() {
@@ -126,7 +136,9 @@ void printUsage() {
       "search mode (paper Figure 6, on the simulator):\n"
       "  --search A+B     sweep fusion configs for a benchmark pair,\n"
       "                   e.g. --search batchnorm+hist (names as in the\n"
-      "                   paper; case-insensitive)\n"
+      "                   paper; case-insensitive); --search all sweeps\n"
+      "                   the paper's 16 pairs in Figure 9 order,\n"
+      "                   sharing one compile cache across pairs\n"
       "  --search-jobs N  evaluate candidates on N worker threads\n"
       "                   (0 = all hardware threads; default 1)\n"
       "  --no-prune       disable occupancy pruning\n"
@@ -160,6 +172,22 @@ void printUsage() {
       "  --full-stats     profile every candidate with full nvprof-style\n"
       "                   stats (default: timing-only sweep, full stats\n"
       "                   for the winner; cycle counts are identical)\n"
+      "\n"
+      "observability (zero overhead unless requested; never affects\n"
+      "results — cycles and Best are bit-identical with it on or off):\n"
+      "  --metrics FILE   write a JSON metrics snapshot (counters,\n"
+      "                   gauges, histograms: cache hits, store traffic,\n"
+      "                   retries, search funnel, simulated work) on\n"
+      "                   exit, on every exit path\n"
+      "  --trace FILE     write a Chrome trace_event JSON timeline of\n"
+      "                   the run (per-candidate compile/fuse/simulate\n"
+      "                   spans, store operations, retry backoffs) on\n"
+      "                   exit; load in chrome://tracing or Perfetto\n"
+      "  --explain        print the search funnel after each search:\n"
+      "                   candidate ledger, per-phase wall time, and\n"
+      "                   the near-winning configs (implies tracing)\n"
+      "  HFUSE_LOG=LEVEL  stderr diagnostics: error|warn|info|debug\n"
+      "                   (default warn)\n"
       "\n"
       "robustness:\n"
       "  --sim-watchdog N abandon a candidate simulation as deadlocked\n"
@@ -354,6 +382,18 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return false;
       }
       Opts.CompileRetries = static_cast<int>(N);
+    } else if (Arg == "--metrics") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.MetricsFile = V;
+    } else if (Arg == "--trace") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.TraceFile = V;
+    } else if (Arg == "--explain") {
+      Opts.Explain = true;
     } else if (Arg == "--no-cache") {
       Opts.UseCache = false;
     } else if (Arg == "--volta") {
@@ -420,28 +460,87 @@ void printReport(const ir::IRKernel &IR, int BlockDim) {
   }
 }
 
-int runSearch(const CliOptions &Opts) {
-  size_t Plus = Opts.SearchPair.find('+');
-  if (Plus == std::string::npos) {
-    std::fprintf(stderr,
-                 "error: --search expects KERNEL+KERNEL, e.g. "
-                 "batchnorm+hist\n");
-    return ExitUsage;
+/// Difference of two Tracer::aggregate() snapshots (both sorted by
+/// (cat, name)), so a multi-pair run can report per-pair phase times.
+std::vector<telemetry::SpanAgg>
+aggregateDelta(const std::vector<telemetry::SpanAgg> &Before,
+               const std::vector<telemetry::SpanAgg> &After) {
+  std::vector<telemetry::SpanAgg> Out;
+  size_t BI = 0;
+  for (const telemetry::SpanAgg &A : After) {
+    while (BI < Before.size() &&
+           (Before[BI].Cat < A.Cat ||
+            (Before[BI].Cat == A.Cat && Before[BI].Name < A.Name)))
+      ++BI;
+    telemetry::SpanAgg D = A;
+    if (BI < Before.size() && Before[BI].Cat == A.Cat &&
+        Before[BI].Name == A.Name) {
+      D.Count -= Before[BI].Count;
+      D.TotalUs -= Before[BI].TotalUs;
+    }
+    if (D.Count)
+      Out.push_back(std::move(D));
   }
-  auto IdA = kernels::kernelIdByName(Opts.SearchPair.substr(0, Plus));
-  auto IdB = kernels::kernelIdByName(Opts.SearchPair.substr(Plus + 1));
-  if (!IdA || !IdB) {
-    std::fprintf(stderr, "error: unknown kernel in pair '%s'\n",
-                 Opts.SearchPair.c_str());
-    std::fprintf(stderr, "known kernels:");
-    for (kernels::BenchKernelId Id : kernels::allKernels())
-      std::fprintf(stderr, " %s", kernels::kernelDisplayName(Id));
-    for (kernels::BenchKernelId Id : kernels::extensionKernels())
-      std::fprintf(stderr, " %s", kernels::kernelDisplayName(Id));
-    std::fprintf(stderr, "\n");
-    return ExitUsage;
+  return Out;
+}
+
+/// --explain: the search funnel. Ledger counts come from the search's
+/// canonical accounting (deterministic across jobs); phase wall times
+/// come from the trace spans of this pair's search.
+void printExplain(const profile::SearchResult &SR,
+                  const std::vector<telemetry::SpanAgg> &Spans) {
+  std::printf("\nsearch funnel [%s]:\n", SR.RunId.c_str());
+  std::printf("  %-10s %5u\n", "candidates", SR.Stats.Candidates);
+  std::printf("  %-10s %5u\n", "pruned", SR.Stats.Pruned);
+  std::printf("  %-10s %5u\n", "abandoned", SR.Stats.Abandoned);
+  std::printf("  %-10s %5u\n", "failed", SR.Stats.Failed);
+  std::printf("  %-10s %5u  (+%u memoized)\n", "simulated",
+              SR.Stats.Simulations, SR.Stats.MemoHits);
+  std::printf("  %-10s c%d: d1=%d d2=%d bound=%u, %llu cycles\n", "best",
+              SR.Best.Id, SR.Best.D1, SR.Best.D2, SR.Best.RegBound,
+              static_cast<unsigned long long>(SR.Best.Cycles));
+
+  bool Header = false;
+  for (const telemetry::SpanAgg &S : Spans) {
+    if (S.Cat != "phase")
+      continue;
+    if (!Header) {
+      std::printf("  phase wall time:\n");
+      Header = true;
+    }
+    std::printf("    %-9s %9.2f ms\n", S.Name.c_str(), S.TotalUs / 1e3);
   }
 
+  // Near-winners: every measured config ranked by cycles, best first.
+  std::vector<const profile::FusionCandidate *> Ranked;
+  Ranked.reserve(SR.All.size());
+  for (const profile::FusionCandidate &C : SR.All)
+    Ranked.push_back(&C);
+  std::sort(Ranked.begin(), Ranked.end(),
+            [](const profile::FusionCandidate *X,
+               const profile::FusionCandidate *Y) {
+              return X->Cycles != Y->Cycles ? X->Cycles < Y->Cycles
+                                            : X->Id < Y->Id;
+            });
+  size_t K = std::min<size_t>(5, Ranked.size());
+  std::printf("  top %zu measured configs:\n", K);
+  for (size_t I = 0; I < K; ++I) {
+    const profile::FusionCandidate &C = *Ranked[I];
+    double Pct = SR.Best.Cycles
+                     ? 100.0 * (static_cast<double>(C.Cycles) /
+                                    static_cast<double>(SR.Best.Cycles) -
+                                1.0)
+                     : 0.0;
+    std::printf("    c%-3d d1=%4d d2=%4d bound=%3u %12llu cycles  +%.2f%%\n",
+                C.Id, C.D1, C.D2, C.RegBound,
+                static_cast<unsigned long long>(C.Cycles), Pct);
+  }
+}
+
+int searchOnePair(const CliOptions &Opts, kernels::BenchKernelId IdA,
+                  kernels::BenchKernelId IdB,
+                  const std::shared_ptr<profile::CompileCache> &Cache,
+                  const std::shared_ptr<ResultStore> &Store) {
   profile::PairRunner::Options RO;
   RO.Arch = Opts.Volta ? gpusim::makeV100() : gpusim::makeGTX1080Ti();
   RO.SimSMs = Opts.Quick ? 2 : 3;
@@ -456,27 +555,15 @@ int runSearch(const CliOptions &Opts) {
                                   : gpusim::StatsLevel::Minimal;
   RO.WatchdogCycles = Opts.WatchdogCycles;
   RO.WallTimeoutMs = Opts.TimeoutMs;
-  RO.Cache = std::make_shared<profile::CompileCache>();
-  RO.Cache->setRetryPolicy(
-      RetryPolicy{Opts.CompileRetries, /*BackoffBaseMs=*/5});
+  RO.Cache = Cache;
 
-  std::shared_ptr<ResultStore> Store;
-  if (!Opts.CacheDir.empty()) {
-    Status StoreErr;
-    Store = ResultStore::open(Opts.CacheDir, profile::kStoreSchemaVersion,
-                              &StoreErr);
-    if (!Store) {
-      // An unusable store directory never fails the search — the run
-      // degrades to in-memory caching, and the exit code says so.
-      std::fprintf(stderr, "warning: --cache-dir: %s; continuing without "
-                           "a persistent store\n",
-                   StoreErr.str().c_str());
-    } else {
-      RO.Cache->attachStore(Store);
-    }
-  }
+  // Per-pair span baseline for --explain phase times (the tracer is
+  // process-wide; a --search all run accumulates across pairs).
+  std::vector<telemetry::SpanAgg> AggBefore;
+  if (Opts.Explain)
+    AggBefore = telemetry::Tracer::instance().aggregate();
 
-  profile::PairRunner Runner(*IdA, *IdB, RO);
+  profile::PairRunner Runner(IdA, IdB, RO);
   if (!Runner.ok()) {
     std::fprintf(stderr, "%s\n", Runner.error().c_str());
     return ExitInternal;
@@ -495,8 +582,8 @@ int runSearch(const CliOptions &Opts) {
       return ExitInternal;
     }
     std::printf("Figure 6 search: %s + %s on %s\n",
-                kernels::kernelDisplayName(*IdA),
-                kernels::kernelDisplayName(*IdB), RO.Arch.Name.c_str());
+                kernels::kernelDisplayName(IdA),
+                kernels::kernelDisplayName(IdB), RO.Arch.Name.c_str());
     std::printf("%8s %8s %8s %14s %10s\n", "d1", "d2", "bound", "cycles",
                 "time(ms)");
     std::printf("%8s %8s %8s %14llu %10.3f  degraded:%s\n", "-", "-", "-",
@@ -506,8 +593,8 @@ int runSearch(const CliOptions &Opts) {
   }
 
   std::printf("Figure 6 search: %s + %s on %s\n",
-              kernels::kernelDisplayName(*IdA),
-              kernels::kernelDisplayName(*IdB), RO.Arch.Name.c_str());
+              kernels::kernelDisplayName(IdA),
+              kernels::kernelDisplayName(IdB), RO.Arch.Name.c_str());
   std::printf("%8s %8s %8s %14s %10s %9s\n", "d1", "d2", "bound", "cycles",
               "time(ms)", "blk/SM");
   for (const profile::FusionCandidate &C : SR.All)
@@ -519,16 +606,19 @@ int runSearch(const CliOptions &Opts) {
                 C.D1 == SR.Best.D1 && C.RegBound == SR.Best.RegBound
                     ? "  <-- best"
                     : "");
+  // The c<id> is the candidate's canonical enumeration index — the
+  // same id the trace spans and --explain carry, so rows join across
+  // the three views.
   for (const profile::FailedCandidate &F : SR.Failed)
-    std::printf("%8d %8d %8u         failed: %s\n", F.D1, F.D2, F.RegBound,
-                F.Err.str().c_str());
+    std::printf("%8d %8d %8u         failed [c%d]: %s\n", F.D1, F.D2,
+                F.RegBound, F.Id, F.Err.str().c_str());
   for (const profile::PrunedCandidate &P : SR.Pruned)
-    std::printf("%8d %8d %8u         pruned: %s\n", P.D1, P.D2, P.RegBound,
-                P.Reason.c_str());
+    std::printf("%8d %8d %8u         pruned [c%d]: %s\n", P.D1, P.D2,
+                P.RegBound, P.Id, P.Reason.c_str());
   for (const profile::AbandonedCandidate &A : SR.Abandoned)
-    std::printf("%8d %8d %8u         abandoned at cycle %llu (%llu "
+    std::printf("%8d %8d %8u         abandoned [c%d] at cycle %llu (%llu "
                 "instructions issued)\n",
-                A.D1, A.D2, A.RegBound,
+                A.D1, A.D2, A.RegBound, A.Id,
                 static_cast<unsigned long long>(A.BudgetCycles),
                 static_cast<unsigned long long>(A.IssuedInsts));
 
@@ -558,6 +648,9 @@ int runSearch(const CliOptions &Opts) {
   if (CS.CompileRetries)
     std::printf("compile retries: %llu\n",
                 static_cast<unsigned long long>(CS.CompileRetries));
+  if (Opts.Explain)
+    printExplain(SR, aggregateDelta(
+                         AggBefore, telemetry::Tracer::instance().aggregate()));
   if (Store) {
     ResultStore::Stats SS = Store->stats();
     std::printf("store: %llu disk hits, %llu disk misses, %llu writes, "
@@ -576,21 +669,90 @@ int runSearch(const CliOptions &Opts) {
   return ExitOk;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  CliOptions Opts;
-  if (!parseArgs(Argc, Argv, Opts))
-    return ExitUsage;
-
-  if (!Opts.FaultSpec.empty()) {
-    std::string FErr;
-    if (!FaultInjector::instance().configure(Opts.FaultSpec, &FErr)) {
-      std::fprintf(stderr, "error: --fault: %s\n", FErr.c_str());
+int runSearch(const CliOptions &Opts) {
+  std::vector<profile::PaperPair> PairList;
+  if (Opts.SearchPair == "all") {
+    PairList = profile::paperPairs();
+  } else {
+    size_t Plus = Opts.SearchPair.find('+');
+    if (Plus == std::string::npos) {
+      std::fprintf(stderr,
+                   "error: --search expects KERNEL+KERNEL (e.g. "
+                   "batchnorm+hist) or 'all'\n");
       return ExitUsage;
+    }
+    auto IdA = kernels::kernelIdByName(Opts.SearchPair.substr(0, Plus));
+    auto IdB = kernels::kernelIdByName(Opts.SearchPair.substr(Plus + 1));
+    if (!IdA || !IdB) {
+      std::fprintf(stderr, "error: unknown kernel in pair '%s'\n",
+                   Opts.SearchPair.c_str());
+      std::fprintf(stderr, "known kernels:");
+      for (kernels::BenchKernelId Id : kernels::allKernels())
+        std::fprintf(stderr, " %s", kernels::kernelDisplayName(Id));
+      for (kernels::BenchKernelId Id : kernels::extensionKernels())
+        std::fprintf(stderr, " %s", kernels::kernelDisplayName(Id));
+      std::fprintf(stderr, "\n");
+      return ExitUsage;
+    }
+    PairList.push_back({*IdA, *IdB});
+  }
+
+  // One compile cache (and, with --cache-dir, one store) for the whole
+  // invocation: a --search all sweep reuses the nine input kernels'
+  // compilations across pairs, like the benches do.
+  auto Cache = std::make_shared<profile::CompileCache>();
+  Cache->setRetryPolicy(RetryPolicy{Opts.CompileRetries, /*BackoffBaseMs=*/5});
+  std::shared_ptr<ResultStore> Store;
+  if (!Opts.CacheDir.empty()) {
+    Status StoreErr;
+    Store = ResultStore::open(Opts.CacheDir, profile::kStoreSchemaVersion,
+                              &StoreErr);
+    if (!Store) {
+      // An unusable store directory never fails the search — the run
+      // degrades to in-memory caching, and the exit code says so.
+      std::fprintf(stderr, "warning: --cache-dir: %s; continuing without "
+                           "a persistent store\n",
+                   StoreErr.str().c_str());
+    } else {
+      Cache->attachStore(Store);
     }
   }
 
+  // Multi-pair sweeps report the first non-OK pair's exit code and
+  // still run every pair (a degraded pair never hides later results).
+  int RC = ExitOk;
+  for (size_t I = 0; I < PairList.size(); ++I) {
+    if (I)
+      std::printf("\n");
+    int PairRC =
+        searchOnePair(Opts, PairList[I].A, PairList[I].B, Cache, Store);
+    if (RC == ExitOk)
+      RC = PairRC;
+  }
+  return RC;
+}
+
+/// Writes --metrics / --trace outputs. Runs on every exit path out of
+/// runTool (success, degraded search, internal error) so a failed run
+/// still leaves its telemetry behind — that is when it matters most.
+void writeTelemetryArtifacts(const CliOptions &Opts) {
+  if (!Opts.MetricsFile.empty()) {
+    std::ofstream Out(Opts.MetricsFile);
+    if (Out)
+      Out << telemetry::MetricsRegistry::instance().snapshotJson(
+                 /*Pretty=*/true)
+          << '\n';
+    if (!Out)
+      logWarn("--metrics: cannot write '%s'", Opts.MetricsFile.c_str());
+  }
+  if (!Opts.TraceFile.empty()) {
+    std::string Err;
+    if (!telemetry::Tracer::instance().writeFile(Opts.TraceFile, &Err))
+      logWarn("--trace: %s", Err.c_str());
+  }
+}
+
+int runTool(const CliOptions &Opts) {
   if (!Opts.SearchPair.empty())
     return runSearch(Opts);
 
@@ -653,4 +815,32 @@ int main(int Argc, char **Argv) {
   if (Opts.PrintIR)
     std::fputs(IR->str().c_str(), stdout);
   return ExitOk;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return ExitUsage;
+
+  // Telemetry is opt-in per run; enabling it never changes results
+  // (the registry and tracer are write-only for the whole pipeline).
+  // --explain needs the phase spans, so it implies tracing.
+  if (!Opts.MetricsFile.empty())
+    telemetry::setMetricsEnabled(true);
+  if (!Opts.TraceFile.empty() || Opts.Explain)
+    telemetry::setTraceEnabled(true);
+
+  if (!Opts.FaultSpec.empty()) {
+    std::string FErr;
+    if (!FaultInjector::instance().configure(Opts.FaultSpec, &FErr)) {
+      std::fprintf(stderr, "error: --fault: %s\n", FErr.c_str());
+      return ExitUsage;
+    }
+  }
+
+  int RC = runTool(Opts);
+  writeTelemetryArtifacts(Opts);
+  return RC;
 }

@@ -52,7 +52,9 @@
 #include "gpusim/MemorySystem.h"
 #include "gpusim/Occupancy.h"
 #include "support/FaultInjector.h"
+#include "support/Log.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <array>
@@ -267,6 +269,12 @@ struct Simulator::Impl {
   std::chrono::steady_clock::time_point WallDeadline{};
   bool WallTimed = false;
   uint64_t LoopIters = 0;
+  /// Heartbeat plumbing, resolved once per run so the loop never
+  /// touches the registry. HeartbeatIters is deliberately separate from
+  /// LoopIters: the wall-timeout cadence is pinned by golden tests and
+  /// must not shift when metrics are toggled.
+  uint64_t HeartbeatIters = 0;
+  telemetry::Gauge *Heartbeat = nullptr;
   bool StatsFull = true;
   std::string Error;
   // Stats.
@@ -1842,6 +1850,8 @@ template <bool FullStats> bool Simulator::Impl::runLoop(SimResult &Res) {
           static_cast<unsigned long long>(Watchdog));
       Res.TotalCycles = Cycle;
       Res.TotalIssued = IssuedSlots;
+      logInfo("sim: %s at cycle %llu", Res.Error.c_str(),
+              static_cast<unsigned long long>(Cycle));
       return false;
     }
     if (WallTimed && (++LoopIters & 0x1FFF) == 0 &&
@@ -1850,8 +1860,15 @@ template <bool FullStats> bool Simulator::Impl::runLoop(SimResult &Res) {
       Res.Error = "wall-clock timeout exceeded";
       Res.TotalCycles = Cycle;
       Res.TotalIssued = IssuedSlots;
+      logInfo("sim: wall-clock timeout at cycle %llu",
+              static_cast<unsigned long long>(Cycle));
       return false;
     }
+    // Coarse liveness signal for external observers (a poller can tell
+    // a slow run from a wedged one). Separate iteration counter so the
+    // wall-timeout check cadence above is untouched by the toggle.
+    if (Heartbeat && (++HeartbeatIters & 0x3FFF) == 0)
+      Heartbeat->set(Cycle);
 
     bool AnyIssued = false;
     uint64_t CycleSamples[NumStalls] = {};
@@ -1941,6 +1958,14 @@ SimResult Simulator::Impl::run(const std::vector<KernelLaunch> &Ls,
   ProgressCycle = 0;
   Watchdog = Config.WatchdogCycles;
   LoopIters = 0;
+  HeartbeatIters = 0;
+  // Resolve the heartbeat gauge once per run; the loop never touches
+  // the registry. Telemetry is write-only: nothing in the simulator
+  // reads it back, so results are bit-identical either way.
+  Heartbeat = telemetry::metricsOn()
+                  ? &telemetry::MetricsRegistry::instance().gauge(
+                        "sim.cycle_heartbeat")
+                  : nullptr;
   WallTimed = Config.WallTimeoutMs != 0;
   if (WallTimed)
     WallDeadline = std::chrono::steady_clock::now() +
@@ -2043,7 +2068,30 @@ SimResult Simulator::Impl::run(const std::vector<KernelLaunch> &Ls,
   const uint64_t TotalScheds =
       uint64_t(Config.SimSMs) * A.SchedulersPerSM;
 
+  telemetry::TraceSpan RunSpan;
+  if (telemetry::traceOn() && !Ls.empty()) {
+    const std::string &Label =
+        Ls.front().Label.empty() ? Ls.front().Kernel->Name : Ls.front().Label;
+    RunSpan.beginSpan("sim", "run:" + Label,
+                      formatString("{\"launches\":%zu,\"budget\":%llu,"
+                                   "\"stats\":\"%s\"}",
+                                   Ls.size(),
+                                   static_cast<unsigned long long>(Budget),
+                                   StatsFull ? "full" : "minimal"));
+  }
+
   bool Ok = StatsFull ? runLoop<true>(Res) : runLoop<false>(Res);
+  if (telemetry::metricsOn()) {
+    HFUSE_METRIC_ADD("sim.runs", 1);
+    HFUSE_METRIC_ADD("sim.insts", IssuedSlots);
+    HFUSE_METRIC_ADD("sim.cycles", Cycle);
+    if (Res.BudgetExceeded)
+      HFUSE_METRIC_ADD("sim.budget_aborts", 1);
+    if (Res.Deadlock)
+      HFUSE_METRIC_ADD("sim.deadlocks", 1);
+    if (Res.TimedOut)
+      HFUSE_METRIC_ADD("sim.timeouts", 1);
+  }
   if (!Ok) {
     Res.FaultInjected = Wedged;
     return Res;
@@ -2087,6 +2135,13 @@ SimResult Simulator::Impl::run(const std::vector<KernelLaunch> &Ls,
     M.TimeMs =
         static_cast<double>(LS.CompletionCycle) / (A.ClockGHz * 1e9) * 1e3;
     M.IssuedInsts = LS.Issued;
+    // Export measured issue counts (the paper's Figure 8 data) for
+    // profiled runs only — search sweeps run StatsLevel::Minimal and
+    // would otherwise thrash these gauges thousands of times per pair.
+    if (StatsFull && telemetry::metricsOn())
+      telemetry::MetricsRegistry::instance()
+          .gauge("sim.issued." + M.Label)
+          .set(LS.Issued);
     uint64_t Slots = LS.CompletionCycle * TotalScheds;
     M.IssueSlotUtilPct = Slots ? 100.0 * LS.Issued / Slots : 0.0;
     M.MemStallPct = Res.DeviceMemStallPct;

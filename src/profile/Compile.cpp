@@ -12,11 +12,57 @@
 #include "support/BinaryCodec.h"
 #include "support/FaultInjector.h"
 #include "support/Hashing.h"
+#include "support/Log.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
 
 using namespace hfuse;
 using namespace hfuse::profile;
+
+namespace {
+
+/// Registry name for each CompileCache statistics counter, so every
+/// count() call is mirrored into the telemetry snapshot. The Stats
+/// struct stays the source of truth the tests pin; the mirror is
+/// write-only observability.
+const char *metricNameFor(uint64_t CompileCache::Stats::*Counter) {
+  using Stats = CompileCache::Stats;
+  if (Counter == &Stats::KernelCompiles)
+    return "compile.kernel_compiles";
+  if (Counter == &Stats::KernelHits)
+    return "compile.cache_hits";
+  if (Counter == &Stats::FusionRuns)
+    return "compile.fusions";
+  if (Counter == &Stats::FusionHits)
+    return "compile.fusion_hits";
+  if (Counter == &Stats::Lowerings)
+    return "compile.lowerings";
+  if (Counter == &Stats::LoweringHits)
+    return "compile.lowering_hits";
+  if (Counter == &Stats::SimRuns)
+    return "search.sim_runs";
+  if (Counter == &Stats::SimMemoHits)
+    return "search.sim_memo_hits";
+  if (Counter == &Stats::CompileRetries)
+    return "compile.retries";
+  if (Counter == &Stats::DiskHits)
+    return "compile.disk_hits";
+  if (Counter == &Stats::DiskMisses)
+    return "compile.disk_misses";
+  if (Counter == &Stats::DiskWrites)
+    return "compile.disk_writes";
+  return nullptr;
+}
+
+void mirrorCount(uint64_t CompileCache::Stats::*Counter, uint64_t N) {
+  if (!telemetry::metricsOn())
+    return;
+  if (const char *Name = metricNameFor(Counter))
+    telemetry::MetricsRegistry::instance().counter(Name).add(N);
+}
+
+} // namespace
 
 std::string hfuse::profile::encodeSimResult(const gpusim::SimResult &R) {
   ByteWriter W;
@@ -183,10 +229,12 @@ CompileCache::getKernel(std::string_view Source, const std::string &Name,
       auto It = Map.find(K);
       if (It != Map.end()) {
         ++S.KernelHits;
+        mirrorCount(&Stats::KernelHits, 1);
         Fut = It->second;
       } else {
         IsCompiler = true;
         ++S.KernelCompiles;
+        mirrorCount(&Stats::KernelCompiles, 1);
         Fut = std::make_shared<std::shared_future<Compiled>>(
             Promise.get_future().share());
         Map.emplace(K, Fut);
@@ -200,6 +248,11 @@ CompileCache::getKernel(std::string_view Source, const std::string &Name,
         std::lock_guard<std::mutex> Lock(Mu);
         Policy = Retry_;
       }
+      telemetry::TraceSpan CompileSpan;
+      if (telemetry::traceOn())
+        CompileSpan.beginSpan("compile", "kernel:" + Name,
+                              "{\"reg_bound\":" + std::to_string(RegBound) +
+                                  "}");
       // Bounded retry for transient failures (injected faults, flaky
       // I/O behind a compile). Each extra attempt is a real
       // compilation, so it counts as one: the compile-count pins stay
@@ -207,11 +260,23 @@ CompileCache::getKernel(std::string_view Source, const std::string &Name,
       // error yields the same parse error.
       int Attempts = Policy.MaxAttempts < 1 ? 1 : Policy.MaxAttempts;
       for (int A = 1; A <= Attempts; ++A) {
-        Policy.sleepMs(Policy.delayBeforeAttemptMs(A));
+        uint64_t DelayMs = Policy.delayBeforeAttemptMs(A);
+        Policy.sleepMs(DelayMs);
         if (A > 1) {
-          std::lock_guard<std::mutex> Lock(Mu);
-          ++S.KernelCompiles;
-          ++S.CompileRetries;
+          {
+            std::lock_guard<std::mutex> Lock(Mu);
+            ++S.KernelCompiles;
+            ++S.CompileRetries;
+          }
+          mirrorCount(&Stats::KernelCompiles, 1);
+          mirrorCount(&Stats::CompileRetries, 1);
+          HFUSE_METRIC_ADD("retry.attempts", 1);
+          HFUSE_METRIC_HISTO("retry.backoff_ms", DelayMs);
+          if (telemetry::traceOn())
+            telemetry::Tracer::instance().instant(
+                "retry", "backoff",
+                "{\"attempt\":" + std::to_string(A) +
+                    ",\"delay_ms\":" + std::to_string(DelayMs) + "}");
         }
         DiagnosticEngine Local;
         auto R = compileSourceOr(Source, Name, RegBound, Local);
@@ -286,8 +351,11 @@ void CompileCache::resetStats() {
 }
 
 void CompileCache::count(uint64_t Stats::*Counter, uint64_t N) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  S.*Counter += N;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    S.*Counter += N;
+  }
+  mirrorCount(Counter, N);
 }
 
 void CompileCache::attachStore(std::shared_ptr<ResultStore> Store) {
@@ -383,10 +451,10 @@ void CompileCache::publishCompileDigest(const std::string &Name,
   if (std::optional<std::string> Prev = St->get(Key)) {
     if (*Prev == Digest)
       return;
-    std::fprintf(stderr,
-                 "warning: compile digest mismatch for kernel '%s' "
-                 "(r%u); determinism drift — record overwritten\n",
-                 Name.c_str(), RegBound);
+    HFUSE_METRIC_ADD("compile.digest_mismatches", 1);
+    logWarn("compile digest mismatch for kernel '%s' (r%u); determinism "
+            "drift — record overwritten",
+            Name.c_str(), RegBound);
   }
   (void)St->put(Key, Digest);
 }

@@ -13,10 +13,12 @@
 #include "support/FaultInjector.h"
 #include "support/Hashing.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "transform/Fusion.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <climits>
 
@@ -590,11 +592,25 @@ std::optional<unsigned> PairRunner::figure6RegBound(int D1, int D2) {
 SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
   auto Start = std::chrono::steady_clock::now();
   SearchResult SR;
+  // Process-unique run id, joined against every span this search emits
+  // and against the driver's failed:/abandoned: table rows.
+  static std::atomic<uint32_t> NextRunSeq{0};
+  SR.RunId = formatString(
+      "s%u:%s+%s", NextRunSeq.fetch_add(1, std::memory_order_relaxed) + 1,
+      kernelDisplayName(IdA), kernelDisplayName(IdB));
   if (!Ready) {
     SR.Error = Err;
     SR.Err = Status(ErrorCode::Internal, Err);
     return SR;
   }
+  telemetry::TraceSpan SearchSpan;
+  if (telemetry::traceOn())
+    SearchSpan.beginSpan(
+        "search", SR.RunId,
+        formatString("{\"jobs\":%d,\"budget\":\"%s\"}", Opts.SearchJobs,
+                     Opts.Budget == SearchBudgetMode::Incumbent
+                         ? "incumbent"
+                         : "off"));
 
   bool Tunable = kernelHasTunableBlockDim(IdA) &&
                  kernelHasTunableBlockDim(IdB);
@@ -633,6 +649,9 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
 
   /// One enumerated candidate of the sweep.
   struct Candidate {
+    /// Canonical id: the index in this enumeration, stable across
+    /// SearchJobs (exported as FusionCandidate::Id and friends).
+    int Id = -1;
     int D1 = 0, D2 = 0;
     unsigned RegBound = 0;
     std::shared_ptr<ir::IRKernel> IR;
@@ -673,6 +692,8 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
       Cands.push_back(C);
     }
   }
+  for (size_t I = 0; I < Cands.size(); ++I)
+    Cands[I].Id = static_cast<int>(I);
 
   int Jobs = Opts.SearchJobs <= 0
                  ? static_cast<int>(ThreadPool::defaultConcurrency())
@@ -687,31 +708,51 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
   // Phase 1: one task per partition lowers the unbounded variant,
   // derives r0, and lowers the bounded variant (sharing the fusion).
   size_t PerPart = NaiveEvenSplit ? 1 : 2;
-  parallelFor(Pool.get(), Partitions.size(), [&](size_t I) {
-    Candidate &U = Cands[I * PerPart];
-    U.IR = getFusedIR(U.D1, U.D2, 0, U.DynShared, U.Error);
-    if (U.IR)
-      U.BlocksPerSM =
-          computeOccupancy(Opts.Arch, D0,
-                           static_cast<int>(U.IR->ArchRegsPerThread),
-                           U.IR->StaticSharedBytes + U.DynShared)
-              .BlocksPerSM;
-    if (NaiveEvenSplit)
-      return;
-    Candidate &B = Cands[I * PerPart + 1];
-    Status BoundErr;
-    std::optional<unsigned> R0 = figure6RegBoundImpl(B.D1, B.D2, BoundErr);
-    if (!R0)
-      return; // no bounded trial for this partition (seed behavior)
-    B.RegBound = *R0;
-    B.IR = getFusedIR(B.D1, B.D2, *R0, B.DynShared, B.Error);
-    if (B.IR)
-      B.BlocksPerSM =
-          computeOccupancy(Opts.Arch, D0,
-                           static_cast<int>(B.IR->ArchRegsPerThread),
-                           B.IR->StaticSharedBytes + B.DynShared)
-              .BlocksPerSM;
-  });
+  {
+    telemetry::TraceSpan PhaseSpan("phase", "compile");
+    parallelFor(Pool.get(), Partitions.size(), [&](size_t I) {
+      Candidate &U = Cands[I * PerPart];
+      {
+        telemetry::TraceSpan CandSpan;
+        if (telemetry::traceOn())
+          CandSpan.beginSpan(
+              "fuse", formatString("c%d %d/%d", U.Id, U.D1, U.D2),
+              formatString("{\"run\":\"%s\",\"cand\":%d}", SR.RunId.c_str(),
+                           U.Id));
+        U.IR = getFusedIR(U.D1, U.D2, 0, U.DynShared, U.Error);
+      }
+      if (U.IR)
+        U.BlocksPerSM =
+            computeOccupancy(Opts.Arch, D0,
+                             static_cast<int>(U.IR->ArchRegsPerThread),
+                             U.IR->StaticSharedBytes + U.DynShared)
+                .BlocksPerSM;
+      if (NaiveEvenSplit)
+        return;
+      Candidate &B = Cands[I * PerPart + 1];
+      Status BoundErr;
+      std::optional<unsigned> R0 = figure6RegBoundImpl(B.D1, B.D2, BoundErr);
+      if (!R0)
+        return; // no bounded trial for this partition (seed behavior)
+      B.RegBound = *R0;
+      {
+        telemetry::TraceSpan CandSpan;
+        if (telemetry::traceOn())
+          CandSpan.beginSpan(
+              "fuse",
+              formatString("c%d %d/%d:r%u", B.Id, B.D1, B.D2, B.RegBound),
+              formatString("{\"run\":\"%s\",\"cand\":%d}", SR.RunId.c_str(),
+                           B.Id));
+        B.IR = getFusedIR(B.D1, B.D2, *R0, B.DynShared, B.Error);
+      }
+      if (B.IR)
+        B.BlocksPerSM =
+            computeOccupancy(Opts.Arch, D0,
+                             static_cast<int>(B.IR->ArchRegsPerThread),
+                             B.IR->StaticSharedBytes + B.DynShared)
+                .BlocksPerSM;
+    });
+  }
 
   // Phase 2: occupancy pruning over the canonical order. Level 1 rules
   // preserve results: a candidate that cannot launch, or a bounded
@@ -724,6 +765,7 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
   // low-occupancy winner by a few percent. Identical-IR variants
   // (bound at/above the natural allocation) are exempt from pruning —
   // they replay the sibling's memoized result for free.
+  telemetry::TraceSpan PruneSpan("phase", "prune");
   int MaxSeen = 0;
   for (Candidate &C : Cands) {
     if (!C.IR || C.RegBound == UINT_MAX)
@@ -771,6 +813,7 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
     if (!C.Pruned)
       MaxSeen = std::max(MaxSeen, C.BlocksPerSM);
   }
+  PruneSpan.finish();
 
   // Phase 3: simulate the kept candidates.
   std::vector<size_t> Kept;
@@ -788,7 +831,18 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
       C.Error = Status(ErrorCode::WorkloadError, CtxErr);
       return;
     }
+    telemetry::TraceSpan CandSpan;
+    if (telemetry::traceOn())
+      CandSpan.beginSpan(
+          "simulate",
+          C.RegBound ? formatString("c%d %d/%d:r%u", C.Id, C.D1, C.D2,
+                                    C.RegBound)
+                     : formatString("c%d %d/%d", C.Id, C.D1, C.D2),
+          formatString("{\"run\":\"%s\",\"cand\":%d,\"budget\":%llu}",
+                       SR.RunId.c_str(), C.Id,
+                       static_cast<unsigned long long>(Budget)));
     FusionCandidate FC;
+    FC.Id = C.Id;
     FC.D1 = C.D1;
     FC.D2 = C.D2;
     FC.RegBound = C.RegBound;
@@ -822,6 +876,7 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
   // because any candidate at or below the incumbent still completes
   // with exact cycles while aborted ones were strictly worse.
   const bool Budgeted = Opts.Budget == SearchBudgetMode::Incumbent;
+  telemetry::TraceSpan SimPhaseSpan("phase", "simulate");
   uint64_t Incumbent = 0;
   size_t Seeded = 0;
   std::vector<size_t> Order(Kept.size());
@@ -890,6 +945,7 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
       Budget = Cands[Kept[K]].MarginReadmit ? MarginBudget : Incumbent;
     Measure(K, Budget);
   });
+  SimPhaseSpan.finish();
 
   Status FirstError;
   for (Candidate &C : Cands) {
@@ -903,6 +959,7 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
       // recorded and the sweep goes on. Recorded in canonical order
       // (this loop), so the report is deterministic across SearchJobs.
       FailedCandidate F;
+      F.Id = C.Id;
       F.D1 = C.D1;
       F.D2 = C.D2;
       F.RegBound = C.RegBound;
@@ -913,6 +970,7 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
     }
     if (C.Pruned) {
       PrunedCandidate P;
+      P.Id = C.Id;
       P.D1 = C.D1;
       P.D2 = C.D2;
       P.RegBound = C.RegBound;
@@ -923,6 +981,7 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
       ++SR.Stats.Pruned;
     } else if (C.Abandoned) {
       AbandonedCandidate A;
+      A.Id = C.Id;
       A.D1 = C.D1;
       A.D2 = C.D2;
       A.RegBound = C.RegBound;
@@ -944,6 +1003,22 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - Start)
           .count();
+
+  // Funnel counters, bumped once per search from the canonical
+  // accounting above (deterministic across SearchJobs). Write-only:
+  // nothing below ever reads them back.
+  if (telemetry::metricsOn()) {
+    HFUSE_METRIC_ADD("search.runs", 1);
+    HFUSE_METRIC_ADD("search.candidates", SR.Stats.Candidates);
+    HFUSE_METRIC_ADD("search.pruned", SR.Stats.Pruned);
+    HFUSE_METRIC_ADD("search.abandoned", SR.Stats.Abandoned);
+    HFUSE_METRIC_ADD("search.failed", SR.Stats.Failed);
+    HFUSE_METRIC_ADD("search.simulations", SR.Stats.Simulations);
+    HFUSE_METRIC_ADD("search.sim_insts", SR.Stats.SimulatedInsts);
+    HFUSE_METRIC_ADD("search.abandoned_insts", SR.Stats.AbandonedInsts);
+    HFUSE_METRIC_GAUGE_SET("search.incumbent_cycles",
+                           SR.Stats.IncumbentCycles);
+  }
 
   if (SR.All.empty()) {
     SR.Err = !FirstError.ok()

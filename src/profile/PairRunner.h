@@ -97,6 +97,11 @@ namespace hfuse::profile {
 
 /// One profiled fusion configuration (a row of the Figure 6 search).
 struct FusionCandidate {
+  /// Stable candidate id: the index in the canonical enumeration
+  /// (partition ascending, unbounded before bounded), identical across
+  /// SearchJobs. Trace spans, `--explain` rows, and the driver's
+  /// failed:/abandoned: table rows all carry it, so they can be joined.
+  int Id = -1;
   int D1 = 0;
   int D2 = 0;
   unsigned RegBound = 0; // 0 = unbounded
@@ -107,6 +112,7 @@ struct FusionCandidate {
 
 /// A candidate skipped by occupancy-dominance pruning.
 struct PrunedCandidate {
+  int Id = -1; ///< canonical candidate id (see FusionCandidate::Id)
   int D1 = 0;
   int D2 = 0;
   unsigned RegBound = 0;
@@ -119,6 +125,7 @@ struct PrunedCandidate {
 
 /// A candidate abandoned mid-simulation by the incumbent cycle budget.
 struct AbandonedCandidate {
+  int Id = -1; ///< canonical candidate id (see FusionCandidate::Id)
   int D1 = 0;
   int D2 = 0;
   unsigned RegBound = 0;
@@ -135,6 +142,7 @@ struct AbandonedCandidate {
 /// sweep records it and moves on; the error never escapes as an
 /// assert/abort or poisons other candidates.
 struct FailedCandidate {
+  int Id = -1; ///< canonical candidate id (see FusionCandidate::Id)
   int D1 = 0;
   int D2 = 0;
   unsigned RegBound = 0;
@@ -164,6 +172,10 @@ struct SearchStats {
 /// Result of the Figure 6 search.
 struct SearchResult {
   bool Ok = false;
+  /// Process-unique id of this search run ("s<N>:<A>+<B>"), threaded
+  /// through every trace span the search emits so table rows and
+  /// Perfetto tracks can be joined.
+  std::string RunId;
   std::string Error;
   /// Structured form of Error: the first failure observed, or the
   /// reason no candidate was feasible. Ok() when the search succeeded —

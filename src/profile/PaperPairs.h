@@ -1,0 +1,62 @@
+//===-- profile/PaperPairs.h - The paper's 16 benchmark pairs ---*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 16 benchmark pairs of the paper (10 deep-learning + 6 crypto),
+/// in Figure 9 order. Single source of truth shared by the bench
+/// harness (bench/BenchCommon.h) and `hfusec --search all`, so a sweep
+/// from either entry point covers exactly the paper's evaluation set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_PROFILE_PAPERPAIRS_H
+#define HFUSE_PROFILE_PAPERPAIRS_H
+
+#include "kernels/Kernels.h"
+
+#include <string>
+#include <vector>
+
+namespace hfuse::profile {
+
+/// One of the paper's benchmark pairs.
+struct PaperPair {
+  kernels::BenchKernelId A;
+  kernels::BenchKernelId B;
+};
+
+inline const std::vector<PaperPair> &paperPairs() {
+  using kernels::BenchKernelId;
+  static const std::vector<PaperPair> Pairs = {
+      {BenchKernelId::Batchnorm, BenchKernelId::Upsample},
+      {BenchKernelId::Batchnorm, BenchKernelId::Hist},
+      {BenchKernelId::Batchnorm, BenchKernelId::Im2Col},
+      {BenchKernelId::Batchnorm, BenchKernelId::Maxpool},
+      {BenchKernelId::Hist, BenchKernelId::Im2Col},
+      {BenchKernelId::Hist, BenchKernelId::Maxpool},
+      {BenchKernelId::Hist, BenchKernelId::Upsample},
+      {BenchKernelId::Im2Col, BenchKernelId::Maxpool},
+      {BenchKernelId::Im2Col, BenchKernelId::Upsample},
+      {BenchKernelId::Maxpool, BenchKernelId::Upsample},
+      {BenchKernelId::Blake2B, BenchKernelId::Ethash},
+      {BenchKernelId::Blake256, BenchKernelId::Ethash},
+      {BenchKernelId::Ethash, BenchKernelId::SHA256},
+      {BenchKernelId::Blake256, BenchKernelId::Blake2B},
+      {BenchKernelId::Blake256, BenchKernelId::SHA256},
+      {BenchKernelId::Blake2B, BenchKernelId::SHA256},
+  };
+  return Pairs;
+}
+
+/// "batchnorm+hist"-style display name.
+inline std::string paperPairName(const PaperPair &P) {
+  return std::string(kernels::kernelDisplayName(P.A)) + "+" +
+         kernels::kernelDisplayName(P.B);
+}
+
+} // namespace hfuse::profile
+
+#endif // HFUSE_PROFILE_PAPERPAIRS_H

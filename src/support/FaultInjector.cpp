@@ -6,6 +6,9 @@
 
 #include "support/FaultInjector.h"
 
+#include "support/Log.h"
+#include "support/Telemetry.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -96,9 +99,9 @@ FaultInjector &FaultInjector::instance() {
         // A malformed env spec still disarms (running stale rules is
         // worse than running none), but say so — a typo that silently
         // turns a fault-injection test into a no-op run is how
-        // containment regressions slip through.
-        std::fprintf(stderr, "warning: HFUSE_FAULT: %s (fault injection disarmed)\n",
-                     Err.c_str());
+        // containment regressions slip through. (CI greps the
+        // `warning: HFUSE_FAULT` substring of this line.)
+        logWarn("HFUSE_FAULT: %s (fault injection disarmed)", Err.c_str());
     }
     return Inj;
   }();
@@ -194,6 +197,12 @@ Status FaultInjector::check(FaultSite Site, std::string_view Label) {
     std::string Msg = std::string("injected fault at ") +
                       faultSiteName(Site) + " #" + std::to_string(R.Matches) +
                       " '" + std::string(Label) + "'";
+    HFUSE_METRIC_ADD("fault.fired", 1);
+    if (telemetry::traceOn())
+      telemetry::Tracer::instance().instant(
+          "fault", faultSiteName(Site),
+          "{\"label\":\"" + telemetry::jsonEscape(Label) + "\"}");
+    logDebug("%s", Msg.c_str());
     return Status::transient(siteErrorCode(Site), std::move(Msg));
   }
   return Status::success();

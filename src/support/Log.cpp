@@ -1,0 +1,119 @@
+//===-- support/Log.cpp - Leveled single-writer diagnostics ---------------===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+using namespace hfuse;
+
+namespace {
+
+std::atomic<int> ActiveLevel{-1}; // -1 = not yet initialized from env
+
+int levelFromEnv() {
+  LogLevel L = LogLevel::Warn;
+  if (const char *Env = std::getenv("HFUSE_LOG"))
+    parseLogLevel(Env, &L); // unknown text keeps the default
+  return static_cast<int>(L);
+}
+
+std::mutex &writerMutex() {
+  static std::mutex *Mu = new std::mutex();
+  return *Mu;
+}
+
+const char *levelName(LogLevel Level) {
+  switch (Level) {
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Warn:
+    return "warning";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Debug:
+    return "debug";
+  }
+  return "?";
+}
+
+void emit(LogLevel Level, const char *Fmt, va_list Ap) {
+  // Format the whole line first, then write it in one call under the
+  // writer mutex: concurrent workers can never interleave mid-line.
+  char Stack[512];
+  va_list Copy;
+  va_copy(Copy, Ap);
+  int Need = std::vsnprintf(Stack, sizeof(Stack), Fmt, Copy);
+  va_end(Copy);
+  if (Need < 0)
+    return;
+  std::string Line;
+  if (static_cast<size_t>(Need) < sizeof(Stack)) {
+    Line = Stack;
+  } else {
+    Line.resize(static_cast<size_t>(Need) + 1);
+    std::vsnprintf(Line.data(), Line.size(), Fmt, Ap);
+    Line.resize(static_cast<size_t>(Need));
+  }
+  std::lock_guard<std::mutex> Lock(writerMutex());
+  std::fprintf(stderr, "hfuse: %s: %s\n", levelName(Level), Line.c_str());
+}
+
+} // namespace
+
+LogLevel hfuse::logLevel() {
+  int L = ActiveLevel.load(std::memory_order_relaxed);
+  if (L < 0) {
+    L = levelFromEnv();
+    int Expected = -1;
+    // First thread in wins; everyone agrees because the env is stable.
+    ActiveLevel.compare_exchange_strong(Expected, L,
+                                        std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(L);
+}
+
+void hfuse::setLogLevel(LogLevel Level) {
+  ActiveLevel.store(static_cast<int>(Level), std::memory_order_relaxed);
+}
+
+bool hfuse::parseLogLevel(const char *Text, LogLevel *Out) {
+  if (!Text)
+    return false;
+  if (std::strcmp(Text, "error") == 0)
+    *Out = LogLevel::Error;
+  else if (std::strcmp(Text, "warn") == 0 ||
+           std::strcmp(Text, "warning") == 0)
+    *Out = LogLevel::Warn;
+  else if (std::strcmp(Text, "info") == 0)
+    *Out = LogLevel::Info;
+  else if (std::strcmp(Text, "debug") == 0)
+    *Out = LogLevel::Debug;
+  else
+    return false;
+  return true;
+}
+
+#define HFUSE_LOG_BODY(LEVEL)                                                  \
+  do {                                                                         \
+    if (!logEnabled(LEVEL))                                                    \
+      return;                                                                  \
+    va_list Ap;                                                                \
+    va_start(Ap, Fmt);                                                         \
+    emit(LEVEL, Fmt, Ap);                                                      \
+    va_end(Ap);                                                                \
+  } while (0)
+
+void hfuse::logError(const char *Fmt, ...) { HFUSE_LOG_BODY(LogLevel::Error); }
+void hfuse::logWarn(const char *Fmt, ...) { HFUSE_LOG_BODY(LogLevel::Warn); }
+void hfuse::logInfo(const char *Fmt, ...) { HFUSE_LOG_BODY(LogLevel::Info); }
+void hfuse::logDebug(const char *Fmt, ...) { HFUSE_LOG_BODY(LogLevel::Debug); }

@@ -1,0 +1,60 @@
+//===-- support/Log.h - Leveled single-writer diagnostics --------*- C++ -*-===//
+//
+// Part of the HFuse reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One leveled logger for every stderr diagnostic in the pipeline —
+/// the FaultInjector malformed-spec warning, ResultStore quarantine
+/// and degradation notices, simulator watchdog aborts — so output from
+/// `--search-jobs` workers is never interleaved mid-line.
+///
+///  - Level comes from `HFUSE_LOG=error|warn|info|debug` (parsed once;
+///    default `warn`), overridable in-process via setLogLevel().
+///  - Each call formats into a private buffer first, then writes the
+///    whole line with a single mutex-guarded fprintf — single-writer
+///    by construction.
+///  - Line format: `hfuse: <level>: <message>` (the FaultInjector's
+///    `warning: HFUSE_FAULT` substring, which CI greps, survives as
+///    `hfuse: warning: HFUSE_FAULT: ...`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HFUSE_SUPPORT_LOG_H
+#define HFUSE_SUPPORT_LOG_H
+
+namespace hfuse {
+
+enum class LogLevel : int {
+  Error = 0,
+  Warn = 1,
+  Info = 2,
+  Debug = 3,
+};
+
+/// The active level: messages at a level <= this are emitted.
+LogLevel logLevel();
+
+/// Overrides the env-derived level for this process (test hook and
+/// driver `-v` style flags).
+void setLogLevel(LogLevel Level);
+
+/// Parses "error"/"warn"/"warning"/"info"/"debug"; false on anything
+/// else (\p Out untouched).
+bool parseLogLevel(const char *Text, LogLevel *Out);
+
+inline bool logEnabled(LogLevel Level) {
+  return static_cast<int>(Level) <= static_cast<int>(logLevel());
+}
+
+/// printf-style; each call emits exactly one atomically-written line
+/// (a trailing newline is appended for you).
+void logError(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+void logWarn(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+void logInfo(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+void logDebug(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace hfuse
+
+#endif // HFUSE_SUPPORT_LOG_H

@@ -9,6 +9,8 @@
 #include "support/BinaryCodec.h"
 #include "support/FaultInjector.h"
 #include "support/Hashing.h"
+#include "support/Log.h"
+#include "support/Telemetry.h"
 
 #include <cerrno>
 #include <chrono>
@@ -250,8 +252,12 @@ void ResultStore::quarantineLocked(const std::string &Path,
   fs::rename(Src, Dst, EC);
   // A concurrent process may have quarantined it first; that is fine —
   // the record is gone from records/ either way.
-  if (!EC)
+  if (!EC) {
     ++St.Quarantined;
+    HFUSE_METRIC_ADD("store.quarantined", 1);
+    logInfo("store: quarantined '%s' (%s)", Src.filename().string().c_str(),
+            Reason);
+  }
 }
 
 void ResultStore::recoverLocked() {
@@ -284,15 +290,31 @@ bool ResultStore::acquireLockLocked(bool Exclusive) {
       FaultSite::StoreLockTimeout, Root);
   if (!Injected.ok()) {
     ++St.LockTimeouts;
+    HFUSE_METRIC_ADD("store.lock_timeouts", 1);
     Degraded = true;
+    logWarn("store: lock timeout on '%s'; degrading to in-memory-only",
+            Root.c_str());
     return false;
   }
+  telemetry::TraceSpan LockSpan;
+  if (telemetry::traceOn())
+    LockSpan.beginSpan("store", "flock",
+                       Exclusive ? "{\"mode\":\"exclusive\"}"
+                                 : "{\"mode\":\"shared\"}");
   int Op = (Exclusive ? LOCK_EX : LOCK_SH) | LOCK_NB;
-  auto Deadline = std::chrono::steady_clock::now() +
-                  std::chrono::milliseconds(Opts.LockTimeoutMs);
+  auto Start = std::chrono::steady_clock::now();
+  auto Deadline = Start + std::chrono::milliseconds(Opts.LockTimeoutMs);
   for (;;) {
-    if (::flock(LockFd, Op) == 0)
+    if (::flock(LockFd, Op) == 0) {
+      if (telemetry::metricsOn()) {
+        auto WaitedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::steady_clock::now() - Start)
+                            .count();
+        HFUSE_METRIC_HISTO("store.lock_wait_ms",
+                           static_cast<uint64_t>(WaitedMs));
+      }
       return true;
+    }
     if (errno != EWOULDBLOCK && errno != EINTR) {
       // A lock syscall failure is treated like a timeout: degrade
       // rather than risk unsynchronized disk traffic.
@@ -303,7 +325,10 @@ bool ResultStore::acquireLockLocked(bool Exclusive) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   ++St.LockTimeouts;
+  HFUSE_METRIC_ADD("store.lock_timeouts", 1);
   Degraded = true;
+  logWarn("store: lock timeout on '%s'; degrading to in-memory-only",
+          Root.c_str());
   return false;
 }
 
@@ -314,12 +339,18 @@ std::optional<std::string> ResultStore::get(std::string_view Key,
   if (Err)
     *Err = Status::success();
   std::lock_guard<std::mutex> Lock(Mu);
+  telemetry::TraceSpan Span;
+  if (telemetry::traceOn())
+    Span.beginSpan("store", "get",
+                   "{\"rec\":\"" + hex16(fnv1a64(Key)) + "\"}");
   if (Degraded) {
     ++St.DegradedOps;
+    HFUSE_METRIC_ADD("store.degraded_ops", 1);
     return std::nullopt;
   }
   if (!acquireLockLocked(/*Exclusive=*/false)) {
     ++St.DegradedOps;
+    HFUSE_METRIC_ADD("store.degraded_ops", 1);
     return std::nullopt;
   }
 
@@ -364,9 +395,11 @@ std::optional<std::string> ResultStore::get(std::string_view Key,
 
   if (Result) {
     ++St.Hits;
+    HFUSE_METRIC_ADD("store.disk_hits", 1);
     return Result;
   }
   ++St.Misses;
+  HFUSE_METRIC_ADD("store.disk_misses", 1);
   if (Err && !S.ok())
     *Err = S;
   return std::nullopt;
@@ -374,13 +407,19 @@ std::optional<std::string> ResultStore::get(std::string_view Key,
 
 Status ResultStore::put(std::string_view Key, std::string_view Payload) {
   std::lock_guard<std::mutex> Lock(Mu);
+  telemetry::TraceSpan Span;
+  if (telemetry::traceOn())
+    Span.beginSpan("store", "put",
+                   "{\"rec\":\"" + hex16(fnv1a64(Key)) + "\"}");
   if (Degraded) {
     ++St.DegradedOps;
+    HFUSE_METRIC_ADD("store.degraded_ops", 1);
     return Status::transient(ErrorCode::StoreError,
                              "store degraded to in-memory");
   }
   if (!acquireLockLocked(/*Exclusive=*/true)) {
     ++St.DegradedOps;
+    HFUSE_METRIC_ADD("store.degraded_ops", 1);
     return Status::transient(ErrorCode::StoreError,
                              "store lock timeout; degraded to in-memory");
   }
@@ -421,10 +460,13 @@ Status ResultStore::put(std::string_view Key, std::string_view Payload) {
       &St.Retries);
 
   releaseLockLocked();
-  if (S.ok())
+  if (S.ok()) {
     ++St.Writes;
-  else
+    HFUSE_METRIC_ADD("store.disk_writes", 1);
+  } else {
     ++St.WriteFailures;
+    HFUSE_METRIC_ADD("store.write_failures", 1);
+  }
   return S;
 }
 

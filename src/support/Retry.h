@@ -20,6 +20,7 @@
 #define HFUSE_SUPPORT_RETRY_H
 
 #include "support/Status.h"
+#include "support/Telemetry.h"
 
 #include <chrono>
 #include <cstdint>
@@ -63,7 +64,19 @@ Status retryTransient(const RetryPolicy &Policy, Fn &&Run,
   Status S = Status::success();
   int Attempts = Policy.MaxAttempts < 1 ? 1 : Policy.MaxAttempts;
   for (int A = 1; A <= Attempts; ++A) {
-    Policy.sleepMs(Policy.delayBeforeAttemptMs(A));
+    uint64_t DelayMs = Policy.delayBeforeAttemptMs(A);
+    if (A > 1) {
+      // Telemetry is observational only: the deterministic backoff
+      // schedule above is computed first and never consults it.
+      HFUSE_METRIC_ADD("retry.attempts", 1);
+      HFUSE_METRIC_HISTO("retry.backoff_ms", DelayMs);
+      if (telemetry::traceOn())
+        telemetry::Tracer::instance().instant(
+            "retry", "backoff",
+            "{\"attempt\":" + std::to_string(A) +
+                ",\"delay_ms\":" + std::to_string(DelayMs) + "}");
+    }
+    Policy.sleepMs(DelayMs);
     S = Run();
     if (S.ok() || !S.transient())
       break;
