@@ -14,8 +14,9 @@
 /// the serial, uncached, unpruned baseline; `identical_best` records
 /// whether it matched byte for byte. Rows also carry the
 /// fault-contained search's `failed` (candidates retired by contained
-/// errors) and `degraded` (whole-search fallback) counters — both zero
-/// on a healthy sweep.
+/// errors) and `degraded` (whole-search fallback) counters, plus the
+/// request-lifecycle `unvisited`/`partial` ledger fields — all
+/// zero/false on a healthy sweep (no deadline or cancel fires here).
 ///
 /// Configurations:
 ///   baseline   jobs=1  cache off  prune off   (the seed cost profile)
@@ -118,7 +119,8 @@ void emitJson(const BenchPair &P, const SearchConfig &C,
       "\"wall_ms\":%.1f,"
       "\"search_ms\":%.1f,\"speedup_vs_baseline\":%.2f,"
       "\"candidates\":%u,\"simulated\":%u,\"memoized\":%u,\"pruned\":%u,"
-      "\"abandoned\":%u,\"failed\":%u,\"degraded\":%u,"
+      "\"abandoned\":%u,\"failed\":%u,\"unvisited\":%u,\"partial\":%s,"
+      "\"degraded\":%u,"
       "\"disk_hits\":%llu,\"disk_misses\":%llu,"
       "\"sim_insts\":%llu,\"abandoned_insts\":%llu,"
       "\"incumbent_cycles\":%llu,"
@@ -130,7 +132,8 @@ void emitJson(const BenchPair &P, const SearchConfig &C,
       O.SR.Stats.WallMs,
       O.WallMs > 0 ? BaselineMs / O.WallMs : 0.0, O.SR.Stats.Candidates,
       O.SR.Stats.Simulations, O.SR.Stats.MemoHits, O.SR.Stats.Pruned,
-      O.SR.Stats.Abandoned, O.SR.Stats.Failed, O.SR.Ok ? 0u : 1u,
+      O.SR.Stats.Abandoned, O.SR.Stats.Failed, O.SR.Stats.Unvisited,
+      O.SR.Partial ? "true" : "false", O.SR.Ok ? 0u : 1u,
       static_cast<unsigned long long>(O.CS.DiskHits),
       static_cast<unsigned long long>(O.CS.DiskMisses),
       static_cast<unsigned long long>(O.SR.Stats.SimulatedInsts),

@@ -30,6 +30,7 @@
 #include "profile/Compile.h"
 #include "profile/PairRunner.h"
 #include "profile/PaperPairs.h"
+#include "service/SearchService.h"
 #include "support/FaultInjector.h"
 #include "support/Log.h"
 #include "support/Status.h"
@@ -61,6 +62,9 @@ enum ExitCode : int {
   ExitInternal = 5,       ///< everything else (a bug, not an input)
   ExitStoreDegraded = 6,  ///< search succeeded, but the --cache-dir
                           ///< store degraded to in-memory mid-run
+  ExitPartial = 7,        ///< the request was cancelled or deadlined:
+                          ///< anytime (partial) results were emitted,
+                          ///< with the unvisited candidates accounted
 };
 
 struct CliOptions {
@@ -107,6 +111,12 @@ struct CliOptions {
   std::string MetricsFile; ///< --metrics: JSON snapshot of the registry
   std::string TraceFile;   ///< --trace: Chrome trace_event JSON
   bool Explain = false;    ///< --explain: search-funnel report
+  /// Request lifecycle (see README "Request lifecycle"). A deadlined
+  /// or SIGTERM-drained search still emits its best-so-far results
+  /// (exit code 7) with every skipped candidate accounted.
+  uint64_t DeadlineMs = 0;   ///< --deadline-ms: per-search deadline
+  int MaxQueue = 8;          ///< --max-queue: admission queue bound
+  uint64_t DrainGraceMs = 0; ///< --drain-grace-ms: SIGTERM grace window
 };
 
 void printUsage() {
@@ -189,6 +199,21 @@ void printUsage() {
       "  HFUSE_LOG=LEVEL  stderr diagnostics: error|warn|info|debug\n"
       "                   (default warn)\n"
       "\n"
+      "request lifecycle (search mode; see README):\n"
+      "  --deadline-ms N  per-search deadline: a search still running\n"
+      "                   after N ms stops at the next candidate\n"
+      "                   boundary and emits its best-so-far result\n"
+      "                   with the unvisited candidates listed (exit\n"
+      "                   code 7); 0 = no deadline (default)\n"
+      "  --max-queue N    admission-queue bound of the in-process\n"
+      "                   search service (default 8); the N+1st waiting\n"
+      "                   request is rejected, never queued unbounded\n"
+      "  --drain-grace-ms N\n"
+      "                   on SIGTERM/SIGINT, let the in-flight search\n"
+      "                   finish naturally for N ms before cancelling\n"
+      "                   it into a partial result (default 0: cancel\n"
+      "                   immediately; results are still flushed)\n"
+      "\n"
       "robustness:\n"
       "  --sim-watchdog N abandon a candidate simulation as deadlocked\n"
       "                   when the scheduler makes no progress for N\n"
@@ -209,7 +234,8 @@ void printUsage() {
       "exit codes: 0 success; 1 usage/IO; 2 input kernel rejected\n"
       "(parse/sema); 3 fusion or lowering failed; 4 search degraded\n"
       "(native baseline emitted); 5 internal error; 6 search succeeded\n"
-      "but the --cache-dir store degraded to in-memory\n");
+      "but the --cache-dir store degraded to in-memory; 7 cancelled or\n"
+      "deadlined: partial (best-so-far) results emitted\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -342,7 +368,9 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return false;
       }
       Opts.BudgetMarginPct = Pct;
-    } else if (Arg == "--sim-watchdog" || Arg == "--timeout") {
+    } else if (Arg == "--sim-watchdog" || Arg == "--timeout" ||
+               Arg == "--deadline-ms" || Arg == "--drain-grace-ms" ||
+               Arg == "--max-queue") {
       const char *V = Next();
       if (!V)
         return false;
@@ -356,8 +384,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       }
       if (Arg == "--sim-watchdog")
         Opts.WatchdogCycles = N;
-      else
+      else if (Arg == "--timeout")
         Opts.TimeoutMs = N;
+      else if (Arg == "--deadline-ms")
+        Opts.DeadlineMs = N;
+      else if (Arg == "--drain-grace-ms")
+        Opts.DrainGraceMs = N;
+      else
+        Opts.MaxQueue = static_cast<int>(N);
     } else if (Arg == "--fault") {
       const char *V = Next();
       if (!V)
@@ -494,6 +528,10 @@ void printExplain(const profile::SearchResult &SR,
   std::printf("  %-10s %5u\n", "pruned", SR.Stats.Pruned);
   std::printf("  %-10s %5u\n", "abandoned", SR.Stats.Abandoned);
   std::printf("  %-10s %5u\n", "failed", SR.Stats.Failed);
+  if (SR.Stats.Unvisited)
+    std::printf("  %-10s %5u  (request %s)\n", "unvisited",
+                SR.Stats.Unvisited,
+                errorCodeName(SR.PartialReason.code()));
   std::printf("  %-10s %5u  (+%u memoized)\n", "simulated",
               SR.Stats.Simulations, SR.Stats.MemoHits);
   std::printf("  %-10s c%d: d1=%d d2=%d bound=%u, %llu cycles\n", "best",
@@ -539,9 +577,14 @@ void printExplain(const profile::SearchResult &SR,
 
 int searchOnePair(const CliOptions &Opts, kernels::BenchKernelId IdA,
                   kernels::BenchKernelId IdB,
+                  service::SearchService &Svc,
                   const std::shared_ptr<profile::CompileCache> &Cache,
                   const std::shared_ptr<ResultStore> &Store) {
-  profile::PairRunner::Options RO;
+  service::SearchRequest Req;
+  Req.A = IdA;
+  Req.B = IdB;
+  Req.DeadlineMs = Opts.DeadlineMs;
+  profile::PairRunner::Options &RO = Req.Runner;
   RO.Arch = Opts.Volta ? gpusim::makeV100() : gpusim::makeGTX1080Ti();
   RO.SimSMs = Opts.Quick ? 2 : 3;
   RO.Scale1 = RO.Scale2 = Opts.Quick ? 0.25 : 1.0;
@@ -563,22 +606,40 @@ int searchOnePair(const CliOptions &Opts, kernels::BenchKernelId IdA,
   if (Opts.Explain)
     AggBefore = telemetry::Tracer::instance().aggregate();
 
-  profile::PairRunner Runner(IdA, IdB, RO);
-  if (!Runner.ok()) {
-    std::fprintf(stderr, "%s\n", Runner.error().c_str());
-    return ExitInternal;
+  Expected<service::SearchOutcome> Res = Svc.search(Req);
+  if (!Res) {
+    // Lifecycle rejection: the request never ran (drain eviction or a
+    // full admission queue).
+    std::fprintf(stderr, "search rejected: %s\n", Res.status().str().c_str());
+    return Res.status().code() == ErrorCode::Cancelled ? ExitPartial
+                                                       : ExitInternal;
   }
-  profile::SearchResult SR = Runner.searchBestConfig();
+  service::SearchOutcome Out = Res.take();
+  profile::SearchResult &SR = Out.Search;
+  if (!SR.Ok && SR.Partial) {
+    // The cancel/deadline landed before any candidate was measured:
+    // there is no best-so-far, but the ledger still accounts for every
+    // candidate, so print it and exit with the partial code.
+    std::fprintf(stderr, "search cancelled before any measurement: %s\n",
+                 SR.Err.str().c_str());
+    std::printf("Figure 6 search: %s + %s on %s\n",
+                kernels::kernelDisplayName(IdA),
+                kernels::kernelDisplayName(IdB), RO.Arch.Name.c_str());
+    std::printf("partial: %s; %u of %u candidates unvisited\n",
+                errorCodeName(SR.PartialReason.code()), SR.Stats.Unvisited,
+                SR.Stats.Candidates);
+    return ExitPartial;
+  }
   if (!SR.Ok) {
     // Graceful degradation: the fused-kernel search failed, but the
     // native (unfused) baseline still answers "how fast is this pair
     // without fusion". Emit it marked degraded:<error code> and exit
     // with the documented distinct code.
     std::fprintf(stderr, "search failed: %s\n", SR.Err.str().c_str());
-    gpusim::SimResult Native = Runner.runNative();
-    if (!Native.Ok) {
+    if (!Out.NativeBaseline || !Out.NativeBaseline->Ok) {
       std::fprintf(stderr, "native baseline failed too: %s\n",
-                   Native.Error.c_str());
+                   Out.NativeBaseline ? Out.NativeBaseline->Error.c_str()
+                                      : "(not run)");
       return ExitInternal;
     }
     std::printf("Figure 6 search: %s + %s on %s\n",
@@ -587,8 +648,8 @@ int searchOnePair(const CliOptions &Opts, kernels::BenchKernelId IdA,
     std::printf("%8s %8s %8s %14s %10s\n", "d1", "d2", "bound", "cycles",
                 "time(ms)");
     std::printf("%8s %8s %8s %14llu %10.3f  degraded:%s\n", "-", "-", "-",
-                static_cast<unsigned long long>(Native.TotalCycles),
-                Native.TotalMs, errorCodeName(SR.Err.code()));
+                static_cast<unsigned long long>(Out.NativeBaseline->TotalCycles),
+                Out.NativeBaseline->TotalMs, errorCodeName(SR.Err.code()));
     return ExitSearchDegraded;
   }
 
@@ -621,13 +682,20 @@ int searchOnePair(const CliOptions &Opts, kernels::BenchKernelId IdA,
                 A.D1, A.D2, A.RegBound, A.Id,
                 static_cast<unsigned long long>(A.BudgetCycles),
                 static_cast<unsigned long long>(A.IssuedInsts));
+  // Unvisited rows: the sweep never reached these before the request
+  // was cancelled/deadlined; "?" marks a bounded trial cut off before
+  // its register bound was even computed.
+  for (const profile::UnvisitedCandidate &U : SR.Unvisited)
+    std::printf("%8d %8d %8s         unvisited [c%d]\n", U.D1, U.D2,
+                U.BoundPending ? "?" : std::to_string(U.RegBound).c_str(),
+                U.Id);
 
-  profile::CompileCache::Stats CS = Runner.cache().stats();
+  profile::CompileCache::Stats CS = Cache->stats();
   std::printf("\n%u candidates, %u simulated, %u memoized, %u pruned, "
-              "%u abandoned, %u failed in %.1f ms (%s jobs)\n",
+              "%u abandoned, %u failed, %u unvisited in %.1f ms (%s jobs)\n",
               SR.Stats.Candidates, SR.Stats.Simulations, SR.Stats.MemoHits,
               SR.Stats.Pruned, SR.Stats.Abandoned, SR.Stats.Failed,
-              SR.Stats.WallMs,
+              SR.Stats.Unvisited, SR.Stats.WallMs,
               Opts.SearchJobs <= 0
                   ? "auto"
                   : std::to_string(Opts.SearchJobs).c_str());
@@ -663,8 +731,19 @@ int searchOnePair(const CliOptions &Opts, kernels::BenchKernelId IdA,
     // The answer is correct either way — every store fault degrades to
     // an in-memory run, never a wrong result — but scripts that rely
     // on warm reruns being cheap deserve a machine-readable signal.
-    if (Store->degraded())
+    if (Store->degraded() && !SR.Partial)
       return ExitStoreDegraded;
+  }
+  if (SR.Partial) {
+    // Anytime result: Best is the best of what WAS measured; the
+    // unvisited rows above say exactly what was not. Partial takes
+    // precedence over store degradation in the exit code — an
+    // incomplete answer is the more important signal.
+    std::printf("partial: %s; best-so-far shown, %u of %u candidates "
+                "unvisited\n",
+                errorCodeName(SR.PartialReason.code()), SR.Stats.Unvisited,
+                SR.Stats.Candidates);
+    return ExitPartial;
   }
   return ExitOk;
 }
@@ -718,16 +797,40 @@ int runSearch(const CliOptions &Opts) {
     }
   }
 
+  // The in-process search service: hfusec is its first thin client.
+  // One worker (the CLI is a single-request client; concurrency lives
+  // inside the search), a bounded admission queue, and a SIGTERM/
+  // SIGINT watcher so an interrupted sweep drains to partial results
+  // instead of dying mid-write.
+  service::SearchService::Config SC;
+  SC.Workers = 1;
+  SC.MaxQueue = Opts.MaxQueue;
+  SC.Cache = Cache;
+  SC.DrainGraceMs = Opts.DrainGraceMs;
+  SC.WatchSignals = true;
+  service::SearchService::installSignalHandlers();
+  service::SearchService Svc(SC);
+
   // Multi-pair sweeps report the first non-OK pair's exit code and
   // still run every pair (a degraded pair never hides later results).
   int RC = ExitOk;
   for (size_t I = 0; I < PairList.size(); ++I) {
     if (I)
       std::printf("\n");
-    int PairRC =
-        searchOnePair(Opts, PairList[I].A, PairList[I].B, Cache, Store);
+    int PairRC = searchOnePair(Opts, PairList[I].A, PairList[I].B, Svc,
+                               Cache, Store);
     if (RC == ExitOk)
       RC = PairRC;
+    // A drain (SIGTERM) rejects everything after the in-flight pair;
+    // stop sweeping instead of printing a rejection per pair.
+    if (Svc.shuttingDown()) {
+      if (I + 1 < PairList.size())
+        std::fprintf(stderr,
+                     "drain: %zu remaining pair(s) not searched\n",
+                     PairList.size() - I - 1);
+      RC = ExitPartial;
+      break;
+    }
   }
   return RC;
 }

@@ -275,6 +275,12 @@ struct Simulator::Impl {
   /// must not shift when metrics are toggled.
   uint64_t HeartbeatIters = 0;
   telemetry::Gauge *Heartbeat = nullptr;
+  /// Cooperative cancellation of the current run. CancelOn is resolved
+  /// once per run (token installed and live); CancelIters is its own
+  /// counter, like HeartbeatIters, so installing a token shifts no
+  /// cadence a golden test pins.
+  bool CancelOn = false;
+  uint64_t CancelIters = 0;
   bool StatsFull = true;
   std::string Error;
   // Stats.
@@ -1864,6 +1870,22 @@ template <bool FullStats> bool Simulator::Impl::runLoop(SimResult &Res) {
               static_cast<unsigned long long>(Cycle));
       return false;
     }
+    // Cooperative cancellation, polled at the same coarse cadence as
+    // the wall timeout but on its own counter (installing a token must
+    // not shift the pinned wall-timeout cadence). A cancelled run is a
+    // lifecycle abort like TimedOut: the partial counters only say how
+    // far it got.
+    if (CancelOn && (++CancelIters & 0x1FFF) == 0 &&
+        Config.Cancel.cancelled()) {
+      Res.Cancelled = true;
+      Res.Error = Config.Cancel.status().message();
+      Res.TotalCycles = Cycle;
+      Res.TotalIssued = IssuedSlots;
+      logInfo("sim: run cancelled at cycle %llu (%s)",
+              static_cast<unsigned long long>(Cycle),
+              Res.Error.c_str());
+      return false;
+    }
     // Coarse liveness signal for external observers (a poller can tell
     // a slow run from a wedged one). Separate iteration counter so the
     // wall-timeout check cadence above is untouched by the toggle.
@@ -1970,6 +1992,16 @@ SimResult Simulator::Impl::run(const std::vector<KernelLaunch> &Ls,
   if (WallTimed)
     WallDeadline = std::chrono::steady_clock::now() +
                    std::chrono::milliseconds(Config.WallTimeoutMs);
+  CancelOn = Config.Cancel.valid();
+  CancelIters = 0;
+  if (CancelOn && Config.Cancel.cancelled()) {
+    // Already-cancelled requests never start simulating; report the
+    // abort at cycle 0 rather than paying the launch setup.
+    Res.Cancelled = true;
+    Res.Error = Config.Cancel.status().message();
+    HFUSE_METRIC_ADD("sim.cancelled", 1);
+    return Res;
+  }
   Wedged = false;
   {
     FaultInjector &FI = FaultInjector::instance();
@@ -2091,6 +2123,8 @@ SimResult Simulator::Impl::run(const std::vector<KernelLaunch> &Ls,
       HFUSE_METRIC_ADD("sim.deadlocks", 1);
     if (Res.TimedOut)
       HFUSE_METRIC_ADD("sim.timeouts", 1);
+    if (Res.Cancelled)
+      HFUSE_METRIC_ADD("sim.cancelled", 1);
   }
   if (!Ok) {
     Res.FaultInjected = Wedged;

@@ -50,6 +50,7 @@
 
 #include "gpusim/GpuArch.h"
 #include "ir/IR.h"
+#include "support/CancellationToken.h"
 
 #include <cstdint>
 #include <memory>
@@ -121,6 +122,12 @@ struct SimResult {
   /// wedged run). Such a result is transient: caches must not memoize
   /// it, since a retry without the injected fault would succeed.
   bool FaultInjected = false;
+  /// The run was abandoned because the request's CancellationToken
+  /// fired (Ok is false). Like TimedOut this is a lifecycle abort, not
+  /// a property of the kernel — transient by nature, never memoized or
+  /// persisted, and the partial TotalCycles/TotalIssued only say how
+  /// far the run got before it noticed.
+  bool Cancelled = false;
   /// Makespan: cycle when the last kernel finished ("elapsed time after
   /// the first kernel launches and before the second kernel finishes").
   uint64_t TotalCycles = 0;
@@ -191,6 +198,14 @@ struct SimConfig {
   /// SimResult::TimedOut. Non-deterministic by nature — a fence for
   /// untrusted inputs, never for measurement.
   uint64_t WallTimeoutMs = 0;
+  /// Cooperative cancellation for the request this run belongs to.
+  /// Polled at the loop top on its own iteration counter (so installing
+  /// a token never shifts the wall-timeout/heartbeat cadences golden
+  /// tests pin), at the same coarse cadence as WallTimeoutMs. A fired
+  /// token aborts the run with SimResult::Cancelled at the next check.
+  /// An empty token (the default) is one branch per run and can never
+  /// fire.
+  CancellationToken Cancel;
 };
 
 /// Owns the global-memory arena and runs kernel launches to completion.

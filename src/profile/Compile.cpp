@@ -15,6 +15,7 @@
 #include "support/Log.h"
 #include "support/Telemetry.h"
 
+#include <chrono>
 #include <cstdio>
 
 using namespace hfuse;
@@ -212,7 +213,15 @@ hfuse::profile::lowerFunctionNoRegAlloc(cuda::ASTContext &Ctx,
 std::shared_ptr<const CompiledKernel>
 CompileCache::getKernel(std::string_view Source, const std::string &Name,
                         unsigned RegBound, DiagnosticEngine &Diags,
-                        Status *Err) {
+                        Status *Err, const CancellationToken &Cancel) {
+  // A request that is already cancelled never touches the map: no
+  // entry is created, no counter moves, nothing to poison.
+  if (Cancel.cancelled()) {
+    if (Err)
+      *Err = Cancel.status();
+    return nullptr;
+  }
+
   Key K{std::hash<std::string_view>{}(Source), Source.size(), Name,
         RegBound};
 
@@ -306,6 +315,24 @@ CompileCache::getKernel(std::string_view Source, const std::string &Name,
       Promise.set_value(std::move(C));
     }
 
+    // A cancellable waiter polls instead of blocking: when its token
+    // fires it *detaches* — unblocks with a Cancelled status — while
+    // the compiling thread runs to completion and publishes the entry
+    // for the other requests sharing the key. The compiler itself
+    // never detaches mid-compile (it owns the entry; a dangling
+    // promise would wedge every waiter), which is fine: one compile is
+    // cheap next to the sweep the cancellation is aborting.
+    if (!IsCompiler && Cancel.valid()) {
+      while (Fut->wait_for(std::chrono::milliseconds(1)) !=
+             std::future_status::ready) {
+        if (Cancel.cancelled()) {
+          if (Err)
+            *Err = Cancel.status();
+          return nullptr;
+        }
+      }
+    }
+
     const Compiled &C = Fut->get();
     if (!C.Kernel) {
       Diags.error(SourceLocation(),
@@ -335,9 +362,10 @@ CompileCache::getKernel(std::string_view Source, const std::string &Name,
 
 std::shared_ptr<const CompiledKernel>
 CompileCache::getBenchKernel(kernels::BenchKernelId Id, unsigned RegBound,
-                             DiagnosticEngine &Diags, Status *Err) {
+                             DiagnosticEngine &Diags, Status *Err,
+                             const CancellationToken &Cancel) {
   return getKernel(kernels::kernelSource(Id), kernels::kernelFunctionName(Id),
-                   RegBound, Diags, Err);
+                   RegBound, Diags, Err, Cancel);
 }
 
 CompileCache::Stats CompileCache::stats() const {

@@ -19,6 +19,7 @@
 #include "gpusim/Simulator.h"
 #include "ir/IR.h"
 #include "kernels/Kernels.h"
+#include "support/CancellationToken.h"
 #include "support/Diagnostics.h"
 #include "support/ResultStore.h"
 #include "support/Retry.h"
@@ -138,16 +139,25 @@ public:
   /// starts a fresh compilation instead of replaying the failure
   /// (injected/transient faults must be retryable, and a permanent
   /// failure simply recompiles, which is cheap next to the sweep).
-  std::shared_ptr<const CompiledKernel> getKernel(std::string_view Source,
-                                                  const std::string &Name,
-                                                  unsigned RegBound,
-                                                  DiagnosticEngine &Diags,
-                                                  Status *Err = nullptr);
+  ///
+  /// Cancellation semantics: a live \p Cancel token lets a *waiter*
+  /// detach from an in-flight compile — it unblocks with a
+  /// Cancelled/DeadlineExceeded \p Err while the compiling thread runs
+  /// to completion and publishes the entry normally, so one cancelled
+  /// request never poisons the cache for concurrent requests sharing
+  /// the key. An already-cancelled token returns before touching the
+  /// map at all.
+  std::shared_ptr<const CompiledKernel>
+  getKernel(std::string_view Source, const std::string &Name,
+            unsigned RegBound, DiagnosticEngine &Diags,
+            Status *Err = nullptr,
+            const CancellationToken &Cancel = CancellationToken());
 
   /// Compiles (or fetches) one of the paper's benchmark kernels.
   std::shared_ptr<const CompiledKernel>
   getBenchKernel(kernels::BenchKernelId Id, unsigned RegBound,
-                 DiagnosticEngine &Diags, Status *Err = nullptr);
+                 DiagnosticEngine &Diags, Status *Err = nullptr,
+                 const CancellationToken &Cancel = CancellationToken());
 
   Stats stats() const;
   void resetStats();

@@ -36,10 +36,19 @@ PairRunner::PairRunner(BenchKernelId A, BenchKernelId B, Options Opts)
               : std::shared_ptr<CompileCache>(&globalCompileCache(),
                                               [](CompileCache *) {});
 
+  // An empty token is upgraded to a private live one so the cancel-*
+  // fault sites (and callers holding a copy of Options) always have a
+  // real token to fire; it has no deadline and no external cancel()
+  // caller, so it cannot fire on its own.
+  if (!this->Opts.Cancel.valid())
+    this->Opts.Cancel = CancellationToken::make();
+
   DiagnosticEngine Diags;
   if (this->Opts.UseCompileCache) {
-    K1 = Cache->getBenchKernel(A, /*RegBound=*/0, Diags);
-    K2 = Cache->getBenchKernel(B, /*RegBound=*/0, Diags);
+    K1 = Cache->getBenchKernel(A, /*RegBound=*/0, Diags, nullptr,
+                               this->Opts.Cancel);
+    K2 = Cache->getBenchKernel(B, /*RegBound=*/0, Diags, nullptr,
+                               this->Opts.Cancel);
   } else {
     // Seed cost profile: compile both inputs from scratch.
     Cache->count(&CompileCache::Stats::KernelCompiles, 2);
@@ -86,6 +95,7 @@ PairRunner::makeContext(std::string &Error) const {
   SC.ModelL2 = Opts.ModelL2;
   SC.WatchdogCycles = Opts.WatchdogCycles;
   SC.WallTimeoutMs = Opts.WallTimeoutMs;
+  SC.Cancel = Opts.Cancel;
   C->Sim = std::make_unique<Simulator>(SC);
   C->W1->setup(*C->Sim);
   C->W2->setup(*C->Sim);
@@ -134,6 +144,14 @@ namespace {
 /// Classifies a failed SimResult into the error taxonomy, preserving
 /// the transient flag of fault-injected runs.
 Status statusFromSim(const SimResult &R) {
+  // A cancelled run is a verdict about the request, not the candidate;
+  // transient so retry machinery never treats it as a kernel property.
+  if (R.Cancelled)
+    return Status::transient(
+        R.Error.find("deadline") != std::string::npos
+            ? ErrorCode::DeadlineExceeded
+            : ErrorCode::Cancelled,
+        R.Error);
   ErrorCode Code = ErrorCode::SimError;
   if (R.Deadlock)
     Code = ErrorCode::SimDeadlock;
@@ -513,9 +531,12 @@ SimResult PairRunner::runHFusedIn(SimContext &C, int D1, int D2,
       // A fault-injected failure is transient: retire the entry before
       // publishing so waiters get the error but any later request
       // re-simulates (the identity check spares a successor entry).
+      // Cancelled runs are retired for the same reason — a cancel is a
+      // property of the request, never of the launch, so it must not
+      // be replayed to an un-cancelled request sharing the key.
       // Deterministic failures stay memoized — replaying them is
       // correct and cheap.
-      if (R.FaultInjected && Opts.UseCompileCache) {
+      if ((R.FaultInjected || R.Cancelled) && Opts.UseCompileCache) {
         std::lock_guard<std::mutex> Lock(SimMemoMu);
         auto It = SimMemo.find(MemoKey);
         if (It != SimMemo.end() && It->second == Entry)
@@ -599,8 +620,11 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
       "s%u:%s+%s", NextRunSeq.fetch_add(1, std::memory_order_relaxed) + 1,
       kernelDisplayName(IdA), kernelDisplayName(IdB));
   if (!Ready) {
-    SR.Error = Err;
-    SR.Err = Status(ErrorCode::Internal, Err);
+    // A cancel that landed inside the constructor (input-kernel
+    // compilation) is a request verdict, not an internal error.
+    SR.Err = Opts.Cancel.cancelled() ? Opts.Cancel.status()
+                                     : Status(ErrorCode::Internal, Err);
+    SR.Error = SR.Err.message().empty() ? Err : SR.Err.message();
     return SR;
   }
   telemetry::TraceSpan SearchSpan;
@@ -674,6 +698,9 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
     /// Contained failure that retired this candidate (compile, fuse,
     /// lower, or simulate); Ok while the candidate is healthy.
     Status Error;
+    /// Never reached: the request was cancelled or deadlined before
+    /// this candidate's turn (lands in SearchResult::Unvisited).
+    bool Skipped = false;
     std::optional<FusionCandidate> Measured;
   };
   std::vector<Candidate> Cands;
@@ -712,6 +739,20 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
     telemetry::TraceSpan PhaseSpan("phase", "compile");
     parallelFor(Pool.get(), Partitions.size(), [&](size_t I) {
       Candidate &U = Cands[I * PerPart];
+      // Deterministic cancel point for the compile phase: the fault
+      // site fires the *request's* token (it never fails a candidate),
+      // so injected cancellation reproduces exactly.
+      if (!FaultInjector::instance()
+               .check(FaultSite::CancelCompile,
+                      formatString("%d/%d", U.D1, U.D2))
+               .ok())
+        Opts.Cancel.cancel();
+      if (Opts.Cancel.cancelled()) {
+        U.Skipped = true;
+        if (!NaiveEvenSplit)
+          Cands[I * PerPart + 1].Skipped = true;
+        return;
+      }
       {
         telemetry::TraceSpan CandSpan;
         if (telemetry::traceOn())
@@ -768,7 +809,20 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
   telemetry::TraceSpan PruneSpan("phase", "prune");
   int MaxSeen = 0;
   for (Candidate &C : Cands) {
-    if (!C.IR || C.RegBound == UINT_MAX)
+    // Deterministic cancel point for the prune phase; a cancelled
+    // request leaves every not-yet-resolved candidate unvisited (ones
+    // already retired by a contained failure keep their verdict).
+    if (!FaultInjector::instance()
+             .check(FaultSite::CancelPrune,
+                    formatString("%d/%d", C.D1, C.D2))
+             .ok())
+      Opts.Cancel.cancel();
+    if (Opts.Cancel.cancelled()) {
+      if (C.Error.ok())
+        C.Skipped = true;
+      continue;
+    }
+    if (C.Skipped || !C.IR || C.RegBound == UINT_MAX)
       continue;
     if (Opts.PruneLevel <= 0) {
       MaxSeen = std::max(MaxSeen, C.BlocksPerSM);
@@ -818,13 +872,26 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
   // Phase 3: simulate the kept candidates.
   std::vector<size_t> Kept;
   for (size_t I = 0; I < Cands.size(); ++I)
-    if (Cands[I].IR && Cands[I].RegBound != UINT_MAX && !Cands[I].Pruned)
+    if (Cands[I].IR && Cands[I].RegBound != UINT_MAX &&
+        !Cands[I].Pruned && !Cands[I].Skipped)
       Kept.push_back(I);
   std::vector<SearchStats> KeptStats(Kept.size());
 
   // Measures Kept[K] under \p Budget cycles (0 = to completion).
   auto Measure = [&](size_t K, uint64_t Budget) {
     Candidate &C = Cands[Kept[K]];
+    // Deterministic cancel point for the simulate phase (see the
+    // compile-phase comment); Kept candidates are still unresolved, so
+    // skipping is always the right verdict here.
+    if (!FaultInjector::instance()
+             .check(FaultSite::CancelSimulate,
+                    formatString("%d/%d", C.D1, C.D2))
+             .ok())
+      Opts.Cancel.cancel();
+    if (Opts.Cancel.cancelled()) {
+      C.Skipped = true;
+      return;
+    }
     std::string CtxErr;
     SimContext *Ctx = acquireContext(CtxErr);
     if (!Ctx) {
@@ -853,6 +920,14 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
       FC.TimeMs = FC.Result.TotalMs;
       FC.Cycles = FC.Result.TotalCycles;
       C.Measured = std::move(FC);
+    } else if (FC.Result.Cancelled ||
+               (Opts.Cancel.cancelled() && !E.ok() &&
+                (E.code() == ErrorCode::Cancelled ||
+                 E.code() == ErrorCode::DeadlineExceeded))) {
+      // The cancel landed mid-simulation (or mid-compile-wait): the
+      // candidate was interrupted, not measured and not at fault —
+      // account it as unvisited like the ones never started.
+      C.Skipped = true;
     } else if (FC.Result.BudgetExceeded) {
       C.Abandoned = true;
       C.AbandonBudget = Budget;
@@ -949,11 +1024,27 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
 
   Status FirstError;
   for (Candidate &C : Cands) {
-    if (C.RegBound == UINT_MAX)
+    // A bounded slot whose partition yielded no r0 is not a candidate
+    // (seed behavior) — but a slot cancelled before r0 was computed is
+    // one that *would* have existed: count it as unvisited with the
+    // bound still pending, so the ledger identity Candidates == All +
+    // Pruned + Abandoned + Failed + Unvisited holds on partial runs.
+    if (C.RegBound == UINT_MAX && !C.Skipped)
       continue; // partition without a bounded trial
     if (FirstError.ok() && !C.Error.ok())
       FirstError = C.Error;
     ++SR.Stats.Candidates;
+    if (C.Skipped) {
+      UnvisitedCandidate U;
+      U.Id = C.Id;
+      U.D1 = C.D1;
+      U.D2 = C.D2;
+      U.RegBound = C.RegBound == UINT_MAX ? 0 : C.RegBound;
+      U.BoundPending = C.RegBound == UINT_MAX;
+      SR.Unvisited.push_back(U);
+      ++SR.Stats.Unvisited;
+      continue;
+    }
     if (!C.Error.ok()) {
       // Contained failure: the candidate is retired with its error
       // recorded and the sweep goes on. Recorded in canonical order
@@ -998,6 +1089,13 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
     SR.Stats.SimulatedInsts += S.SimulatedInsts;
     SR.Stats.AbandonedInsts += S.AbandonedInsts;
   }
+  SR.Partial = SR.Stats.Unvisited > 0;
+  if (SR.Partial) {
+    SR.PartialReason = Opts.Cancel.status();
+    if (SR.PartialReason.ok()) // defensive: Skipped implies a fired token
+      SR.PartialReason =
+          Status::transient(ErrorCode::Cancelled, "request cancelled");
+  }
   SR.Stats.IncumbentCycles = Incumbent;
   SR.Stats.WallMs =
       std::chrono::duration<double, std::milli>(
@@ -1013,6 +1111,9 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
     HFUSE_METRIC_ADD("search.pruned", SR.Stats.Pruned);
     HFUSE_METRIC_ADD("search.abandoned", SR.Stats.Abandoned);
     HFUSE_METRIC_ADD("search.failed", SR.Stats.Failed);
+    HFUSE_METRIC_ADD("search.unvisited", SR.Stats.Unvisited);
+    if (SR.Partial)
+      HFUSE_METRIC_ADD("search.partial", 1);
     HFUSE_METRIC_ADD("search.simulations", SR.Stats.Simulations);
     HFUSE_METRIC_ADD("search.sim_insts", SR.Stats.SimulatedInsts);
     HFUSE_METRIC_ADD("search.abandoned_insts", SR.Stats.AbandonedInsts);
@@ -1021,11 +1122,17 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
   }
 
   if (SR.All.empty()) {
-    SR.Err = !FirstError.ok()
-                 ? FirstError
-                 : Status(ErrorCode::FusionUnsupported,
-                          Err.empty() ? "no feasible fusion configuration"
-                                      : Err);
+    // A cancel that landed before any measurement has no best-so-far
+    // to return: the request verdict (Cancelled/DeadlineExceeded) is
+    // the error, not a fusion infeasibility.
+    if (SR.Partial)
+      SR.Err = SR.PartialReason;
+    else
+      SR.Err = !FirstError.ok()
+                   ? FirstError
+                   : Status(ErrorCode::FusionUnsupported,
+                            Err.empty() ? "no feasible fusion configuration"
+                                        : Err);
     SR.Error = SR.Err.message();
     return SR;
   }
@@ -1040,7 +1147,11 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
   // winner at Full so Best carries the complete nvprof-style metrics
   // (stall shares, occupancy, traffic). Cycle counts are identical by
   // construction — tests/GoldenSimTest.cpp enforces it.
-  if (Opts.SearchStats != gpusim::StatsLevel::Full) {
+  // A cancelled request skips the upgrade: the incumbent's minimal
+  // stats are already correct, and the re-profile would burn a full
+  // simulation after the caller asked us to stop.
+  if (Opts.SearchStats != gpusim::StatsLevel::Full &&
+      !Opts.Cancel.cancelled()) {
     std::string CtxErr;
     if (SimContext *Ctx = acquireContext(CtxErr)) {
       Status E;

@@ -76,6 +76,15 @@
 /// (1+margin)x of the true optimum — a stated bound instead of a
 /// silent one.
 ///
+/// Options::Cancel threads a request lifecycle through the sweep: a
+/// cancelled or deadlined search stops at the next candidate boundary
+/// and returns an *anytime* result — best-so-far incumbent, Partial
+/// flag, and every skipped candidate accounted in the Unvisited ledger
+/// bucket — instead of either blocking to completion or discarding the
+/// work already done. When the token never fires, every check is a
+/// relaxed atomic load and results are bit-identical to a token-free
+/// run.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HFUSE_PROFILE_PAIRRUNNER_H
@@ -149,6 +158,20 @@ struct FailedCandidate {
   Status Err;
 };
 
+/// A candidate the sweep never reached because the request was
+/// cancelled or deadlined first (SearchResult::Partial). Unvisited is
+/// a verdict about the *request*, not the candidate: nothing is known
+/// about it, and an un-cancelled rerun will measure it normally.
+struct UnvisitedCandidate {
+  int Id = -1; ///< canonical candidate id (see FusionCandidate::Id)
+  int D1 = 0;
+  int D2 = 0;
+  unsigned RegBound = 0;
+  /// True for a bounded trial cancelled before its r0 was even
+  /// computed (RegBound is then meaningless).
+  bool BoundPending = false;
+};
+
 /// Cost accounting for one search.
 struct SearchStats {
   unsigned Candidates = 0;  ///< enumerated, including pruned ones
@@ -157,6 +180,11 @@ struct SearchStats {
   unsigned Pruned = 0;      ///< candidates skipped by pruning
   unsigned Abandoned = 0;   ///< candidates cut off by the cycle budget
   unsigned Failed = 0;      ///< candidates retired by contained failures
+  /// Candidates never reached because the request was cancelled or
+  /// deadlined (always 0 on a complete run). The ledger identity every
+  /// run satisfies: Candidates == All + Pruned + Abandoned + Failed +
+  /// Unvisited.
+  unsigned Unvisited = 0;
   /// Warp instructions issued across all candidate simulations,
   /// including the partial progress of abandoned runs — the search's
   /// real simulation cost, which the budget exists to shrink.
@@ -189,6 +217,19 @@ struct SearchResult {
   /// sweep's Best is bit-identical to a failure-free sweep as long as
   /// the winner itself is healthy.
   std::vector<FailedCandidate> Failed;
+  /// Anytime-result marker: the request was cancelled or deadlined
+  /// mid-sweep and at least one candidate went unvisited. Ok stays
+  /// true when an incumbent was measured — Best is then the best of
+  /// what *was* measured (never a silent half-answer: the Unvisited
+  /// ledger says exactly what was skipped) — and false when the cancel
+  /// landed before any measurement. Complete runs (Partial == false)
+  /// are bit-identical to an un-cancelled sweep.
+  bool Partial = false;
+  /// Why the sweep is partial: Cancelled or DeadlineExceeded (ok()
+  /// when Partial is false).
+  Status PartialReason;
+  /// Candidates never reached, in canonical order.
+  std::vector<UnvisitedCandidate> Unvisited;
   SearchStats Stats;
 };
 
@@ -264,6 +305,16 @@ public:
     bool UseCompileCache = true;
     /// Shared compilation cache; null gives the runner a private one.
     std::shared_ptr<CompileCache> Cache;
+    /// Cooperative cancellation + deadline for everything this runner
+    /// does. Checked at candidate granularity in all three search
+    /// phases, per wait slice in CompileCache waits, and inside the
+    /// simulator loop; a fired token turns searchBestConfig into an
+    /// anytime result (SearchResult::Partial). An empty token is
+    /// upgraded to a private live one in the constructor so the
+    /// cancel-* fault sites always have something to fire; with no
+    /// deadline, no cancel() caller, and no armed fault site it can
+    /// never fire, and results are bit-identical to a token-free run.
+    CancellationToken Cancel;
   };
 
   PairRunner(kernels::BenchKernelId A, kernels::BenchKernelId B,

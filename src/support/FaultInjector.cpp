@@ -34,6 +34,12 @@ const char *hfuse::faultSiteName(FaultSite Site) {
     return "store-lock-timeout";
   case FaultSite::StoreReadFail:
     return "store-read-fail";
+  case FaultSite::CancelCompile:
+    return "cancel-compile";
+  case FaultSite::CancelPrune:
+    return "cancel-prune";
+  case FaultSite::CancelSimulate:
+    return "cancel-simulate";
   }
   return "unknown";
 }
@@ -44,7 +50,8 @@ const std::vector<FaultSite> &hfuse::allFaultSites() {
       FaultSite::Lower,          FaultSite::SimWedge,
       FaultSite::CacheCorrupt,   FaultSite::StoreWriteTorn,
       FaultSite::StoreCorrupt,   FaultSite::StoreLockTimeout,
-      FaultSite::StoreReadFail,
+      FaultSite::StoreReadFail,  FaultSite::CancelCompile,
+      FaultSite::CancelPrune,    FaultSite::CancelSimulate,
   };
   return Sites;
 }
@@ -74,6 +81,12 @@ ErrorCode siteErrorCode(FaultSite Site) {
     return ErrorCode::StoreError;
   case FaultSite::StoreReadFail:
     return ErrorCode::StoreError;
+  case FaultSite::CancelCompile:
+  case FaultSite::CancelPrune:
+  case FaultSite::CancelSimulate:
+    // The injector does not fail the candidate; the caller fires the
+    // request's CancellationToken and the sweep unwinds as Cancelled.
+    return ErrorCode::Cancelled;
   }
   return ErrorCode::Internal;
 }

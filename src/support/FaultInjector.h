@@ -22,6 +22,8 @@
 ///   sim-wedge:nth=1:label=r    wedge the 1st simulation of a bounded
 ///                              (rN-labelled) candidate
 ///   cache-corrupt:nth=3        corrupt the 3rd compile-cache hit
+///   cancel-simulate:nth=4      fire the request's cancellation token
+///                              at the 4th simulation checkpoint
 ///
 /// `nth` counts label-matching queries (1-based) and fires exactly
 /// once; without `nth` the rule fires on every match. Counting is
@@ -55,6 +57,9 @@ enum class FaultSite : uint8_t {
   StoreCorrupt,     ///< flip a ResultStore record's checksum on read
   StoreLockTimeout, ///< time out the ResultStore advisory lock
   StoreReadFail,    ///< fail a ResultStore record read (transient I/O)
+  CancelCompile,    ///< fire the request's cancel token before a compile
+  CancelPrune,      ///< fire the request's cancel token during pruning
+  CancelSimulate,   ///< fire the request's cancel token before a simulation
 };
 
 const char *faultSiteName(FaultSite Site);

@@ -177,6 +177,7 @@ std::shared_ptr<ResultStore> ResultStore::open(const std::string &Dir,
     std::lock_guard<std::mutex> Lock(Store->Mu);
     if (Store->acquireLockLocked(/*Exclusive=*/true)) {
       Store->recoverLocked();
+      Store->RecoveryRan = true;
       Store->releaseLockLocked();
     }
     // else: lock timeout during recovery — the store is already
@@ -285,15 +286,65 @@ void ResultStore::recoverLocked() {
     quarantineLocked(Entry.path().string(), "torn");
 }
 
+void ResultStore::degradeLocked() {
+  Degraded = true;
+  DegradedOpsSinceProbe = 0;
+  NextProbeTime = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(Opts.ReprobeAfterMs);
+  logWarn("store: lock timeout on '%s'; degrading to in-memory-only",
+          Root.c_str());
+}
+
+bool ResultStore::maybeReprobeLocked() {
+  // Caller holds Mu and has seen Degraded. Sticky within the cooldown
+  // window: the op-count and wall-clock gates keep a hot sweep from
+  // hammering a contended lock with probe syscalls.
+  ++DegradedOpsSinceProbe;
+  bool OpsDue =
+      Opts.ReprobeAfterOps != 0 && DegradedOpsSinceProbe >= Opts.ReprobeAfterOps;
+  bool TimeDue = Opts.ReprobeAfterMs != 0 &&
+                 std::chrono::steady_clock::now() >= NextProbeTime;
+  if (!OpsDue && !TimeDue)
+    return false;
+
+  ++St.Reprobes;
+  HFUSE_METRIC_ADD("store.reprobes", 1);
+  // The probe consults the injector like any acquisition, so a test
+  // holding store-lock-timeout armed keeps the store down; a spent
+  // nth rule lets the probe through, modelling the contending process
+  // going away.
+  Status Injected =
+      FaultInjector::instance().check(FaultSite::StoreLockTimeout, Root);
+  bool Recovered = false;
+  if (Injected.ok() && ::flock(LockFd, LOCK_EX | LOCK_NB) == 0) {
+    // Exclusive, because a store that degraded during open() still
+    // owes the directory its recovery pass before trusting records.
+    if (!RecoveryRan) {
+      recoverLocked();
+      RecoveryRan = true;
+    }
+    releaseLockLocked();
+    Recovered = true;
+    Degraded = false;
+    logInfo("store: lock re-probe succeeded on '%s'; leaving degraded mode",
+            Root.c_str());
+  }
+  // Either way the cooldown restarts: after a failed probe we go quiet
+  // again, after recovery the counters are reset for any future
+  // degradation.
+  DegradedOpsSinceProbe = 0;
+  NextProbeTime = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(Opts.ReprobeAfterMs);
+  return Recovered;
+}
+
 bool ResultStore::acquireLockLocked(bool Exclusive) {
   Status Injected = FaultInjector::instance().check(
       FaultSite::StoreLockTimeout, Root);
   if (!Injected.ok()) {
     ++St.LockTimeouts;
     HFUSE_METRIC_ADD("store.lock_timeouts", 1);
-    Degraded = true;
-    logWarn("store: lock timeout on '%s'; degrading to in-memory-only",
-            Root.c_str());
+    degradeLocked();
     return false;
   }
   telemetry::TraceSpan LockSpan;
@@ -326,9 +377,7 @@ bool ResultStore::acquireLockLocked(bool Exclusive) {
   }
   ++St.LockTimeouts;
   HFUSE_METRIC_ADD("store.lock_timeouts", 1);
-  Degraded = true;
-  logWarn("store: lock timeout on '%s'; degrading to in-memory-only",
-          Root.c_str());
+  degradeLocked();
   return false;
 }
 
@@ -343,7 +392,7 @@ std::optional<std::string> ResultStore::get(std::string_view Key,
   if (telemetry::traceOn())
     Span.beginSpan("store", "get",
                    "{\"rec\":\"" + hex16(fnv1a64(Key)) + "\"}");
-  if (Degraded) {
+  if (Degraded && !maybeReprobeLocked()) {
     ++St.DegradedOps;
     HFUSE_METRIC_ADD("store.degraded_ops", 1);
     return std::nullopt;
@@ -411,7 +460,7 @@ Status ResultStore::put(std::string_view Key, std::string_view Payload) {
   if (telemetry::traceOn())
     Span.beginSpan("store", "put",
                    "{\"rec\":\"" + hex16(fnv1a64(Key)) + "\"}");
-  if (Degraded) {
+  if (Degraded && !maybeReprobeLocked()) {
     ++St.DegradedOps;
     HFUSE_METRIC_ADD("store.degraded_ops", 1);
     return Status::transient(ErrorCode::StoreError,

@@ -38,6 +38,12 @@ const char *hfuse::errorCodeName(ErrorCode Code) {
     return "CacheCorrupt";
   case ErrorCode::StoreError:
     return "StoreError";
+  case ErrorCode::Cancelled:
+    return "Cancelled";
+  case ErrorCode::DeadlineExceeded:
+    return "DeadlineExceeded";
+  case ErrorCode::QueueFull:
+    return "QueueFull";
   case ErrorCode::Internal:
     return "Internal";
   }

@@ -6,7 +6,11 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Log.h"
+#include "support/Telemetry.h"
+
 #include <algorithm>
+#include <exception>
 
 using namespace hfuse;
 
@@ -27,17 +31,41 @@ ThreadPool::~ThreadPool() {
     W.join();
 }
 
-void ThreadPool::submit(std::function<void()> Task) {
+bool ThreadPool::submit(std::function<void()> Task) {
   {
     std::unique_lock<std::mutex> Lock(Mu);
+    if (Draining)
+      return false;
     Queue.push_back(std::move(Task));
   }
   HasWork.notify_one();
+  return true;
 }
 
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> Lock(Mu);
   AllIdle.wait(Lock, [this] { return Queue.empty() && InFlight == 0; });
+}
+
+void ThreadPool::drain() {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Draining = true;
+  }
+  wait();
+}
+
+size_t ThreadPool::cancelPending() {
+  std::deque<std::function<void()>> Dropped;
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Dropped.swap(Queue);
+    if (InFlight == 0)
+      AllIdle.notify_all();
+  }
+  // Destroyed outside the lock: a captured state's destructor may take
+  // locks of its own, and a task destructor must not deadlock the pool.
+  return Dropped.size();
 }
 
 unsigned ThreadPool::defaultConcurrency() {
@@ -55,7 +83,17 @@ void ThreadPool::workerLoop() {
     Queue.pop_front();
     ++InFlight;
     Lock.unlock();
-    Task();
+    try {
+      Task();
+    } catch (const std::exception &E) {
+      TaskExceptions.fetch_add(1, std::memory_order_relaxed);
+      HFUSE_METRIC_ADD("pool.task_exceptions", 1);
+      logWarn("thread pool task threw: %s", E.what());
+    } catch (...) {
+      TaskExceptions.fetch_add(1, std::memory_order_relaxed);
+      HFUSE_METRIC_ADD("pool.task_exceptions", 1);
+      logWarn("thread pool task threw a non-std exception");
+    }
     Lock.lock();
     --InFlight;
     if (Queue.empty() && InFlight == 0)
@@ -71,6 +109,7 @@ void hfuse::parallelFor(ThreadPool *Pool, size_t N,
     return;
   }
   for (size_t I = 0; I < N; ++I)
-    Pool->submit([&Body, I] { Body(I); });
+    if (!Pool->submit([&Body, I] { Body(I); }))
+      Body(I); // draining pool: complete the loop inline
   Pool->wait();
 }

@@ -333,6 +333,81 @@ TEST(ResultStoreTest, InjectedLockTimeoutDegradesStickilyToNoOps) {
   EXPECT_EQ(S2->get("key").value(), "payload");
 }
 
+TEST(ResultStoreTest, CooldownReprobeRecoversOnceContentionClears) {
+  TempDir D("reprobe");
+  InjectorGuard G;
+  ResultStore::Options O = quietOptions();
+  O.ReprobeAfterOps = 3; // op-count gate only
+  O.ReprobeAfterMs = 0;  // no wall-clock gate
+  auto S = ResultStore::open(D.str(), 1, nullptr, O);
+  ASSERT_TRUE(S);
+  ASSERT_TRUE(S->put("key", "payload").ok());
+
+  ASSERT_TRUE(
+      FaultInjector::instance().configure("store-lock-timeout:nth=1"));
+  EXPECT_FALSE(S->get("key").has_value());
+  EXPECT_TRUE(S->degraded());
+
+  // While the injector rule stays armed (label-only = fires on every
+  // match), the cooldown probe consults it and the store stays down.
+  FaultInjector::instance().reset();
+  ASSERT_TRUE(FaultInjector::instance().configure("store-lock-timeout"));
+  EXPECT_FALSE(S->get("key").has_value()); // op 1: within cooldown
+  EXPECT_FALSE(S->get("key").has_value()); // op 2: within cooldown
+  EXPECT_FALSE(S->get("key").has_value()); // op 3: probe fires, injector bites
+  EXPECT_TRUE(S->degraded());
+  EXPECT_EQ(S->stats().Reprobes, 1u);
+
+  // Contention gone: the next due probe takes the lock and the very op
+  // that probed is served for real.
+  FaultInjector::instance().reset();
+  EXPECT_FALSE(S->get("key").has_value()); // op 1 of the new window
+  EXPECT_FALSE(S->get("key").has_value()); // op 2
+  EXPECT_EQ(S->get("key").value(), "payload"); // op 3: recovered
+  EXPECT_FALSE(S->degraded());
+  EXPECT_EQ(S->stats().Reprobes, 2u);
+
+  // Fully recovered: writes land durably again.
+  ASSERT_TRUE(S->put("key2", "v2").ok());
+  auto S2 = ResultStore::open(D.str(), 1);
+  ASSERT_TRUE(S2);
+  EXPECT_EQ(S2->get("key2").value(), "v2");
+}
+
+TEST(ResultStoreTest, ReprobeAfterDegradedOpenRunsOwedRecovery) {
+  TempDir D("reprobe-recovery");
+  InjectorGuard G;
+  // Seed the directory: one valid record plus one garbage file that
+  // recovery must quarantine.
+  {
+    auto Seed = ResultStore::open(D.str(), 1);
+    ASSERT_TRUE(Seed);
+    ASSERT_TRUE(Seed->put("key", "payload").ok());
+    writeFileBytes((fs::path(Seed->recordsDir()) / "feedface.rec").string(),
+                   "not a record");
+  }
+
+  // A handle that degrades during open() never ran its recovery pass.
+  ASSERT_TRUE(
+      FaultInjector::instance().configure("store-lock-timeout:nth=1"));
+  ResultStore::Options O = quietOptions();
+  O.ReprobeAfterOps = 2;
+  O.ReprobeAfterMs = 0;
+  auto S = ResultStore::open(D.str(), 1, nullptr, O);
+  ASSERT_TRUE(S);
+  EXPECT_TRUE(S->degraded());
+  EXPECT_EQ(quarantineCount(*S), 0u);
+
+  // The recovering re-probe owes (and runs) that pass before trusting
+  // records: the garbage file is quarantined, then the op serves.
+  FaultInjector::instance().reset();
+  EXPECT_FALSE(S->get("key").has_value());     // op 1: within cooldown
+  EXPECT_EQ(S->get("key").value(), "payload"); // op 2: probe + recovery
+  EXPECT_FALSE(S->degraded());
+  EXPECT_EQ(S->stats().Reprobes, 1u);
+  EXPECT_EQ(quarantineCount(*S), 1u);
+}
+
 TEST(ResultStoreTest, QuarantineNeverDeletes) {
   TempDir D("keepbytes");
   auto S = ResultStore::open(D.str(), 1);
