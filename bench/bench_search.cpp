@@ -29,6 +29,17 @@
 ///   budget4    jobs=4  cache on   prune 1  budget=incumbent
 ///   aggrbdgt4  jobs=4  cache on   prune 2  budget=incumbent
 ///
+/// A final section wall-clocks the N-way portfolio search on the
+/// crypto triple (blake256+sha256+ethash) under the same mechanisms:
+///
+///   nway1      jobs=1  cache on   prune 1   (the N-way reference)
+///   nway4      jobs=4  cache on   prune 1  budget=incumbent
+///   nwaytight4 jobs=4  cache on   prune 1  budget=incumbent-tight
+///
+/// All three N-way configurations are result-preserving, so their Best
+/// (partition, bound, cycles) must match byte for byte and they gate
+/// the exit code like the prune<=1 pair configurations.
+///
 /// Prune level <= 1 is result-preserving — with or without the
 /// incumbent cycle budget — so those configurations must reproduce the
 /// baseline's Best byte for byte and gate the exit code. Level 2
@@ -45,6 +56,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "profile/NWayRunner.h"
 #include "support/ThreadPool.h"
 
 #include <chrono>
@@ -128,7 +140,7 @@ void emitJson(const BenchPair &P, const SearchConfig &C,
       "\"best_d1\":%d,\"best_d2\":%d,\"best_regbound\":%u,"
       "\"best_cycles\":%llu,\"identical_best\":%s,\"host_threads\":%u}\n",
       pairName(P).c_str(), C.Name, C.Jobs, C.Cache ? 1 : 0, C.PruneLevel,
-      C.Budget == SearchBudgetMode::Incumbent ? 1 : 0, O.WallMs,
+      static_cast<int>(C.Budget), O.WallMs,
       O.SR.Stats.WallMs,
       O.WallMs > 0 ? BaselineMs / O.WallMs : 0.0, O.SR.Stats.Candidates,
       O.SR.Stats.Simulations, O.SR.Stats.MemoHits, O.SR.Stats.Pruned,
@@ -142,6 +154,91 @@ void emitJson(const BenchPair &P, const SearchConfig &C,
       static_cast<unsigned long long>(O.CS.FusionRuns),
       static_cast<unsigned long long>(O.CS.Lowerings), O.SR.Best.D1,
       O.SR.Best.D2, O.SR.Best.RegBound,
+      static_cast<unsigned long long>(O.SR.Best.Cycles),
+      IdenticalBest ? "true" : "false", ThreadPool::defaultConcurrency());
+}
+
+struct NWayOutcome {
+  bool Ok = false;
+  double WallMs = 0.0; ///< construction + search
+  NWaySearchResult SR;
+  CompileCache::Stats CS;
+};
+
+NWayOutcome runNWayOnce(const std::vector<BenchKernelId> &Ids,
+                        const SearchConfig &C,
+                        const std::shared_ptr<ResultStore> &Store) {
+  NWayOutcome O;
+  NWayRunner::Options Opts;
+  static_cast<SearchOptions &>(Opts) =
+      static_cast<const SearchOptions &>(benchOptions(/*Volta=*/false));
+  Opts.Scale = quickMode() ? 0.25 : 1.0;
+  Opts.SearchJobs = C.Jobs;
+  Opts.UseCompileCache = C.Cache;
+  Opts.PruneLevel = C.PruneLevel;
+  Opts.Budget = C.Budget;
+  Opts.Cache = std::make_shared<CompileCache>();
+  if (Store)
+    Opts.Cache->attachStore(Store);
+
+  auto Start = std::chrono::steady_clock::now();
+  NWayRunner Runner(Ids, std::move(Opts));
+  if (!Runner.ok()) {
+    std::fprintf(stderr, "nway: %s\n", Runner.error().c_str());
+    return O;
+  }
+  O.SR = Runner.searchBestConfig();
+  O.WallMs = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - Start)
+                 .count();
+  if (!O.SR.Ok) {
+    std::fprintf(stderr, "nway: search failed: %s\n", O.SR.Error.c_str());
+    return O;
+  }
+  O.CS = Runner.cache().stats();
+  O.Ok = true;
+  return O;
+}
+
+bool sameNWayBest(const NWaySearchResult &A, const NWaySearchResult &B) {
+  return A.Best.Dims == B.Best.Dims && A.Best.RegBound == B.Best.RegBound &&
+         A.Best.Cycles == B.Best.Cycles;
+}
+
+void emitNWayJson(const std::string &Group, const SearchConfig &C,
+                  const NWayOutcome &O, double BaselineMs,
+                  bool IdenticalBest) {
+  std::printf(
+      "{\"bench\":\"search\",\"pair\":\"%s\",\"config\":\"%s\","
+      "\"kernels\":%u,"
+      "\"jobs\":%d,\"cache\":%d,\"prune\":%d,\"budget\":%d,"
+      "\"wall_ms\":%.1f,"
+      "\"search_ms\":%.1f,\"speedup_vs_baseline\":%.2f,"
+      "\"candidates\":%u,\"simulated\":%u,\"memoized\":%u,\"pruned\":%u,"
+      "\"abandoned\":%u,\"failed\":%u,\"unvisited\":%u,\"partial\":%s,"
+      "\"degraded\":%u,"
+      "\"disk_hits\":%llu,\"disk_misses\":%llu,"
+      "\"sim_insts\":%llu,\"abandoned_insts\":%llu,"
+      "\"incumbent_cycles\":%llu,"
+      "\"fusions\":%llu,\"lowerings\":%llu,"
+      "\"best_dims\":\"%s\",\"best_regbound\":%u,"
+      "\"best_cycles\":%llu,\"identical_best\":%s,\"host_threads\":%u}\n",
+      Group.c_str(), C.Name,
+      static_cast<unsigned>(O.SR.Best.Dims.size()), C.Jobs,
+      C.Cache ? 1 : 0, C.PruneLevel, static_cast<int>(C.Budget), O.WallMs,
+      O.SR.Stats.WallMs,
+      O.WallMs > 0 ? BaselineMs / O.WallMs : 0.0, O.SR.Stats.Candidates,
+      O.SR.Stats.Simulations, O.SR.Stats.MemoHits, O.SR.Stats.Pruned,
+      O.SR.Stats.Abandoned, O.SR.Stats.Failed, O.SR.Stats.Unvisited,
+      O.SR.Partial ? "true" : "false", O.SR.Ok ? 0u : 1u,
+      static_cast<unsigned long long>(O.CS.DiskHits),
+      static_cast<unsigned long long>(O.CS.DiskMisses),
+      static_cast<unsigned long long>(O.SR.Stats.SimulatedInsts),
+      static_cast<unsigned long long>(O.SR.Stats.AbandonedInsts),
+      static_cast<unsigned long long>(O.SR.Stats.IncumbentCycles),
+      static_cast<unsigned long long>(O.CS.FusionRuns),
+      static_cast<unsigned long long>(O.CS.Lowerings),
+      dimsLabel(O.SR.Best.Dims).c_str(), O.SR.Best.RegBound,
       static_cast<unsigned long long>(O.SR.Best.Cycles),
       IdenticalBest ? "true" : "false", ThreadPool::defaultConcurrency());
 }
@@ -224,6 +321,43 @@ int main() {
       emitJson(P, C, O, BaselineMs, Identical);
     }
   }
+  // N-way portfolio section: the crypto triple under the same
+  // mechanisms. All three configurations are result-preserving.
+  const std::vector<BenchKernelId> Triple = {
+      BenchKernelId::Blake256, BenchKernelId::SHA256, BenchKernelId::Ethash};
+  const std::string TripleName = "blake256+sha256+ethash";
+  const SearchConfig NWayConfigs[] = {
+      {"nway1", 1, true, 1},
+      {"nway4", 4, true, 1, SearchBudgetMode::Incumbent},
+      {"nwaytight4", 4, true, 1, SearchBudgetMode::IncumbentTight},
+  };
+  double NWayBaselineMs = 0.0;
+  NWaySearchResult NWayBaselineSR;
+  for (const SearchConfig &C : NWayConfigs) {
+    NWayOutcome O = runNWayOnce(Triple, C, Store);
+    if (!O.Ok) {
+      emitNWayJson(TripleName, C, O, NWayBaselineMs, false);
+      return 1;
+    }
+    bool IsBaseline = std::string(C.Name) == "nway1";
+    if (IsBaseline) {
+      NWayBaselineMs = O.WallMs;
+      NWayBaselineSR = O.SR;
+    }
+    bool Identical = IsBaseline || sameNWayBest(NWayBaselineSR, O.SR);
+    AllIdentical = AllIdentical && Identical;
+    std::printf("%-18s %-10s %10.1f %7.2fx %6u %6u %6u %5u %11llu "
+                "%9s/%-4u%s\n",
+                TripleName.c_str(), C.Name, O.WallMs,
+                O.WallMs > 0 ? NWayBaselineMs / O.WallMs : 0.0,
+                O.SR.Stats.Simulations, O.SR.Stats.MemoHits,
+                O.SR.Stats.Pruned, O.SR.Stats.Abandoned,
+                static_cast<unsigned long long>(O.SR.Stats.SimulatedInsts),
+                dimsLabel(O.SR.Best.Dims).c_str(), O.SR.Best.RegBound,
+                Identical ? "" : "  [BEST DIFFERS]");
+    emitNWayJson(TripleName, C, O, NWayBaselineMs, Identical);
+  }
+
   emitBenchMetricsJson("search");
   std::printf("\nbest candidate %s across all result-preserving "
               "configurations\n",

@@ -33,12 +33,14 @@
 #include "service/SearchService.h"
 #include "support/FaultInjector.h"
 #include "support/Log.h"
+#include "support/StringUtils.h"
 #include "support/Status.h"
 #include "support/Telemetry.h"
 #include "transform/Fusion.h"
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -78,8 +80,14 @@ struct CliOptions {
   bool PrintIR = false;
   bool Report = false;
   bool FullBarriers = false;
-  // Figure 6 search mode.
+  // Figure 6 search mode. SearchPair also accepts 3+ "+"-joined names
+  // (the N-way portfolio search).
   std::string SearchPair;
+  /// N-way portfolio sweep over a kernel pool: "crypto", "dl", "all",
+  /// or a comma-separated kernel list ("" = off).
+  std::string Portfolio;
+  /// Kernels per portfolio group (size of the enumerated subsets).
+  int PortfolioSize = 3;
   int SearchJobs = 1;
   int PruneLevel = 1;
   /// Incumbent-driven branch-and-bound is the default: it returns
@@ -88,6 +96,10 @@ struct CliOptions {
   /// sweep.
   profile::SearchBudgetMode Budget = profile::SearchBudgetMode::Incumbent;
   double BudgetMarginPct = 10.0;
+  /// --search-bound=measured: rank phase-3 candidates by each kernel's
+  /// measured solo issued count instead of the static instruction-count
+  /// proxy. Ordering-only: Best never changes.
+  bool MeasuredBound = false;
   bool UseCache = true;
   bool Volta = false;
   bool Quick = false;
@@ -148,7 +160,16 @@ void printUsage() {
       "                   e.g. --search batchnorm+hist (names as in the\n"
       "                   paper; case-insensitive); --search all sweeps\n"
       "                   the paper's 16 pairs in Figure 9 order,\n"
-      "                   sharing one compile cache across pairs\n"
+      "                   sharing one compile cache across pairs;\n"
+      "                   3+ names run the N-way portfolio search,\n"
+      "                   e.g. --search blake256+sha256+ethash\n"
+      "  --portfolio POOL sweep every --portfolio-size subset of a\n"
+      "                   kernel pool with the N-way search: 'crypto',\n"
+      "                   'dl', 'all', or comma-separated kernel names;\n"
+      "                   one compile cache serves every group, so each\n"
+      "                   kernel compiles once for the whole sweep\n"
+      "  --portfolio-size N\n"
+      "                   kernels per portfolio group (default 3)\n"
       "  --search-jobs N  evaluate candidates on N worker threads\n"
       "                   (0 = all hardware threads; default 1)\n"
       "  --no-prune       disable occupancy pruning\n"
@@ -158,13 +179,24 @@ void printUsage() {
       "                   within --search-margin of optimal); with\n"
       "                   --search-budget=off they are skipped outright\n"
       "                   (heuristic, Best may differ)\n"
-      "  --search-budget=off|incumbent\n"
+      "  --search-budget=off|incumbent|incumbent-tight\n"
       "                   incumbent (default): seed an incumbent from\n"
       "                   the most promising candidate, then abandon\n"
       "                   any candidate the moment its cycles provably\n"
       "                   exceed it — bit-identical Best, far fewer\n"
-      "                   simulated instructions; off: simulate every\n"
+      "                   simulated instructions; incumbent-tight:\n"
+      "                   additionally shrink the budget as better\n"
+      "                   candidates land (shared atomic minimum) and\n"
+      "                   re-issue the ledger under the final incumbent\n"
+      "                   — Best and the ledger stay bit-identical\n"
+      "                   across --search-jobs; off: simulate every\n"
       "                   candidate to completion\n"
+      "  --search-bound=static|measured\n"
+      "                   how the budgeted sweep ranks candidates for\n"
+      "                   its best-first order: static instruction\n"
+      "                   counts (default) or one measured solo run\n"
+      "                   per kernel (the sim.issued counts); ordering\n"
+      "                   only — Best never changes\n"
       "  --search-margin PCT\n"
       "                   measured-margin for re-admitted dominated\n"
       "                   candidates under --prune-aggressive\n"
@@ -339,13 +371,56 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         Opts.Budget = profile::SearchBudgetMode::Off;
       } else if (V == "incumbent") {
         Opts.Budget = profile::SearchBudgetMode::Incumbent;
+      } else if (V == "incumbent-tight") {
+        Opts.Budget = profile::SearchBudgetMode::IncumbentTight;
       } else {
         std::fprintf(stderr,
-                     "error: --search-budget expects 'off' or "
-                     "'incumbent', got '%s'\n",
+                     "error: --search-budget expects 'off', 'incumbent' "
+                     "or 'incumbent-tight', got '%s'\n",
                      V.c_str());
         return false;
       }
+    } else if (Arg == "--search-bound" ||
+               Arg.rfind("--search-bound=", 0) == 0) {
+      std::string V;
+      if (Arg == "--search-bound") {
+        const char *N = Next();
+        if (!N)
+          return false;
+        V = N;
+      } else {
+        V = Arg.substr(std::strlen("--search-bound="));
+      }
+      if (V == "static") {
+        Opts.MeasuredBound = false;
+      } else if (V == "measured") {
+        Opts.MeasuredBound = true;
+      } else {
+        std::fprintf(stderr,
+                     "error: --search-bound expects 'static' or "
+                     "'measured', got '%s'\n",
+                     V.c_str());
+        return false;
+      }
+    } else if (Arg == "--portfolio") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Portfolio = V;
+    } else if (Arg == "--portfolio-size") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      char *End = nullptr;
+      long N = std::strtol(V, &End, 10);
+      if (End == V || *End != '\0' || N < 3 || N > 15) {
+        std::fprintf(stderr,
+                     "error: --portfolio-size expects an integer in "
+                     "[3, 15], got '%s'\n",
+                     V);
+        return false;
+      }
+      Opts.PortfolioSize = static_cast<int>(N);
     } else if (Arg == "--search-margin" ||
                Arg.rfind("--search-margin=", 0) == 0) {
       std::string Val;
@@ -458,7 +533,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       std::printf("  %s\n", faultSiteName(S));
     std::exit(0);
   }
-  if (Opts.SearchPair.empty() && (Opts.File1.empty() || Opts.File2.empty())) {
+  if (Opts.SearchPair.empty() && Opts.Portfolio.empty() &&
+      (Opts.File1.empty() || Opts.File2.empty())) {
     printUsage();
     return false;
   }
@@ -593,6 +669,7 @@ int searchOnePair(const CliOptions &Opts, kernels::BenchKernelId IdA,
   RO.PruneLevel = Opts.PruneLevel;
   RO.Budget = Opts.Budget;
   RO.BudgetMarginPct = Opts.BudgetMarginPct;
+  RO.MeasuredBound = Opts.MeasuredBound;
   RO.UseCompileCache = Opts.UseCache;
   RO.SearchStats = Opts.FullStats ? gpusim::StatsLevel::Full
                                   : gpusim::StatsLevel::Minimal;
@@ -699,9 +776,10 @@ int searchOnePair(const CliOptions &Opts, kernels::BenchKernelId IdA,
               Opts.SearchJobs <= 0
                   ? "auto"
                   : std::to_string(Opts.SearchJobs).c_str());
-  if (Opts.Budget == profile::SearchBudgetMode::Incumbent)
-    std::printf("budget: incumbent %llu cycles; %llu of %llu simulated "
+  if (Opts.Budget != profile::SearchBudgetMode::Off)
+    std::printf("budget: %s %llu cycles; %llu of %llu simulated "
                 "instructions spent on abandoned candidates\n",
+                profile::searchBudgetModeName(Opts.Budget),
                 static_cast<unsigned long long>(SR.Stats.IncumbentCycles),
                 static_cast<unsigned long long>(SR.Stats.AbandonedInsts),
                 static_cast<unsigned long long>(SR.Stats.SimulatedInsts));
@@ -748,23 +826,361 @@ int searchOnePair(const CliOptions &Opts, kernels::BenchKernelId IdA,
   return ExitOk;
 }
 
+/// --explain for the N-way search: same funnel, dims-keyed configs.
+void printExplainNWay(const profile::NWaySearchResult &SR,
+                      const std::vector<telemetry::SpanAgg> &Spans) {
+  std::printf("\nsearch funnel [%s]:\n", SR.RunId.c_str());
+  std::printf("  %-10s %5u\n", "candidates", SR.Stats.Candidates);
+  std::printf("  %-10s %5u\n", "pruned", SR.Stats.Pruned);
+  std::printf("  %-10s %5u\n", "abandoned", SR.Stats.Abandoned);
+  std::printf("  %-10s %5u\n", "failed", SR.Stats.Failed);
+  if (SR.Stats.Unvisited)
+    std::printf("  %-10s %5u  (request %s)\n", "unvisited",
+                SR.Stats.Unvisited,
+                errorCodeName(SR.PartialReason.code()));
+  std::printf("  %-10s %5u  (+%u memoized)\n", "simulated",
+              SR.Stats.Simulations, SR.Stats.MemoHits);
+  std::printf("  %-10s c%d: dims=%s bound=%u, %llu cycles\n", "best",
+              SR.Best.Id, profile::dimsLabel(SR.Best.Dims).c_str(),
+              SR.Best.RegBound,
+              static_cast<unsigned long long>(SR.Best.Cycles));
+
+  bool Header = false;
+  for (const telemetry::SpanAgg &S : Spans) {
+    if (S.Cat != "phase")
+      continue;
+    if (!Header) {
+      std::printf("  phase wall time:\n");
+      Header = true;
+    }
+    std::printf("    %-9s %9.2f ms\n", S.Name.c_str(), S.TotalUs / 1e3);
+  }
+
+  std::vector<const profile::NWayCandidate *> Ranked;
+  Ranked.reserve(SR.All.size());
+  for (const profile::NWayCandidate &C : SR.All)
+    Ranked.push_back(&C);
+  std::sort(Ranked.begin(), Ranked.end(),
+            [](const profile::NWayCandidate *X,
+               const profile::NWayCandidate *Y) {
+              return X->Cycles != Y->Cycles ? X->Cycles < Y->Cycles
+                                            : X->Id < Y->Id;
+            });
+  size_t K = std::min<size_t>(5, Ranked.size());
+  std::printf("  top %zu measured configs:\n", K);
+  for (size_t I = 0; I < K; ++I) {
+    const profile::NWayCandidate &C = *Ranked[I];
+    double Pct = SR.Best.Cycles
+                     ? 100.0 * (static_cast<double>(C.Cycles) /
+                                    static_cast<double>(SR.Best.Cycles) -
+                                1.0)
+                     : 0.0;
+    std::printf("    c%-3d dims=%-18s bound=%3u %12llu cycles  +%.2f%%\n",
+                C.Id, profile::dimsLabel(C.Dims).c_str(), C.RegBound,
+                static_cast<unsigned long long>(C.Cycles), Pct);
+  }
+}
+
+/// One N-way portfolio search through the service: the 3+-kernel
+/// analogue of searchOnePair, with the concurrent-streams AND
+/// sequential baselines printed so the fused winner's verdict is
+/// visible in one table.
+int searchNWay(const CliOptions &Opts,
+               const std::vector<kernels::BenchKernelId> &Ids,
+               service::SearchService &Svc,
+               const std::shared_ptr<profile::CompileCache> &Cache,
+               const std::shared_ptr<ResultStore> &Store,
+               uint64_t *WinnerCycles = nullptr,
+               std::string *WinnerDesc = nullptr) {
+  service::SearchRequest Req;
+  Req.Kernels = Ids;
+  Req.DeadlineMs = Opts.DeadlineMs;
+  profile::PairRunner::Options &RO = Req.Runner;
+  RO.Arch = Opts.Volta ? gpusim::makeV100() : gpusim::makeGTX1080Ti();
+  RO.SimSMs = Opts.Quick ? 2 : 3;
+  RO.Scale1 = RO.Scale2 = Opts.Quick ? 0.25 : 1.0;
+  RO.Verify = false;
+  RO.SearchJobs = Opts.SearchJobs;
+  RO.PruneLevel = Opts.PruneLevel;
+  RO.Budget = Opts.Budget;
+  RO.BudgetMarginPct = Opts.BudgetMarginPct;
+  RO.MeasuredBound = Opts.MeasuredBound;
+  RO.UseCompileCache = Opts.UseCache;
+  RO.SearchStats = Opts.FullStats ? gpusim::StatsLevel::Full
+                                  : gpusim::StatsLevel::Minimal;
+  RO.WatchdogCycles = Opts.WatchdogCycles;
+  RO.WallTimeoutMs = Opts.TimeoutMs;
+  RO.Cache = Cache;
+
+  std::string Names;
+  for (size_t I = 0; I < Ids.size(); ++I) {
+    if (I)
+      Names += "+";
+    Names += kernels::kernelDisplayName(Ids[I]);
+  }
+
+  std::vector<telemetry::SpanAgg> AggBefore;
+  if (Opts.Explain)
+    AggBefore = telemetry::Tracer::instance().aggregate();
+
+  Expected<service::SearchOutcome> Res = Svc.search(Req);
+  if (!Res) {
+    std::fprintf(stderr, "search rejected: %s\n", Res.status().str().c_str());
+    return Res.status().code() == ErrorCode::Cancelled ? ExitPartial
+                                                       : ExitInternal;
+  }
+  service::SearchOutcome Out = Res.take();
+  if (!Out.NWay) {
+    std::fprintf(stderr, "search failed: %s\n", Out.Search.Err.str().c_str());
+    return ExitInternal;
+  }
+  profile::NWaySearchResult &SR = *Out.NWay;
+  std::printf("N-way search: %s on %s\n", Names.c_str(),
+              RO.Arch.Name.c_str());
+  if (!SR.Ok && SR.Partial) {
+    std::fprintf(stderr, "search cancelled before any measurement: %s\n",
+                 SR.Err.str().c_str());
+    std::printf("partial: %s; %u of %u candidates unvisited\n",
+                errorCodeName(SR.PartialReason.code()), SR.Stats.Unvisited,
+                SR.Stats.Candidates);
+    return ExitPartial;
+  }
+  std::printf("%-20s %8s %14s %10s %9s\n", "dims", "bound", "cycles",
+              "time(ms)", "blk/SM");
+  if (!SR.Ok) {
+    std::fprintf(stderr, "search failed: %s\n", SR.Err.str().c_str());
+    if (!Out.NativeBaseline || !Out.NativeBaseline->Ok) {
+      std::fprintf(stderr, "native baseline failed too: %s\n",
+                   Out.NativeBaseline ? Out.NativeBaseline->Error.c_str()
+                                      : "(not run)");
+      return ExitInternal;
+    }
+    std::printf("%-20s %8s %14llu %10.3f  degraded:%s\n", "streams", "-",
+                static_cast<unsigned long long>(
+                    Out.NativeBaseline->TotalCycles),
+                Out.NativeBaseline->TotalMs, errorCodeName(SR.Err.code()));
+    return ExitSearchDegraded;
+  }
+
+  if (Out.NativeBaseline && Out.NativeBaseline->Ok)
+    std::printf("%-20s %8s %14llu %10.3f %9s  (concurrent baseline)\n",
+                "streams", "-",
+                static_cast<unsigned long long>(
+                    Out.NativeBaseline->TotalCycles),
+                Out.NativeBaseline->TotalMs, "-");
+  if (Out.SerialBaseline && Out.SerialBaseline->Ok)
+    std::printf("%-20s %8s %14llu %10.3f %9s  (sequential baseline)\n",
+                "serial", "-",
+                static_cast<unsigned long long>(
+                    Out.SerialBaseline->TotalCycles),
+                Out.SerialBaseline->TotalMs, "-");
+  for (const profile::NWayCandidate &C : SR.All)
+    std::printf("%-20s %8u %14llu %10.3f %9d%s\n",
+                profile::dimsLabel(C.Dims).c_str(), C.RegBound,
+                static_cast<unsigned long long>(C.Cycles), C.TimeMs,
+                C.Result.Kernels.empty()
+                    ? 0
+                    : C.Result.Kernels[0].TheoreticalBlocksPerSM,
+                C.Id == SR.Best.Id ? "  <-- best" : "");
+  for (const profile::NWayFailedCandidate &F : SR.Failed)
+    std::printf("%-20s %8u         failed [c%d]: %s\n",
+                profile::dimsLabel(F.Dims).c_str(), F.RegBound, F.Id,
+                F.Err.str().c_str());
+  for (const profile::NWayPrunedCandidate &P : SR.Pruned)
+    std::printf("%-20s %8u         pruned [c%d]: %s\n",
+                profile::dimsLabel(P.Dims).c_str(), P.RegBound, P.Id,
+                P.Reason.c_str());
+  for (const profile::NWayAbandonedCandidate &A : SR.Abandoned)
+    std::printf("%-20s %8u         abandoned [c%d] at cycle %llu (%llu "
+                "instructions issued)\n",
+                profile::dimsLabel(A.Dims).c_str(), A.RegBound, A.Id,
+                static_cast<unsigned long long>(A.BudgetCycles),
+                static_cast<unsigned long long>(A.IssuedInsts));
+  for (const profile::NWayUnvisitedCandidate &U : SR.Unvisited)
+    std::printf("%-20s %8s         unvisited [c%d]\n",
+                profile::dimsLabel(U.Dims).c_str(),
+                U.BoundPending ? "?" : std::to_string(U.RegBound).c_str(),
+                U.Id);
+
+  if (WinnerCycles)
+    *WinnerCycles = SR.Best.Cycles;
+  if (WinnerDesc)
+    *WinnerDesc = formatString("%s dims=%s bound=%u", Names.c_str(),
+                               profile::dimsLabel(SR.Best.Dims).c_str(),
+                               SR.Best.RegBound);
+
+  // The portfolio verdict: did the fused winner beat running the
+  // kernels separately (both ways of doing that)?
+  uint64_t BaselineCycles = 0;
+  if (Out.NativeBaseline && Out.NativeBaseline->Ok)
+    BaselineCycles = Out.NativeBaseline->TotalCycles;
+  if (Out.SerialBaseline && Out.SerialBaseline->Ok &&
+      (BaselineCycles == 0 ||
+       Out.SerialBaseline->TotalCycles < BaselineCycles))
+    BaselineCycles = Out.SerialBaseline->TotalCycles;
+  if (BaselineCycles && SR.Best.Cycles)
+    std::printf("\nbest fused config %s the best unfused baseline: "
+                "%.3fx (%llu vs %llu cycles)\n",
+                SR.Best.Cycles < BaselineCycles ? "beats" : "loses to",
+                static_cast<double>(BaselineCycles) /
+                    static_cast<double>(SR.Best.Cycles),
+                static_cast<unsigned long long>(SR.Best.Cycles),
+                static_cast<unsigned long long>(BaselineCycles));
+
+  profile::CompileCache::Stats CS = Cache->stats();
+  std::printf("\n%u candidates, %u simulated, %u memoized, %u pruned, "
+              "%u abandoned, %u failed, %u unvisited in %.1f ms (%s jobs)\n",
+              SR.Stats.Candidates, SR.Stats.Simulations, SR.Stats.MemoHits,
+              SR.Stats.Pruned, SR.Stats.Abandoned, SR.Stats.Failed,
+              SR.Stats.Unvisited, SR.Stats.WallMs,
+              Opts.SearchJobs <= 0
+                  ? "auto"
+                  : std::to_string(Opts.SearchJobs).c_str());
+  if (Opts.Budget != profile::SearchBudgetMode::Off)
+    std::printf("budget: %s %llu cycles; %llu of %llu simulated "
+                "instructions spent on abandoned candidates\n",
+                profile::searchBudgetModeName(Opts.Budget),
+                static_cast<unsigned long long>(SR.Stats.IncumbentCycles),
+                static_cast<unsigned long long>(SR.Stats.AbandonedInsts),
+                static_cast<unsigned long long>(SR.Stats.SimulatedInsts));
+  std::printf("cache: %llu kernel compiles (%llu hits), %llu fusions "
+              "(%llu hits), %llu lowerings (%llu hits)\n",
+              static_cast<unsigned long long>(CS.KernelCompiles),
+              static_cast<unsigned long long>(CS.KernelHits),
+              static_cast<unsigned long long>(CS.FusionRuns),
+              static_cast<unsigned long long>(CS.FusionHits),
+              static_cast<unsigned long long>(CS.Lowerings),
+              static_cast<unsigned long long>(CS.LoweringHits));
+  if (CS.CompileRetries)
+    std::printf("compile retries: %llu\n",
+                static_cast<unsigned long long>(CS.CompileRetries));
+  if (Opts.Explain)
+    printExplainNWay(SR,
+                     aggregateDelta(AggBefore,
+                                    telemetry::Tracer::instance().aggregate()));
+  if (Store) {
+    ResultStore::Stats SS = Store->stats();
+    std::printf("store: %llu disk hits, %llu disk misses, %llu writes, "
+                "%llu quarantined%s\n",
+                static_cast<unsigned long long>(CS.DiskHits),
+                static_cast<unsigned long long>(CS.DiskMisses),
+                static_cast<unsigned long long>(CS.DiskWrites),
+                static_cast<unsigned long long>(SS.Quarantined),
+                Store->degraded() ? ", degraded" : "");
+    if (Store->degraded() && !SR.Partial)
+      return ExitStoreDegraded;
+  }
+  if (SR.Partial) {
+    std::printf("partial: %s; best-so-far shown, %u of %u candidates "
+                "unvisited\n",
+                errorCodeName(SR.PartialReason.code()), SR.Stats.Unvisited,
+                SR.Stats.Candidates);
+    return ExitPartial;
+  }
+  return ExitOk;
+}
+
+/// Resolves a --portfolio pool name into the kernel list, in canonical
+/// (paper) order.
+bool resolvePortfolioPool(const std::string &Pool,
+                          std::vector<kernels::BenchKernelId> &Out) {
+  if (Pool == "all") {
+    Out = kernels::allKernels();
+    return true;
+  }
+  if (Pool == "dl") {
+    Out = kernels::deepLearningKernels();
+    return true;
+  }
+  if (Pool == "crypto") {
+    Out = kernels::cryptoKernels();
+    return true;
+  }
+  size_t Start = 0;
+  while (Start <= Pool.size()) {
+    size_t Comma = Pool.find(',', Start);
+    std::string Name = Pool.substr(
+        Start, Comma == std::string::npos ? std::string::npos
+                                          : Comma - Start);
+    if (!Name.empty()) {
+      std::optional<kernels::BenchKernelId> Id = kernels::kernelIdByName(Name);
+      if (!Id) {
+        std::fprintf(stderr, "error: --portfolio: unknown kernel '%s'\n",
+                     Name.c_str());
+        return false;
+      }
+      Out.push_back(*Id);
+    }
+    if (Comma == std::string::npos)
+      break;
+    Start = Comma + 1;
+  }
+  if (Out.empty()) {
+    std::fprintf(stderr, "error: --portfolio expects 'crypto', 'dl', "
+                         "'all', or a comma-separated kernel list\n");
+    return false;
+  }
+  return true;
+}
+
 int runSearch(const CliOptions &Opts) {
   std::vector<profile::PaperPair> PairList;
-  if (Opts.SearchPair == "all") {
-    PairList = profile::paperPairs();
-  } else {
-    size_t Plus = Opts.SearchPair.find('+');
-    if (Plus == std::string::npos) {
+  std::vector<std::vector<kernels::BenchKernelId>> Groups;
+  if (!Opts.Portfolio.empty()) {
+    // --portfolio: every size-N subset of the pool, in canonical pool
+    // order, each searched with the N-way sweep.
+    std::vector<kernels::BenchKernelId> Pool;
+    if (!resolvePortfolioPool(Opts.Portfolio, Pool))
+      return ExitUsage;
+    const size_t N = static_cast<size_t>(Opts.PortfolioSize);
+    if (Pool.size() < N) {
       std::fprintf(stderr,
-                   "error: --search expects KERNEL+KERNEL (e.g. "
-                   "batchnorm+hist) or 'all'\n");
+                   "error: --portfolio pool has %zu kernels, need at "
+                   "least --portfolio-size (%zu)\n",
+                   Pool.size(), N);
       return ExitUsage;
     }
-    auto IdA = kernels::kernelIdByName(Opts.SearchPair.substr(0, Plus));
-    auto IdB = kernels::kernelIdByName(Opts.SearchPair.substr(Plus + 1));
-    if (!IdA || !IdB) {
-      std::fprintf(stderr, "error: unknown kernel in pair '%s'\n",
-                   Opts.SearchPair.c_str());
+    std::vector<kernels::BenchKernelId> Cur;
+    std::function<void(size_t)> Rec = [&](size_t From) {
+      if (Cur.size() == N) {
+        Groups.push_back(Cur);
+        return;
+      }
+      for (size_t I = From;
+           I + (N - Cur.size()) <= Pool.size(); ++I) {
+        Cur.push_back(Pool[I]);
+        Rec(I + 1);
+        Cur.pop_back();
+      }
+    };
+    Rec(0);
+  } else if (Opts.SearchPair == "all") {
+    PairList = profile::paperPairs();
+  } else {
+    // Split on every '+': two names run the pair search, three or more
+    // the N-way search.
+    std::vector<kernels::BenchKernelId> Ids;
+    size_t Start = 0;
+    bool Bad = false;
+    while (Start <= Opts.SearchPair.size()) {
+      size_t Plus = Opts.SearchPair.find('+', Start);
+      std::string Name = Opts.SearchPair.substr(
+          Start,
+          Plus == std::string::npos ? std::string::npos : Plus - Start);
+      auto Id = kernels::kernelIdByName(Name);
+      if (!Id) {
+        Bad = true;
+        break;
+      }
+      Ids.push_back(*Id);
+      if (Plus == std::string::npos)
+        break;
+      Start = Plus + 1;
+    }
+    if (Bad || Ids.size() < 2) {
+      std::fprintf(stderr,
+                   "error: --search expects '+'-joined kernel names (e.g. "
+                   "batchnorm+hist, blake256+sha256+ethash) or 'all'\n");
       std::fprintf(stderr, "known kernels:");
       for (kernels::BenchKernelId Id : kernels::allKernels())
         std::fprintf(stderr, " %s", kernels::kernelDisplayName(Id));
@@ -773,7 +1189,10 @@ int runSearch(const CliOptions &Opts) {
       std::fprintf(stderr, "\n");
       return ExitUsage;
     }
-    PairList.push_back({*IdA, *IdB});
+    if (Ids.size() == 2)
+      PairList.push_back({Ids[0], Ids[1]});
+    else
+      Groups.push_back(std::move(Ids));
   }
 
   // One compile cache (and, with --cache-dir, one store) for the whole
@@ -811,9 +1230,40 @@ int runSearch(const CliOptions &Opts) {
   service::SearchService::installSignalHandlers();
   service::SearchService Svc(SC);
 
-  // Multi-pair sweeps report the first non-OK pair's exit code and
-  // still run every pair (a degraded pair never hides later results).
+  // Multi-pair/-group sweeps report the first non-OK exit code and
+  // still run every entry (a degraded one never hides later results).
   int RC = ExitOk;
+  if (!Groups.empty()) {
+    uint64_t OverallCycles = 0;
+    std::string OverallDesc;
+    for (size_t I = 0; I < Groups.size(); ++I) {
+      if (I)
+        std::printf("\n");
+      uint64_t Cycles = 0;
+      std::string Desc;
+      int GroupRC =
+          searchNWay(Opts, Groups[I], Svc, Cache, Store, &Cycles, &Desc);
+      if (RC == ExitOk)
+        RC = GroupRC;
+      if (Cycles && (OverallCycles == 0 || Cycles < OverallCycles)) {
+        OverallCycles = Cycles;
+        OverallDesc = Desc;
+      }
+      if (Svc.shuttingDown()) {
+        if (I + 1 < Groups.size())
+          std::fprintf(stderr,
+                       "drain: %zu remaining group(s) not searched\n",
+                       Groups.size() - I - 1);
+        RC = ExitPartial;
+        break;
+      }
+    }
+    if (Groups.size() > 1 && OverallCycles)
+      std::printf("\nportfolio winner: %s, %llu cycles\n",
+                  OverallDesc.c_str(),
+                  static_cast<unsigned long long>(OverallCycles));
+    return RC;
+  }
   for (size_t I = 0; I < PairList.size(); ++I) {
     if (I)
       std::printf("\n");
@@ -856,7 +1306,7 @@ void writeTelemetryArtifacts(const CliOptions &Opts) {
 }
 
 int runTool(const CliOptions &Opts) {
-  if (!Opts.SearchPair.empty())
+  if (!Opts.SearchPair.empty() || !Opts.Portfolio.empty())
     return runSearch(Opts);
 
   std::string Src1, Src2;

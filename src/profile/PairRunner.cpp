@@ -27,6 +27,11 @@ using namespace hfuse::gpusim;
 using namespace hfuse::kernels;
 using namespace hfuse::profile;
 
+unsigned hfuse::profile::nextSearchRunSeq() {
+  static std::atomic<unsigned> NextRunSeq{0};
+  return NextRunSeq.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 PairRunner::PairRunner(BenchKernelId A, BenchKernelId B, Options Opts)
     : IdA(A), IdB(B), Opts(std::move(Opts)) {
   // Null means the process-wide default cache, so independent runners
@@ -233,6 +238,45 @@ SimResult PairRunner::runSolo(int Which) {
   int Total = L.GridDim * W->preferredBlockThreads();
   return runLaunches(Primary, {L}, Which == 0 ? Total : 0,
                      Which == 1 ? Total : 0, StatsLevel::Full);
+}
+
+uint64_t PairRunner::soloIssuedCount(int Which, Status &E,
+                                     SearchStats *Stats) {
+  std::optional<uint64_t> &Cached = SoloIssued[Which == 0 ? 0 : 1];
+  if (Cached)
+    return *Cached;
+  std::string CtxErr;
+  SimContext *Ctx = acquireContext(CtxErr);
+  if (!Ctx) {
+    E = Status(ErrorCode::WorkloadError, CtxErr);
+    return 0;
+  }
+  Workload *W = Which == 0 ? Ctx->W1.get() : Ctx->W2.get();
+  const CompiledKernel *K = Which == 0 ? K1.get() : K2.get();
+  KernelLaunch L;
+  L.Kernel = K->IR.get();
+  L.GridDim = W->preferredGrid();
+  L.BlockDim = W->preferredBlock();
+  L.BlockDimY = W->preferredBlockY();
+  L.DynSharedBytes = W->dynSharedBytes();
+  L.Params = W->params();
+  L.Label = kernelDisplayName(Which == 0 ? IdA : IdB);
+  // Ranking probe only: Minimal stats (TotalIssued is level-invariant)
+  // and no output verification.
+  W->clearOutputs(*Ctx->Sim);
+  SimResult R = Ctx->Sim->run({L}, StatsLevel::Minimal, /*CycleBudget=*/0);
+  releaseContext(Ctx);
+  if (!R.Ok) {
+    E = statusFromSim(R);
+    return 0;
+  }
+  Cache->count(&CompileCache::Stats::SimRuns);
+  if (Stats) {
+    ++Stats->Simulations;
+    Stats->SimulatedInsts += R.TotalIssued;
+  }
+  Cached = R.TotalIssued;
+  return *Cached;
 }
 
 SimResult PairRunner::runVFused() {
@@ -615,10 +659,8 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
   SearchResult SR;
   // Process-unique run id, joined against every span this search emits
   // and against the driver's failed:/abandoned: table rows.
-  static std::atomic<uint32_t> NextRunSeq{0};
-  SR.RunId = formatString(
-      "s%u:%s+%s", NextRunSeq.fetch_add(1, std::memory_order_relaxed) + 1,
-      kernelDisplayName(IdA), kernelDisplayName(IdB));
+  SR.RunId = formatString("s%u:%s+%s", nextSearchRunSeq(),
+                          kernelDisplayName(IdA), kernelDisplayName(IdB));
   if (!Ready) {
     // A cancel that landed inside the constructor (input-kernel
     // compilation) is a request verdict, not an internal error.
@@ -631,10 +673,9 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
   if (telemetry::traceOn())
     SearchSpan.beginSpan(
         "search", SR.RunId,
-        formatString("{\"jobs\":%d,\"budget\":\"%s\"}", Opts.SearchJobs,
-                     Opts.Budget == SearchBudgetMode::Incumbent
-                         ? "incumbent"
-                         : "off"));
+        formatString("{\"jobs\":%d,\"budget\":\"%s\",\"bound\":\"%s\"}",
+                     Opts.SearchJobs, searchBudgetModeName(Opts.Budget),
+                     Opts.MeasuredBound ? "measured" : "static"));
 
   bool Tunable = kernelHasTunableBlockDim(IdA) &&
                  kernelHasTunableBlockDim(IdB);
@@ -846,7 +887,7 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
           "%d: same code plus spills cannot win",
           C.RegBound, C.BlocksPerSM, Sib->BlocksPerSM);
     } else if (Opts.PruneLevel >= 2 && C.BlocksPerSM < MaxSeen) {
-      if (Opts.Budget == SearchBudgetMode::Incumbent) {
+      if (Opts.Budget != SearchBudgetMode::Off) {
         // Measured-margin rule: instead of trusting the occupancy
         // heuristic, re-admit the dominated candidate under the
         // tighter incumbent/(1+margin) budget. A genuinely fast one
@@ -950,7 +991,8 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
   // SearchJobs — and Best is bit-identical to the unbudgeted sweep,
   // because any candidate at or below the incumbent still completes
   // with exact cycles while aborted ones were strictly worse.
-  const bool Budgeted = Opts.Budget == SearchBudgetMode::Incumbent;
+  const bool Budgeted = Opts.Budget != SearchBudgetMode::Off;
+  const bool Tight = Opts.Budget == SearchBudgetMode::IncumbentTight;
   telemetry::TraceSpan SimPhaseSpan("phase", "simulate");
   uint64_t Incumbent = 0;
   size_t Seeded = 0;
@@ -971,8 +1013,23 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
     // — which ranks the spill-heavy crypto bounds last, exactly the
     // runs worth abandoning. Ties keep canonical order (stable sort).
     const int Grid = commonGrid();
-    const double S1 = static_cast<double>(K1->IR->numInstructions());
-    const double S2 = static_cast<double>(K2->IR->numInstructions());
+    double S1 = static_cast<double>(K1->IR->numInstructions());
+    double S2 = static_cast<double>(K2->IR->numInstructions());
+    if (Opts.MeasuredBound) {
+      // Rank on each kernel's *measured* dynamic work — one solo
+      // simulation per input kernel, the same issued-count quantity
+      // exported as the sim.issued.<label> gauges — instead of the
+      // static instruction-count proxy. Only the ranking changes (so
+      // only which candidate seeds the incumbent); Best is invariant.
+      // A failed probe falls back to the static proxy.
+      Status SoloErr1, SoloErr2;
+      uint64_t I1 = soloIssuedCount(0, SoloErr1, &SR.Stats);
+      uint64_t I2 = soloIssuedCount(1, SoloErr2, &SR.Stats);
+      if (SoloErr1.ok() && SoloErr2.ok() && I1 != 0 && I2 != 0) {
+        S1 = static_cast<double>(I1);
+        S2 = static_cast<double>(I2);
+      }
+    }
     std::vector<double> Bound(Kept.size());
     for (size_t I = 0; I < Kept.size(); ++I) {
       const Candidate &C = Cands[Kept[I]];
@@ -1006,21 +1063,75 @@ SearchResult PairRunner::searchBestConfig(bool NaiveEvenSplit) {
       // Seed candidate failed outright; try the next-best one.
     }
   }
-  const uint64_t MarginBudget =
-      Incumbent == 0
-          ? 0
-          : std::max<uint64_t>(
-                1, static_cast<uint64_t>(
-                       static_cast<double>(Incumbent) /
-                       (1.0 + std::max(0.0, Opts.BudgetMarginPct) / 100.0)));
+  auto MarginOf = [&](uint64_t Inc) -> uint64_t {
+    return Inc == 0
+               ? 0
+               : std::max<uint64_t>(
+                     1, static_cast<uint64_t>(
+                            static_cast<double>(Inc) /
+                            (1.0 +
+                             std::max(0.0, Opts.BudgetMarginPct) / 100.0)));
+  };
+  // IncumbentTight: completed candidates publish their cycles into a
+  // shared minimum, so later candidates start under the best cycle
+  // count seen so far instead of the seed's. Every budget handed out
+  // is <= the plain-incumbent budget, and a candidate whose true
+  // cycles are <= the eventual Best always completes (its budget is
+  // always >= the running minimum >= its own cycles) — so Best stays
+  // bit-identical; the ledger is canonicalized after the sweep.
+  std::atomic<uint64_t> SharedIncumbent{Incumbent};
   parallelFor(Pool.get(), Kept.size() - Seeded, [&](size_t I) {
     size_t K = Order[Seeded + I];
     uint64_t Budget = 0;
-    if (Budgeted && Incumbent != 0)
-      Budget = Cands[Kept[K]].MarginReadmit ? MarginBudget : Incumbent;
+    const uint64_t Inc =
+        Tight ? SharedIncumbent.load(std::memory_order_relaxed) : Incumbent;
+    if (Budgeted && Inc != 0)
+      Budget = Cands[Kept[K]].MarginReadmit ? MarginOf(Inc) : Inc;
     Measure(K, Budget);
+    if (Tight && Cands[Kept[K]].Measured) {
+      uint64_t Cycles = Cands[Kept[K]].Measured->Cycles;
+      uint64_t Cur = SharedIncumbent.load(std::memory_order_relaxed);
+      while ((Cur == 0 || Cycles < Cur) &&
+             !SharedIncumbent.compare_exchange_weak(
+                 Cur, Cycles, std::memory_order_relaxed))
+        ;
+    }
   });
   SimPhaseSpan.finish();
+
+  if (Tight) {
+    // Deterministic reporting for the tightened sweep: which
+    // non-winning candidates completed (vs were abandoned) depends on
+    // the budget each happened to run under, i.e. on worker timing.
+    // Re-issue every kept candidate's verdict under the *final*
+    // incumbent, as if the sweep had used it from the start: a
+    // measured candidate over its final budget is demoted to
+    // Abandoned at that budget (IssuedInsts 0, like a memo-decided
+    // abandonment), and every abandonment is normalized the same way.
+    // The winner and its exact ties always survive, so Best and All
+    // are bit-identical across SearchJobs — only the cost counters
+    // (SimulatedInsts/AbandonedInsts) keep reflecting the real,
+    // timing-dependent work done.
+    Incumbent = SharedIncumbent.load(std::memory_order_relaxed);
+    if (Incumbent != 0) {
+      const uint64_t FinalMargin = MarginOf(Incumbent);
+      for (size_t K : Kept) {
+        Candidate &C = Cands[K];
+        if (C.Skipped || !C.Error.ok())
+          continue;
+        const uint64_t FinalBudget =
+            C.MarginReadmit ? FinalMargin : Incumbent;
+        if (C.Measured && C.Measured->Cycles > FinalBudget) {
+          C.Measured.reset();
+          C.Abandoned = true;
+        }
+        if (C.Abandoned) {
+          C.AbandonBudget = FinalBudget;
+          C.AbandonIssued = 0;
+        }
+      }
+    }
+  }
 
   Status FirstError;
   for (Candidate &C : Cands) {

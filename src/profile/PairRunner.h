@@ -76,6 +76,13 @@
 /// (1+margin)x of the true optimum — a stated bound instead of a
 /// silent one.
 ///
+/// SearchBudgetMode::IncumbentTight additionally tightens the budget
+/// as the sweep runs: completed candidates publish their cycles into a
+/// shared atomic minimum and later candidates start under it. Best is
+/// still bit-identical; the ledger is re-issued under the final
+/// incumbent after the sweep so it, too, is deterministic (see the
+/// enum's documentation in SearchOptions.h).
+///
 /// Options::Cancel threads a request lifecycle through the sweep: a
 /// cancelled or deadlined search stops at the next candidate boundary
 /// and returns an *anytime* result — best-so-far incumbent, Partial
@@ -93,6 +100,7 @@
 #include "gpusim/Simulator.h"
 #include "kernels/Workload.h"
 #include "profile/Compile.h"
+#include "profile/SearchOptions.h"
 #include "support/Status.h"
 
 #include <map>
@@ -233,88 +241,15 @@ struct SearchResult {
   SearchStats Stats;
 };
 
-/// How searchBestConfig bounds candidate simulations.
-enum class SearchBudgetMode : uint8_t {
-  /// Simulate every surviving candidate to completion (the historical
-  /// exhaustive sweep).
-  Off,
-  /// Incumbent-driven branch-and-bound: seed an incumbent from the
-  /// most promising candidate (best-first lower-bound order), then run
-  /// the rest under CycleBudget = incumbent. Result-preserving — Best
-  /// config and cycles are bit-identical to Off.
-  Incumbent,
-};
-
 class PairRunner {
 public:
-  struct Options {
-    gpusim::GpuArch Arch;
-    int SimSMs = 4;
+  /// The shared SearchOptions knobs plus the pair-specific workload
+  /// scales (SearchBudgetMode and the common fields live in
+  /// profile/SearchOptions.h).
+  struct Options : SearchOptions {
     /// SizeScale for each kernel's workload (the Figure 7 ratio knob).
     double Scale1 = 1.0;
     double Scale2 = 1.0;
-    /// Verify all outputs against CPU references after each run.
-    bool Verify = true;
-    /// Ablation: disable HFuse's partial barriers (unsound in general).
-    bool UsePartialBarriers = true;
-    /// Fidelity study: model the device L2 cache (bench_ablation_cache).
-    bool ModelL2 = false;
-    /// Stats level for the searchBestConfig sweep. Minimal (default)
-    /// runs candidate simulations with timing only — no stall-reason
-    /// sampling, occupancy integration, or traffic accounting — which
-    /// is all the search needs to rank candidates; the winner is
-    /// re-profiled at Full so SearchResult::Best carries complete
-    /// metrics. Benches that read per-candidate metrics from
-    /// SearchResult::All (bench_fig9) request Full. Cycle counts are
-    /// identical either way.
-    gpusim::StatsLevel SearchStats = gpusim::StatsLevel::Minimal;
-    uint32_t Seed = 42;
-    /// Worker threads for searchBestConfig; <= 0 picks the host's
-    /// hardware concurrency, 1 is the serial reference path.
-    int SearchJobs = 1;
-    /// Occupancy pruning: 0 = off, 1 = safe rules only (default;
-    /// never changes Best), 2 = also skip candidates strictly
-    /// dominated in blocks/SM by an earlier-measured one (heuristic,
-    /// may trade a few percent of Best quality for a ~2x smaller
-    /// sweep).
-    int PruneLevel = 1;
-    /// Cycle-budgeted candidate simulation (see SearchBudgetMode).
-    /// Off by default so existing cost-profile pins stay meaningful;
-    /// hfusec/bench opt into Incumbent.
-    SearchBudgetMode Budget = SearchBudgetMode::Off;
-    /// Margin of the PruneLevel-2 re-admission rule under budgeted
-    /// search: occupancy-dominated candidates run with budget
-    /// incumbent/(1 + BudgetMarginPct/100), bounding the aggressive
-    /// sweep's Best to within this percentage of the true optimum.
-    double BudgetMarginPct = 10.0;
-    /// Simulator watchdog window for every simulation this runner
-    /// performs (SimConfig::WatchdogCycles); 0 = disabled. Rescues
-    /// live/deadlocked candidate kernels (e.g. a barrier-mismatch
-    /// fusion) at a deterministic abort cycle instead of burning the
-    /// full MaxCycles allowance.
-    uint64_t WatchdogCycles = 0;
-    /// Wall-clock timeout per simulation in milliseconds
-    /// (SimConfig::WallTimeoutMs); 0 = disabled. Non-deterministic —
-    /// a fence for untrusted inputs only.
-    uint64_t WallTimeoutMs = 0;
-    /// Master switch for the caching layers: fusion/codegen reuse
-    /// across register variants, the shared kernel CompileCache, and
-    /// simulation memoization. Off reproduces the seed cost profile
-    /// (one full fuse+lower per (D1, D2, RegBound), one simulation per
-    /// candidate); results are identical either way.
-    bool UseCompileCache = true;
-    /// Shared compilation cache; null gives the runner a private one.
-    std::shared_ptr<CompileCache> Cache;
-    /// Cooperative cancellation + deadline for everything this runner
-    /// does. Checked at candidate granularity in all three search
-    /// phases, per wait slice in CompileCache waits, and inside the
-    /// simulator loop; a fired token turns searchBestConfig into an
-    /// anytime result (SearchResult::Partial). An empty token is
-    /// upgraded to a private live one in the constructor so the
-    /// cancel-* fault sites always have something to fire; with no
-    /// deadline, no cancel() caller, and no armed fault site it can
-    /// never fire, and results are bit-identical to a token-free run.
-    CancellationToken Cancel;
   };
 
   PairRunner(kernels::BenchKernelId A, kernels::BenchKernelId B,
@@ -421,6 +356,14 @@ private:
   std::optional<unsigned> figure6RegBoundImpl(int D1, int D2, Status &Err);
   int commonGrid() const;
 
+  /// Warp instructions kernel \p Which issues running solo at its
+  /// preferred launch shape (the Options::MeasuredBound ranking
+  /// probe; the same quantity the sim.issued.<label> gauges export).
+  /// Cached per runner — TotalIssued is identical across stats levels
+  /// and reruns. Returns 0 with \p E set on failure; \p Stats (may be
+  /// null) absorbs the probe's simulation cost.
+  uint64_t soloIssuedCount(int Which, Status &E, SearchStats *Stats);
+
   kernels::BenchKernelId IdA, IdB;
   Options Opts;
   bool Ready = false;
@@ -430,6 +373,9 @@ private:
   std::shared_ptr<const CompiledKernel> K1, K2;
   std::unique_ptr<CompiledKernel> VFused;
   uint32_t VFusedDynShared = 0;
+
+  /// Memoized MeasuredBound probes (index = kernel 0/1).
+  std::optional<uint64_t> SoloIssued[2];
 
   SimContext Primary;
   /// Contexts not currently lent to a search worker (includes Primary).

@@ -88,15 +88,21 @@ std::string SearchService::fingerprint(const SearchRequest &R) {
   const profile::PairRunner::Options &O = R.Runner;
   // Everything the search result is a pure function of. Two requests
   // with equal fingerprints would produce bit-identical SearchResults,
-  // so the later one may join the earlier one's execution.
+  // so the later one may join the earlier one's execution. N-way
+  // requests prefix the full kernel list (and ignore A/B/Scale2, which
+  // the N-way runner never reads).
+  std::string Kernels;
+  for (kernels::BenchKernelId Id : R.Kernels)
+    Kernels += formatString("%d+", static_cast<int>(Id));
   return formatString(
-      "%d+%d|n%d|%s|sms%d|s%.6f/%.6f|v%d|pb%d|l2%d|st%d|seed%u|j%d|p%d|"
-      "b%d|m%.4f|w%llu|t%llu|c%d|$%p",
-      static_cast<int>(R.A), static_cast<int>(R.B), R.NaiveEvenSplit ? 1 : 0,
-      O.Arch.Name.c_str(), O.SimSMs, O.Scale1, O.Scale2, O.Verify ? 1 : 0,
-      O.UsePartialBarriers ? 1 : 0, O.ModelL2 ? 1 : 0,
-      static_cast<int>(O.SearchStats), O.Seed, O.SearchJobs, O.PruneLevel,
-      static_cast<int>(O.Budget), O.BudgetMarginPct,
+      "[%s]%d+%d|n%d|%s|sms%d|s%.6f/%.6f|v%d|pb%d|l2%d|st%d|seed%u|j%d|p%d|"
+      "b%d|m%.4f|mb%d|w%llu|t%llu|c%d|$%p",
+      Kernels.c_str(), static_cast<int>(R.A), static_cast<int>(R.B),
+      R.NaiveEvenSplit ? 1 : 0, O.Arch.Name.c_str(), O.SimSMs, O.Scale1,
+      O.Scale2, O.Verify ? 1 : 0, O.UsePartialBarriers ? 1 : 0,
+      O.ModelL2 ? 1 : 0, static_cast<int>(O.SearchStats), O.Seed,
+      O.SearchJobs, O.PruneLevel, static_cast<int>(O.Budget),
+      O.BudgetMarginPct, O.MeasuredBound ? 1 : 0,
       static_cast<unsigned long long>(O.WatchdogCycles),
       static_cast<unsigned long long>(O.WallTimeoutMs),
       O.UseCompileCache ? 1 : 0, static_cast<const void *>(O.Cache.get()));
@@ -112,6 +118,38 @@ SearchOutcome SearchService::execute(const SearchRequest &R,
   if (Cfg.MaxJobsPerRequest > 0 &&
       (RO.SearchJobs <= 0 || RO.SearchJobs > Cfg.MaxJobsPerRequest))
     RO.SearchJobs = Cfg.MaxJobsPerRequest;
+
+  if (R.Kernels.size() >= 3) {
+    // N-way portfolio request: same lifecycle, NWayRunner underneath.
+    profile::NWayRunner::Options NO;
+    static_cast<profile::SearchOptions &>(NO) =
+        static_cast<const profile::SearchOptions &>(RO);
+    NO.Scale = RO.Scale1;
+    profile::NWayRunner Runner(R.Kernels, std::move(NO));
+    if (!Runner.ok()) {
+      Out.Search.Err = Token.cancelled()
+                           ? Token.status()
+                           : Status(ErrorCode::Internal, Runner.error());
+      Out.Search.Error = Runner.error();
+      return Out;
+    }
+    Out.NWay = Runner.searchBestConfig();
+    // Mirror the lifecycle fields so callers (and the service's own
+    // Partial accounting below) read one place regardless of arity.
+    Out.Search.Ok = Out.NWay->Ok;
+    Out.Search.RunId = Out.NWay->RunId;
+    Out.Search.Error = Out.NWay->Error;
+    Out.Search.Err = Out.NWay->Err;
+    Out.Search.Partial = Out.NWay->Partial;
+    Out.Search.PartialReason = Out.NWay->PartialReason;
+    Out.Search.Stats = Out.NWay->Stats;
+    if (!Token.cancelled()) {
+      Out.NativeBaseline = Runner.runNative();
+      if (Out.NWay->Ok)
+        Out.SerialBaseline = Runner.runSerial();
+    }
+    return Out;
+  }
 
   profile::PairRunner Runner(R.A, R.B, std::move(RO));
   if (!Runner.ok()) {

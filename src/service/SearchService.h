@@ -46,6 +46,7 @@
 #ifndef HFUSE_SERVICE_SEARCHSERVICE_H
 #define HFUSE_SERVICE_SEARCHSERVICE_H
 
+#include "profile/NWayRunner.h"
 #include "profile/PairRunner.h"
 #include "support/CancellationToken.h"
 #include "support/Status.h"
@@ -67,6 +68,11 @@ namespace hfuse::service {
 struct SearchRequest {
   kernels::BenchKernelId A{};
   kernels::BenchKernelId B{};
+  /// N-way portfolio request: when this holds 3+ kernels the request
+  /// runs the NWayRunner search over them and \p A / \p B are ignored
+  /// (the lifecycle — admission, dedup, deadline, drain — is
+  /// identical). Empty means the pair request above.
+  std::vector<kernels::BenchKernelId> Kernels;
   /// Runner knobs (arch, scales, jobs, prune, budget, ...). A null
   /// Runner.Cache falls back to the service-wide Config::Cache so
   /// requests share compilations.
@@ -85,11 +91,21 @@ struct SearchRequest {
 /// What a completed request returns.
 struct SearchOutcome {
   /// The search result — possibly Partial (anytime), possibly !Ok.
+  /// For an N-way request this mirrors NWay's lifecycle fields
+  /// (Ok/Partial/Err/Error/RunId/Stats) so clients and the service's
+  /// own accounting read one place; the candidate ledger lives in NWay.
   profile::SearchResult Search;
+  /// The N-way result when the request carried 3+ kernels.
+  std::optional<profile::NWaySearchResult> NWay;
   /// Graceful degradation: when the search failed outright
   /// (Search.Ok == false) for a reason other than cancellation, the
   /// native unfused baseline still answers "how fast without fusion".
+  /// For healthy N-way runs it is always populated — the portfolio
+  /// verdict needs the concurrent-streams baseline to compare against.
   std::optional<gpusim::SimResult> NativeBaseline;
+  /// N-way only: the back-to-back sequential baseline (sum of solo
+  /// runs), the second yardstick the fused winner must beat.
+  std::optional<gpusim::SimResult> SerialBaseline;
 };
 
 class SearchService {

@@ -424,23 +424,31 @@ MultiFusionResult hfuse::transform::fuseHorizontalMany(
   MultiFusionResult Res;
   Res.Dims = Dims;
 
+  // Every rejection lands in both channels: the human-readable
+  // DiagnosticEngine and the structured Res.Err, so a search sweep can
+  // retire the candidate into its Failed ledger without parsing text.
+  auto Reject = [&](SourceLocation Loc, const std::string &Msg) {
+    Diags.error(Loc, Msg);
+    Res.Err = Status(ErrorCode::FusionUnsupported, Msg);
+  };
+
   const size_t N = Kernels.size();
   if (N < 2 || N != Dims.size()) {
-    Diags.error(SourceLocation(),
-                "fuseHorizontalMany needs >= 2 kernels with one partition "
-                "size each");
+    Reject(SourceLocation(),
+           "fuseHorizontalMany needs >= 2 kernels with one partition "
+           "size each");
     return Res;
   }
   if (!Shapes.empty() && Shapes.size() != N) {
-    Diags.error(SourceLocation(),
-                "fuseHorizontalMany: Shapes must be empty or give one "
-                "(.y, .z) extent pair per kernel");
+    Reject(SourceLocation(),
+           "fuseHorizontalMany: Shapes must be empty or give one "
+           "(.y, .z) extent pair per kernel");
     return Res;
   }
   if (N > 15) {
-    Diags.error(SourceLocation(), "PTX provides 16 named barriers; at most "
-                                  "15 kernels can be fused (id 0 is "
-                                  "reserved)");
+    Reject(SourceLocation(), "PTX provides 16 named barriers; at most "
+                             "15 kernels can be fused (id 0 is "
+                             "reserved)");
     return Res;
   }
 
@@ -448,23 +456,30 @@ MultiFusionResult hfuse::transform::fuseHorizontalMany(
   for (size_t I = 0; I < N; ++I) {
     int D = Dims[I];
     if (D <= 0 || D % 32 != 0) {
-      Diags.error(SourceLocation(),
-                  formatString("partition size %d is not a positive "
-                               "multiple of the warp size",
-                               D));
+      Reject(SourceLocation(),
+             formatString("partition size %d is not a positive "
+                          "multiple of the warp size",
+                          D));
       return Res;
     }
     if (!Shapes.empty() &&
         !checkPartitionShape(D, Shapes[I].first, Shapes[I].second,
-                             formatString("%zu", I + 1).c_str(), Diags))
+                             formatString("%zu", I + 1).c_str(), Diags)) {
+      Res.Err = Status(ErrorCode::FusionUnsupported,
+                       formatString("kernel %zu: partition size %d does "
+                                    "not factor into its (%d, %d) block "
+                                    "extents",
+                                    I + 1, D, Shapes[I].first,
+                                    Shapes[I].second));
       return Res;
+    }
     D0 += D;
   }
   if (D0 > 1024) {
-    Diags.error(SourceLocation(),
-                formatString("fused block dimension %d exceeds the 1024 "
-                             "threads-per-block hardware limit",
-                             D0));
+    Reject(SourceLocation(),
+           formatString("fused block dimension %d exceeds the 1024 "
+                        "threads-per-block hardware limit",
+                        D0));
     return Res;
   }
 
@@ -472,15 +487,15 @@ MultiFusionResult hfuse::transform::fuseHorizontalMany(
   for (size_t I = 0; I < N; ++I) {
     const FunctionDecl *K = Kernels[I];
     if (!K->isKernel()) {
-      Diags.error(K->loc(), formatString("'%s' is not a __global__ kernel",
-                                         K->name().c_str()));
+      Reject(K->loc(), formatString("'%s' is not a __global__ kernel",
+                                    K->name().c_str()));
       return Res;
     }
     KernelResources R = analyzeKernel(K);
     if (R.UsesExternShared) {
       if (Res.ExternSharedKernel >= 0) {
-        Diags.error(K->loc(), "more than one input kernel uses extern "
-                              "__shared__ memory");
+        Reject(K->loc(), "more than one input kernel uses extern "
+                         "__shared__ memory");
         return Res;
       }
       Res.ExternSharedKernel = static_cast<int>(I);
@@ -553,12 +568,22 @@ MultiFusionResult hfuse::transform::fuseHorizontalMany(
     splitDeclsAndStmts(Clones[I]->body(), Decls[I], Stmts);
     Bodies[I] =
         Target.create<CompoundStmt>(SourceLocation(), std::move(Stmts));
-    if (!replaceBuiltins(Target, Bodies[I], Maps[I], Diags))
+    if (!replaceBuiltins(Target, Bodies[I], Maps[I], Diags)) {
+      Res.Err = Status(ErrorCode::FusionUnsupported,
+                       formatString("kernel %zu: builtin replacement "
+                                    "failed:\n%s",
+                                    I + 1, Diags.str().c_str()));
       return Res;
+    }
     int NumBars = replaceBarriers(Target, Bodies[I],
                                   static_cast<int>(I + 1), Dims[I], Diags);
-    if (NumBars < 0)
+    if (NumBars < 0) {
+      Res.Err = Status(ErrorCode::FusionUnsupported,
+                       formatString("kernel %zu: barrier rewrite "
+                                    "failed:\n%s",
+                                    I + 1, Diags.str().c_str()));
       return Res;
+    }
     lowerReturnsToGoto(Target, Bodies[I], EndLabels[I]);
     Prefix += Dims[I];
   }

@@ -24,6 +24,7 @@
 
 #include "cudalang/AST.h"
 #include "support/Diagnostics.h"
+#include "support/Status.h"
 
 #include <string>
 
@@ -102,6 +103,13 @@ FusionResult fuseVertical(cuda::ASTContext &Target,
 struct MultiFusionResult {
   cuda::FunctionDecl *Fused = nullptr;
   bool Ok = false;
+  /// Structured form of the failure when !Ok (ok() on success), so
+  /// search pipelines can retire a bad candidate into their Failed
+  /// ledger instead of parsing diagnostics: validation rejections
+  /// (too many kernels for the PTX barrier-id space, block > 1024,
+  /// non-warp-multiple partition, shape mismatch) and codegen
+  /// problems all carry ErrorCode::FusionUnsupported.
+  Status Err;
   /// Partition sizes, in kernel order.
   std::vector<int> Dims;
   /// Parameter count contributed by each input kernel, in order.

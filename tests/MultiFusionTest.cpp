@@ -102,20 +102,28 @@ TEST(MultiFusion, Validation) {
   ASSERT_TRUE(K.ok());
   ASTContext Target;
   DiagnosticEngine Diags;
+  // Every rejection carries a structured Status (not just a diagnostic
+  // line), so search pipelines can retire the candidate into their
+  // Failed ledger without parsing text.
   // Mismatched dims count.
-  EXPECT_FALSE(fuseHorizontalMany(Target, {K.A->fn(), K.B->fn()},
-                                  {128, 128, 128}, "", Diags)
-                   .Ok);
+  MultiFusionResult R1 = fuseHorizontalMany(Target, {K.A->fn(), K.B->fn()},
+                                            {128, 128, 128}, "", Diags);
+  EXPECT_FALSE(R1.Ok);
+  EXPECT_EQ(R1.Err.code(), ErrorCode::FusionUnsupported);
   // Over the block limit.
-  EXPECT_FALSE(fuseHorizontalMany(Target,
-                                  {K.A->fn(), K.B->fn(), K.C->fn()},
-                                  {512, 512, 128}, "", Diags)
-                   .Ok);
+  MultiFusionResult R2 =
+      fuseHorizontalMany(Target, {K.A->fn(), K.B->fn(), K.C->fn()},
+                         {512, 512, 128}, "", Diags);
+  EXPECT_FALSE(R2.Ok);
+  EXPECT_EQ(R2.Err.code(), ErrorCode::FusionUnsupported);
   // Non-warp-multiple partition.
-  EXPECT_FALSE(fuseHorizontalMany(Target,
-                                  {K.A->fn(), K.B->fn(), K.C->fn()},
-                                  {100, 128, 128}, "", Diags)
-                   .Ok);
+  MultiFusionResult R3 =
+      fuseHorizontalMany(Target, {K.A->fn(), K.B->fn(), K.C->fn()},
+                         {100, 128, 128}, "", Diags);
+  EXPECT_FALSE(R3.Ok);
+  EXPECT_EQ(R3.Err.code(), ErrorCode::FusionUnsupported);
+  EXPECT_NE(R3.Err.message().find("warp"), std::string::npos)
+      << R3.Err.message();
 }
 
 TEST(MultiFusion, ThreeWayFunctionalEquivalence) {

@@ -136,6 +136,53 @@ TEST_P(SearchBudget, BitIdenticalBestAcrossBudgetModesAndJobs) {
   }
 }
 
+TEST_P(SearchBudget, TightBudgetAndMeasuredBoundPreserveBest) {
+  // incumbent-tight shrinks budgets mid-sweep and re-issues the ledger
+  // under the final incumbent; the measured bound replaces the static
+  // instruction-count ranking with solo issued counts. Both are
+  // ordering/cost optimizations only: Best must stay bit-identical to
+  // plain incumbent mode, across worker counts.
+  const BenchPair &P = GetParam();
+  SearchResult Base = runSearch(P, SearchBudgetMode::Incumbent, 1);
+  if (!Base.Ok)
+    return;
+
+  for (int Jobs : {1, 4}) {
+    SCOPED_TRACE("jobs=" + std::to_string(Jobs));
+    PairRunner::Options Opts = quickOptions();
+    Opts.Budget = SearchBudgetMode::IncumbentTight;
+    Opts.SearchJobs = Jobs;
+    PairRunner R(P.A, P.B, Opts);
+    ASSERT_TRUE(R.ok()) << R.error();
+    SearchResult Tight = R.searchBestConfig();
+    ASSERT_TRUE(Tight.Ok) << Tight.Error;
+    EXPECT_EQ(Tight.Best.D1, Base.Best.D1);
+    EXPECT_EQ(Tight.Best.D2, Base.Best.D2);
+    EXPECT_EQ(Tight.Best.RegBound, Base.Best.RegBound);
+    EXPECT_EQ(Tight.Best.Cycles, Base.Best.Cycles);
+    // Deterministic reporting: the final incumbent IS the winner, and
+    // every reported survivor fits under it (exact ties included).
+    EXPECT_EQ(Tight.Stats.IncumbentCycles, Tight.Best.Cycles);
+    for (const FusionCandidate &C : Tight.All)
+      EXPECT_LE(C.Cycles, Tight.Stats.IncumbentCycles);
+    EXPECT_EQ(Tight.Stats.Candidates,
+              Tight.All.size() + Tight.Pruned.size() +
+                  Tight.Abandoned.size());
+  }
+
+  PairRunner::Options Opts = quickOptions();
+  Opts.Budget = SearchBudgetMode::Incumbent;
+  Opts.MeasuredBound = true;
+  PairRunner R(P.A, P.B, Opts);
+  ASSERT_TRUE(R.ok()) << R.error();
+  SearchResult Meas = R.searchBestConfig();
+  ASSERT_TRUE(Meas.Ok) << Meas.Error;
+  EXPECT_EQ(Meas.Best.D1, Base.Best.D1);
+  EXPECT_EQ(Meas.Best.D2, Base.Best.D2);
+  EXPECT_EQ(Meas.Best.RegBound, Base.Best.RegBound);
+  EXPECT_EQ(Meas.Best.Cycles, Base.Best.Cycles);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllPaperPairs, SearchBudget,
                          testing::ValuesIn(paperPairs()), caseName);
 
